@@ -1,0 +1,62 @@
+// Ablation: the TIA backend — the multiversion B-tree the paper uses vs a
+// plain B+-tree (the aRB-tree-style alternative from the related work).
+// For equi-length epochs both are correct (results verified identical in
+// tests); the comparison here is page accesses and CPU per query, plus the
+// build-side write amplification.
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  std::vector<KnntaQuery> queries = PaperQueries(bd, QueriesFromEnv());
+  Table table("Ablation TIA backend " + bd.name,
+              {"backend", "node_accesses", "tia_reads", "cpu_ms",
+               "build_ms", "tia_pages"});
+  for (TiaBackend backend : {TiaBackend::kMvbt, TiaBackend::kBpTree}) {
+    TarTreeOptions opt;
+    opt.strategy = GroupingStrategy::kIntegral3D;
+    opt.grid = bd.grid;
+    opt.space = bd.data.bounds;
+    opt.tia_backend = backend;
+    auto tree = std::make_unique<TarTree>(opt);
+    std::int64_t max_total = 0;
+    for (PoiId id : bd.effective) {
+      max_total = std::max(max_total, bd.counts.Total(id));
+    }
+    tree->SeedMaxTotal(max_total);
+    double build_ms = MeasureMs([&] {
+      for (PoiId id : bd.effective) {
+        if (!tree->InsertPoi(bd.data.pois[id], bd.counts.counts[id]).ok()) {
+          std::abort();
+        }
+      }
+    });
+
+    AccessStats stats;
+    std::vector<KnntaResult> results;
+    double ms = MeasureMs([&] {
+      for (const KnntaQuery& q : queries) {
+        if (!tree->Query(q, &results, &stats).ok()) std::abort();
+      }
+    });
+    double n = static_cast<double>(queries.size());
+    table.AddRow({ToString(backend),
+                  Table::Num(stats.NodeAccesses() / n, 1),
+                  Table::Num(stats.tia_page_reads / n, 1),
+                  Table::Num(ms / n), Table::Num(build_ms, 0),
+                  std::to_string(tree->tia_buffer_pool()->file()
+                                     ->num_pages())});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

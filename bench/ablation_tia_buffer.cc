@@ -1,0 +1,40 @@
+// Ablation: the TIA buffer quota. The paper fixes 10 slots per TIA (and 0
+// in the collective experiments); this sweep shows how the buffer converts
+// TIA page reads into hits and where it saturates.
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  std::vector<KnntaQuery> queries = PaperQueries(bd, QueriesFromEnv());
+  Table table("Ablation TIA buffer slots " + bd.name,
+              {"slots", "node_accesses", "tia_reads", "tia_hits", "cpu_ms"});
+  for (std::size_t slots : {0u, 1u, 2u, 5u, 10u, 50u}) {
+    auto tree = BuildTree(bd, GroupingStrategy::kIntegral3D, 1024, slots);
+    AccessStats stats;
+    std::vector<KnntaResult> results;
+    double ms = MeasureMs([&] {
+      for (const KnntaQuery& q : queries) {
+        if (!tree->Query(q, &results, &stats).ok()) std::abort();
+      }
+    });
+    double n = static_cast<double>(queries.size());
+    table.AddRow({std::to_string(slots),
+                  Table::Num(stats.NodeAccesses() / n, 1),
+                  Table::Num(stats.tia_page_reads / n, 1),
+                  Table::Num(stats.tia_buffer_hits / n, 1),
+                  Table::Num(ms / n)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: freshness of the integral-3D z coordinates.
+//
+// The z coordinate of a POI depends on the global maximum check-in total,
+// so grouping quality depends on *when* z was computed. This quantifies
+// the effect the paper's Figure 8 discussion attributes to the TAR-tree
+// "not adjusting promptly": (a) bulk build with z computed against the
+// running maximum (stale), (b) bulk build with the maximum seeded up
+// front, (c) grown epoch-by-epoch, (d) grown then Rebuild().
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+std::unique_ptr<TarTree> BuildStale(const BenchData& bd) {
+  TarTreeOptions opt;
+  opt.strategy = GroupingStrategy::kIntegral3D;
+  opt.grid = bd.grid;
+  opt.space = bd.data.bounds;
+  auto tree = std::make_unique<TarTree>(opt);  // no SeedMaxTotal
+  for (PoiId id : bd.effective) {
+    if (!tree->InsertPoi(bd.data.pois[id], bd.counts.counts[id]).ok()) {
+      std::abort();
+    }
+  }
+  return tree;
+}
+
+std::unique_ptr<TarTree> BuildGrown(const BenchData& bd) {
+  TarTreeOptions opt;
+  opt.strategy = GroupingStrategy::kIntegral3D;
+  opt.grid = bd.grid;
+  opt.space = bd.data.bounds;
+  auto tree = std::make_unique<TarTree>(opt);
+  for (PoiId id : bd.effective) {
+    if (!tree->InsertPoi(bd.data.pois[id], {}).ok()) std::abort();
+  }
+  for (std::int64_t e = 0; e < bd.counts.num_epochs; ++e) {
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (PoiId id : bd.effective) {
+      const auto& h = bd.counts.counts[id];
+      if (e < (std::int64_t)h.size() && h[e] > 0) batch[id] = h[e];
+    }
+    if (!tree->AppendEpoch(e, batch).ok()) std::abort();
+  }
+  return tree;
+}
+
+void RunDataset(const BenchData& bd) {
+  std::vector<KnntaQuery> queries = PaperQueries(bd, QueriesFromEnv());
+  Table table("Ablation z freshness " + bd.name,
+              {"variant", "node_accesses", "cpu_ms"});
+
+  auto report = [&](const char* label, TarTree& tree) {
+    ApproachCost cost = RunQueries(tree, queries);
+    table.AddRow({label, Table::Num(cost.node_accesses, 1),
+                  Table::Num(cost.cpu_ms)});
+  };
+
+  auto stale = BuildStale(bd);
+  report("bulk, running max (stale z)", *stale);
+  auto seeded = BuildTree(bd, GroupingStrategy::kIntegral3D);
+  report("bulk, seeded max", *seeded);
+  auto grown = BuildGrown(bd);
+  report("grown epoch-by-epoch", *grown);
+  if (!grown->Rebuild().ok()) std::abort();
+  report("grown + Rebuild()", *grown);
+
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

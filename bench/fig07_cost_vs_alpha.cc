@@ -1,0 +1,59 @@
+// Figure 7: validation of the cost analysis by varying alpha0 — measured vs
+// estimated f(pk) and leaf node accesses on GW and GS (k = 10).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/cost_model.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  auto tree = BuildTree(bd, GroupingStrategy::kIntegral3D);
+
+  std::vector<std::int64_t> aggs;
+  for (PoiId id : bd.effective) aggs.push_back(bd.counts.Total(id));
+  CostModel model(FitCostModel(aggs, tree->capacity()));
+
+  Rng rng(37);
+  std::size_t num_queries = QueriesFromEnv();
+  const std::size_t k = 10;
+
+  Table table("Figure 7 cost analysis vs alpha0 " + bd.name,
+              {"alpha0", "f(pk)_measured", "f(pk)_estimated",
+               "leafNA_measured", "leafNA_estimated"});
+  for (double alpha0 : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    AccessStats stats;
+    double fpk_sum = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t qi = 0; qi < num_queries; ++qi) {
+      const Poi& p = bd.data.pois[static_cast<std::size_t>(
+          rng.UniformInt(0, (std::int64_t)bd.data.pois.size() - 1))];
+      KnntaQuery q{p.pos, {0, bd.data.t_end}, k, alpha0};
+      std::vector<KnntaResult> results;
+      Status st = tree->Query(q, &results, &stats);
+      if (!st.ok() || results.empty()) continue;
+      fpk_sum += results.back().score;
+      ++counted;
+    }
+    double measured_fpk = counted > 0 ? fpk_sum / counted : 0.0;
+    double measured_na =
+        static_cast<double>(stats.rtree_leaf_reads) / num_queries;
+    table.AddRow({Table::Num(alpha0, 1), Table::Num(measured_fpk),
+                  Table::Num(model.EstimateFpk(alpha0, k)),
+                  Table::Num(measured_na, 1),
+                  Table::Num(model.EstimateNodeAccesses(alpha0, k), 1)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

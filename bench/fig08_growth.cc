@@ -1,0 +1,44 @@
+// Figure 8: TAR-tree vs IND-spa / IND-agg / sequential baseline while the
+// LBSN grows — snapshots at 20%..100% of the observed period; mean CPU time
+// and node accesses per query.
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& full) {
+  Table cpu("Figure 8 CPU time (ms) " + full.name,
+            {"time", "baseline", "IND-agg", "IND-spa", "TAR-tree"});
+  Table na("Figure 8 node accesses " + full.name,
+           {"time", "IND-agg", "IND-spa", "TAR-tree"});
+  std::size_t num_queries = QueriesFromEnv();
+
+  for (int pct : {20, 40, 60, 80, 100}) {
+    BenchData snap = PrepareSnapshot(full, pct / 100.0);
+    ApproachSet set = BuildAll(snap);
+    std::vector<KnntaQuery> queries =
+        PaperQueries(snap, num_queries, /*seed=*/100 + pct);
+    ApproachCost scan = RunScan(*set.scan, queries);
+    ApproachCost agg = RunQueries(*set.ind_agg, queries);
+    ApproachCost spa = RunQueries(*set.ind_spa, queries);
+    ApproachCost tar = RunQueries(*set.tar, queries);
+    std::string label = std::to_string(pct) + "%";
+    cpu.AddRow({label, Table::Num(scan.cpu_ms), Table::Num(agg.cpu_ms),
+                Table::Num(spa.cpu_ms), Table::Num(tar.cpu_ms)});
+    na.AddRow({label, Table::Num(agg.node_accesses, 1),
+               Table::Num(spa.node_accesses, 1),
+               Table::Num(tar.node_accesses, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: the four approaches, varying k from 1 to 100 — mean CPU time
+// and node accesses per query.
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  ApproachSet set = BuildAll(bd);
+  std::vector<KnntaQuery> base = PaperQueries(bd, QueriesFromEnv());
+
+  Table cpu("Figure 9 CPU time (ms) " + bd.name,
+            {"k", "baseline", "IND-agg", "IND-spa", "TAR-tree"});
+  Table na("Figure 9 node accesses " + bd.name,
+           {"k", "IND-agg", "IND-spa", "TAR-tree"});
+  for (std::size_t k : {1u, 5u, 10u, 50u, 100u}) {
+    std::vector<KnntaQuery> queries = base;
+    for (KnntaQuery& q : queries) q.k = k;
+    ApproachCost scan = RunScan(*set.scan, queries);
+    ApproachCost agg = RunQueries(*set.ind_agg, queries);
+    ApproachCost spa = RunQueries(*set.ind_spa, queries);
+    ApproachCost tar = RunQueries(*set.tar, queries);
+    cpu.AddRow({std::to_string(k), Table::Num(scan.cpu_ms),
+                Table::Num(agg.cpu_ms), Table::Num(spa.cpu_ms),
+                Table::Num(tar.cpu_ms)});
+    na.AddRow({std::to_string(k), Table::Num(agg.node_accesses, 1),
+               Table::Num(spa.node_accesses, 1),
+               Table::Num(tar.node_accesses, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 10: the four approaches, varying alpha0 from 0.1 to 0.9.
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  ApproachSet set = BuildAll(bd);
+  std::vector<KnntaQuery> base = PaperQueries(bd, QueriesFromEnv());
+
+  Table cpu("Figure 10 CPU time (ms) " + bd.name,
+            {"alpha0", "baseline", "IND-agg", "IND-spa", "TAR-tree"});
+  Table na("Figure 10 node accesses " + bd.name,
+           {"alpha0", "IND-agg", "IND-spa", "TAR-tree"});
+  for (double alpha0 : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    std::vector<KnntaQuery> queries = base;
+    for (KnntaQuery& q : queries) q.alpha0 = alpha0;
+    ApproachCost scan = RunScan(*set.scan, queries);
+    ApproachCost agg = RunQueries(*set.ind_agg, queries);
+    ApproachCost spa = RunQueries(*set.ind_spa, queries);
+    ApproachCost tar = RunQueries(*set.tar, queries);
+    cpu.AddRow({Table::Num(alpha0, 1), Table::Num(scan.cpu_ms),
+                Table::Num(agg.cpu_ms), Table::Num(spa.cpu_ms),
+                Table::Num(tar.cpu_ms)});
+    na.AddRow({Table::Num(alpha0, 1), Table::Num(agg.node_accesses, 1),
+               Table::Num(spa.node_accesses, 1),
+               Table::Num(tar.node_accesses, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 11: the four approaches, varying the epoch length from 1 to 28
+// days. A longer epoch strengthens the TAR-tree's pruning (a parent TIA is
+// closer to its children's maxima) and every approach sums fewer values.
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const std::string& which) {
+  Table cpu("Figure 11 CPU time (ms) " + which,
+            {"epoch_days", "baseline", "IND-agg", "IND-spa", "TAR-tree"});
+  Table na("Figure 11 node accesses " + which,
+           {"epoch_days", "IND-agg", "IND-spa", "TAR-tree"});
+  for (int days : {1, 3, 7, 14, 28}) {
+    BenchData bd = which == "GW" ? PrepareGw(days) : PrepareGs(days);
+    ApproachSet set = BuildAll(bd);
+    std::vector<KnntaQuery> queries = PaperQueries(bd, QueriesFromEnv());
+    ApproachCost scan = RunScan(*set.scan, queries);
+    ApproachCost agg = RunQueries(*set.ind_agg, queries);
+    ApproachCost spa = RunQueries(*set.ind_spa, queries);
+    ApproachCost tar = RunQueries(*set.tar, queries);
+    cpu.AddRow({std::to_string(days), Table::Num(scan.cpu_ms),
+                Table::Num(agg.cpu_ms), Table::Num(spa.cpu_ms),
+                Table::Num(tar.cpu_ms)});
+    na.AddRow({std::to_string(days), Table::Num(agg.node_accesses, 1),
+               Table::Num(spa.node_accesses, 1),
+               Table::Num(tar.node_accesses, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset("GW");
+  RunDataset("GS");
+  return 0;
+}

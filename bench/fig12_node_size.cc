@@ -1,0 +1,40 @@
+// Figure 12: the four approaches, varying the R-tree node size from 512 to
+// 8192 bytes (node capacities scale linearly with the size).
+#include "bench/bench_common.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  std::vector<KnntaQuery> queries = PaperQueries(bd, QueriesFromEnv());
+  Table cpu("Figure 12 CPU time (ms) " + bd.name,
+            {"node_bytes", "baseline", "IND-agg", "IND-spa", "TAR-tree"});
+  Table na("Figure 12 node accesses " + bd.name,
+           {"node_bytes", "IND-agg", "IND-spa", "TAR-tree"});
+  auto scan = BuildScan(bd);
+  ApproachCost scan_cost = RunScan(*scan, queries);
+  for (std::size_t bytes : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    ApproachSet set = BuildAll(bd, bytes);
+    ApproachCost agg = RunQueries(*set.ind_agg, queries);
+    ApproachCost spa = RunQueries(*set.ind_spa, queries);
+    ApproachCost tar = RunQueries(*set.tar, queries);
+    cpu.AddRow({std::to_string(bytes), Table::Num(scan_cost.cpu_ms),
+                Table::Num(agg.cpu_ms), Table::Num(spa.cpu_ms),
+                Table::Num(tar.cpu_ms)});
+    na.AddRow({std::to_string(bytes), Table::Num(agg.node_accesses, 1),
+               Table::Num(spa.node_accesses, 1),
+               Table::Num(tar.node_accesses, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

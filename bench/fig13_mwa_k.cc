@@ -1,0 +1,56 @@
+// Figure 13: computing the minimum weight adjustment, enumerating vs
+// pruning, varying k from 10 to 1000 — mean CPU time and node accesses.
+#include "bench/bench_common.h"
+#include "core/mwa.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  auto tree = BuildTree(bd, GroupingStrategy::kIntegral3D);
+  // The enumerating baseline traverses the tree once per top-k POI, so the
+  // workload is kept small (the paper averages 1000 queries on a server).
+  std::size_t num_queries = std::max<std::size_t>(5, QueriesFromEnv() / 20);
+  std::vector<KnntaQuery> base = PaperQueries(bd, num_queries, /*seed=*/23);
+
+  Table cpu("Figure 13 MWA CPU time (ms) " + bd.name,
+            {"k", "enumerating", "pruning"});
+  Table na("Figure 13 MWA node accesses " + bd.name,
+           {"k", "enumerating", "pruning"});
+  for (std::size_t k : {10u, 50u, 100u, 500u, 1000u}) {
+    AccessStats enum_stats, prune_stats;
+    MwaResult mwa;
+    double enum_ms = MeasureMs([&] {
+      for (KnntaQuery q : base) {
+        q.k = k;
+        Status st = ComputeMwaEnumerating(*tree, q, &mwa, &enum_stats);
+        if (!st.ok()) std::abort();
+      }
+    });
+    double prune_ms = MeasureMs([&] {
+      for (KnntaQuery q : base) {
+        q.k = k;
+        Status st = ComputeMwaPruning(*tree, q, &mwa, &prune_stats);
+        if (!st.ok()) std::abort();
+      }
+    });
+    double n = static_cast<double>(base.size());
+    cpu.AddRow({std::to_string(k), Table::Num(enum_ms / n),
+                Table::Num(prune_ms / n)});
+    na.AddRow({std::to_string(k),
+               Table::Num(enum_stats.NodeAccesses() / n, 1),
+               Table::Num(prune_stats.NodeAccesses() / n, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

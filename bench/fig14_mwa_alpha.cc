@@ -1,0 +1,54 @@
+// Figure 14: computing the minimum weight adjustment, enumerating vs
+// pruning, varying alpha0 from 0.1 to 0.9.
+#include "bench/bench_common.h"
+#include "core/mwa.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  auto tree = BuildTree(bd, GroupingStrategy::kIntegral3D);
+  std::size_t num_queries = std::max<std::size_t>(5, QueriesFromEnv() / 10);
+  std::vector<KnntaQuery> base = PaperQueries(bd, num_queries, /*seed=*/29);
+
+  Table cpu("Figure 14 MWA CPU time (ms) " + bd.name,
+            {"alpha0", "enumerating", "pruning"});
+  Table na("Figure 14 MWA node accesses " + bd.name,
+           {"alpha0", "enumerating", "pruning"});
+  for (double alpha0 : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    AccessStats enum_stats, prune_stats;
+    MwaResult mwa;
+    double enum_ms = MeasureMs([&] {
+      for (KnntaQuery q : base) {
+        q.alpha0 = alpha0;
+        Status st = ComputeMwaEnumerating(*tree, q, &mwa, &enum_stats);
+        if (!st.ok()) std::abort();
+      }
+    });
+    double prune_ms = MeasureMs([&] {
+      for (KnntaQuery q : base) {
+        q.alpha0 = alpha0;
+        Status st = ComputeMwaPruning(*tree, q, &mwa, &prune_stats);
+        if (!st.ok()) std::abort();
+      }
+    });
+    double n = static_cast<double>(base.size());
+    cpu.AddRow({Table::Num(alpha0, 1), Table::Num(enum_ms / n),
+                Table::Num(prune_ms / n)});
+    na.AddRow({Table::Num(alpha0, 1),
+               Table::Num(enum_stats.NodeAccesses() / n, 1),
+               Table::Num(prune_stats.NodeAccesses() / n, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 15: collective vs individual processing, varying the number of
+// queries in the batch — mean CPU time and node accesses per query. As in
+// the paper's setup, the TIAs get no buffer slots so the sharing comes
+// from the algorithm, not the cache.
+#include "bench/bench_common.h"
+#include "core/collective.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  auto tree = BuildTree(bd, GroupingStrategy::kIntegral3D,
+                        /*node_size_bytes=*/1024, /*tia_buffer_slots=*/0);
+  WorkloadConfig wl;
+  const std::size_t kTypes = 5;
+
+  Table cpu("Figure 15 collective CPU time (ms) " + bd.name,
+            {"num_queries", "individual", "collective"});
+  Table na("Figure 15 collective node accesses " + bd.name,
+           {"num_queries", "individual", "collective"});
+  for (std::size_t n : {100u, 500u, 1000u, 5000u, 10000u}) {
+    wl.seed = 41 + n;
+    std::vector<KnntaQuery> batch = MakeBatchQueries(bd.data, n, kTypes, wl);
+    std::vector<std::vector<KnntaResult>> out;
+    AccessStats ind_stats, col_stats;
+    double ind_ms = MeasureMs([&] {
+      Status st = ProcessIndividually(*tree, batch, &out, &ind_stats);
+      if (!st.ok()) std::abort();
+    });
+    double col_ms = MeasureMs([&] {
+      Status st = ProcessCollectively(*tree, batch, &out, &col_stats);
+      if (!st.ok()) std::abort();
+    });
+    double d = static_cast<double>(n);
+    cpu.AddRow({std::to_string(n), Table::Num(ind_ms / d),
+                Table::Num(col_ms / d)});
+    na.AddRow({std::to_string(n),
+               Table::Num(ind_stats.NodeAccesses() / d, 1),
+               Table::Num(col_stats.NodeAccesses() / d, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

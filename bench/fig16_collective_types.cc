@@ -1,0 +1,52 @@
+// Figure 16: collective vs individual processing, varying the number of
+// query time-interval types from 1 to 100 (batch of 1000 queries).
+#include "bench/bench_common.h"
+#include "core/collective.h"
+
+using namespace tar;
+using namespace tar::bench;
+
+namespace {
+
+void RunDataset(const BenchData& bd) {
+  auto tree = BuildTree(bd, GroupingStrategy::kIntegral3D,
+                        /*node_size_bytes=*/1024, /*tia_buffer_slots=*/0);
+  WorkloadConfig wl;
+  const std::size_t kBatch = 1000;
+
+  Table cpu("Figure 16 collective CPU time (ms) " + bd.name,
+            {"types", "individual", "collective"});
+  Table na("Figure 16 collective node accesses " + bd.name,
+           {"types", "individual", "collective"});
+  for (std::size_t types : {1u, 5u, 10u, 50u, 100u}) {
+    wl.seed = 59 + types;
+    std::vector<KnntaQuery> batch =
+        MakeBatchQueries(bd.data, kBatch, types, wl);
+    std::vector<std::vector<KnntaResult>> out;
+    AccessStats ind_stats, col_stats;
+    double ind_ms = MeasureMs([&] {
+      Status st = ProcessIndividually(*tree, batch, &out, &ind_stats);
+      if (!st.ok()) std::abort();
+    });
+    double col_ms = MeasureMs([&] {
+      Status st = ProcessCollectively(*tree, batch, &out, &col_stats);
+      if (!st.ok()) std::abort();
+    });
+    double d = static_cast<double>(kBatch);
+    cpu.AddRow({std::to_string(types), Table::Num(ind_ms / d),
+                Table::Num(col_ms / d)});
+    na.AddRow({std::to_string(types),
+               Table::Num(ind_stats.NodeAccesses() / d, 1),
+               Table::Num(col_stats.NodeAccesses() / d, 1)});
+  }
+  cpu.Print();
+  na.Print();
+}
+
+}  // namespace
+
+int main() {
+  RunDataset(PrepareGw());
+  RunDataset(PrepareGs());
+  return 0;
+}

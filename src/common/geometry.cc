@@ -1,0 +1,37 @@
+#include "common/geometry.h"
+
+#include <cstdio>
+
+namespace tar {
+
+double Distance(const Vec2& a, const Vec2& b) {
+  // sqrt of the squared sum (not std::hypot) so that scores computed here
+  // and through BoxN::MinDist2 agree bit-for-bit on degenerate point boxes.
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MinDistToBox(const Vec2& q, const Box3& b) {
+  return std::sqrt(b.MinDist2({q.x, q.y, 0.0}, /*dims=*/2));
+}
+
+Box3 PointBox(const Vec2& p, double z) {
+  return Box3::FromPoint({p.x, p.y, z});
+}
+
+std::string ToString(const Box2& b) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.4g,%.4g]x[%.4g,%.4g]", b.lo[0], b.hi[0],
+                b.lo[1], b.hi[1]);
+  return buf;
+}
+
+std::string ToString(const Box3& b) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "[%.4g,%.4g]x[%.4g,%.4g]x[%.4g,%.4g]",
+                b.lo[0], b.hi[0], b.lo[1], b.hi[1], b.lo[2], b.hi[2]);
+  return buf;
+}
+
+}  // namespace tar

@@ -1,0 +1,157 @@
+// Planar / low-dimensional geometry primitives used by the TAR-tree.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace tar {
+
+/// \brief A point in the plane (POI coordinates, query points).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Vec2&, const Vec2&) = default;
+};
+
+/// Euclidean distance between two points.
+double Distance(const Vec2& a, const Vec2& b);
+
+/// \brief Axis-aligned box in D dimensions, closed on both ends.
+///
+/// An "empty" box has lo > hi in every dimension and behaves as the identity
+/// for Extend/Union. Dimension 0/1 are the spatial axes; dimension 2 (when
+/// D = 3) is the normalized aggregate axis used by the integral-3D grouping
+/// strategy.
+template <std::size_t D>
+struct BoxN {
+  std::array<double, D> lo;
+  std::array<double, D> hi;
+
+  /// Constructs the empty box.
+  BoxN() {
+    lo.fill(std::numeric_limits<double>::infinity());
+    hi.fill(-std::numeric_limits<double>::infinity());
+  }
+
+  static BoxN FromPoint(const std::array<double, D>& p) {
+    BoxN b;
+    b.lo = p;
+    b.hi = p;
+    return b;
+  }
+
+  bool empty() const { return lo[0] > hi[0]; }
+
+  /// Grows this box to cover `other`.
+  void Extend(const BoxN& other) {
+    for (std::size_t i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], other.lo[i]);
+      hi[i] = std::max(hi[i], other.hi[i]);
+    }
+  }
+
+  /// The smallest box covering both arguments.
+  static BoxN Union(const BoxN& a, const BoxN& b) {
+    BoxN r = a;
+    r.Extend(b);
+    return r;
+  }
+
+  bool Contains(const BoxN& other) const {
+    for (std::size_t i = 0; i < D; ++i) {
+      if (other.lo[i] < lo[i] || other.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const BoxN& other) const {
+    for (std::size_t i = 0; i < D; ++i) {
+      if (other.hi[i] < lo[i] || other.lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  double Extent(std::size_t dim) const {
+    return empty() ? 0.0 : hi[dim] - lo[dim];
+  }
+
+  /// Product of extents over the dims in [0, dims).
+  double Area(std::size_t dims = D) const;
+
+  /// Sum of extents over the dims in [0, dims) (the R* "margin").
+  double Margin(std::size_t dims = D) const;
+
+  /// Area of the intersection with `other` over the dims in [0, dims).
+  double OverlapArea(const BoxN& other, std::size_t dims = D) const;
+
+  /// Center coordinate along `dim`.
+  double Center(std::size_t dim) const { return (lo[dim] + hi[dim]) / 2.0; }
+
+  /// Squared min distance from a point to this box over dims [0, dims).
+  double MinDist2(const std::array<double, D>& p, std::size_t dims = D) const;
+
+  friend bool operator==(const BoxN&, const BoxN&) = default;
+};
+
+template <std::size_t D>
+double BoxN<D>::Area(std::size_t dims) const {
+  if (empty()) return 0.0;
+  double a = 1.0;
+  for (std::size_t i = 0; i < dims; ++i) a *= (hi[i] - lo[i]);
+  return a;
+}
+
+template <std::size_t D>
+double BoxN<D>::Margin(std::size_t dims) const {
+  if (empty()) return 0.0;
+  double m = 0.0;
+  for (std::size_t i = 0; i < dims; ++i) m += (hi[i] - lo[i]);
+  return m;
+}
+
+template <std::size_t D>
+double BoxN<D>::OverlapArea(const BoxN& other, std::size_t dims) const {
+  if (empty() || other.empty()) return 0.0;
+  double a = 1.0;
+  for (std::size_t i = 0; i < dims; ++i) {
+    double w = std::min(hi[i], other.hi[i]) - std::max(lo[i], other.lo[i]);
+    if (w <= 0.0) return 0.0;
+    a *= w;
+  }
+  return a;
+}
+
+template <std::size_t D>
+double BoxN<D>::MinDist2(const std::array<double, D>& p,
+                         std::size_t dims) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < dims; ++i) {
+    double d = 0.0;
+    if (p[i] < lo[i]) {
+      d = lo[i] - p[i];
+    } else if (p[i] > hi[i]) {
+      d = p[i] - hi[i];
+    }
+    d2 += d * d;
+  }
+  return d2;
+}
+
+using Box2 = BoxN<2>;
+using Box3 = BoxN<3>;
+
+/// Min Euclidean distance from point q to the spatial (x, y) extent of `b`.
+double MinDistToBox(const Vec2& q, const Box3& b);
+
+/// Box covering a single 2-D point with a degenerate z-interval at `z`.
+Box3 PointBox(const Vec2& p, double z);
+
+std::string ToString(const Box2& b);
+std::string ToString(const Box3& b);
+
+}  // namespace tar

@@ -1,0 +1,218 @@
+#include "common/powerlaw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tar {
+
+double HurwitzZeta(double s, double a) {
+  assert(s > 1.0 && a > 0.0);
+  // Direct sum over the first kTerms terms, Euler-Maclaurin for the tail:
+  //   sum_{i>=N} (i+a)^-s ~= (N+a)^(1-s)/(s-1) + (N+a)^-s/2
+  //                          + s*(N+a)^-(s+1)/12 - ...
+  constexpr int kTerms = 1000;
+  double sum = 0.0;
+  for (int i = 0; i < kTerms; ++i) {
+    sum += std::pow(i + a, -s);
+  }
+  const double base = kTerms + a;
+  sum += std::pow(base, 1.0 - s) / (s - 1.0);
+  sum += 0.5 * std::pow(base, -s);
+  sum += s / 12.0 * std::pow(base, -s - 1.0);
+  sum -= s * (s + 1.0) * (s + 2.0) / 720.0 * std::pow(base, -s - 3.0);
+  return sum;
+}
+
+PowerLaw::PowerLaw(double beta, std::int64_t xmin)
+    : beta_(beta), xmin_(xmin),
+      zeta_xmin_(HurwitzZeta(beta, static_cast<double>(xmin))) {
+  assert(xmin >= 1);
+}
+
+double PowerLaw::Pmf(std::int64_t x) const {
+  if (x < xmin_) return 0.0;
+  return std::pow(static_cast<double>(x), -beta_) / zeta_xmin_;
+}
+
+double PowerLaw::Ccdf(std::int64_t x) const {
+  if (x <= xmin_) return 1.0;
+  return HurwitzZeta(beta_, static_cast<double>(x)) / zeta_xmin_;
+}
+
+std::int64_t PowerLaw::Sample(Rng& rng) const {
+  // Continuous approximation (CSN appendix D): accurate for xmin >= 1 and
+  // exact in distribution shape for the tails we generate.
+  double r = rng.Uniform();
+  // Guard against r == 1 which would map to xmin - 1.
+  r = std::min(r, 1.0 - 1e-12);
+  double x = (static_cast<double>(xmin_) - 0.5) *
+                 std::pow(1.0 - r, -1.0 / (beta_ - 1.0)) +
+             0.5;
+  if (x > 9.0e18) x = 9.0e18;  // clamp pathological draws at tiny beta
+  return static_cast<std::int64_t>(std::floor(x));
+}
+
+namespace {
+
+/// Negative log-likelihood of the tail under beta (xmin fixed):
+///   n*ln zeta(beta, xmin) + beta * sum ln x_i.
+double NegLogLikelihood(double beta, std::int64_t xmin, std::size_t n,
+                        double sum_log_x) {
+  return static_cast<double>(n) *
+             std::log(HurwitzZeta(beta, static_cast<double>(xmin))) +
+         beta * sum_log_x;
+}
+
+}  // namespace
+
+double FitBetaGivenXmin(const std::vector<std::int64_t>& sorted_tail,
+                        std::int64_t xmin, double beta_lo, double beta_hi) {
+  double sum_log_x = 0.0;
+  for (std::int64_t x : sorted_tail) {
+    sum_log_x += std::log(static_cast<double>(x));
+  }
+  const std::size_t n = sorted_tail.size();
+  // Golden-section minimization of the negative log-likelihood; the
+  // likelihood is unimodal in beta.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = beta_lo;
+  double b = beta_hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = NegLogLikelihood(c, xmin, n, sum_log_x);
+  double fd = NegLogLikelihood(d, xmin, n, sum_log_x);
+  while (b - a > 1e-5) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = NegLogLikelihood(c, xmin, n, sum_log_x);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = NegLogLikelihood(d, xmin, n, sum_log_x);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+double KsDistance(const std::vector<std::int64_t>& sorted_tail,
+                  const PowerLaw& model) {
+  // Walk the distinct values; empirical CDF steps at each, model CDF
+  // computed incrementally via zeta(b, x+1) = zeta(b, x) - x^-b.
+  const std::size_t n = sorted_tail.size();
+  if (n == 0) return 1.0;
+  double zeta_xmin = HurwitzZeta(model.beta(),
+                                 static_cast<double>(model.xmin()));
+  double zeta_x = zeta_xmin;  // zeta at current x (starts at xmin)
+  std::int64_t x = model.xmin();
+  double max_diff = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    // Advance the model CCDF to the current data value.
+    while (x < sorted_tail[i]) {
+      zeta_x -= std::pow(static_cast<double>(x), -model.beta());
+      ++x;
+    }
+    std::size_t j = i;
+    while (j < n && sorted_tail[j] == sorted_tail[i]) ++j;
+    // Empirical CDF just below x and at x; model CDF on [x, x+1).
+    double emp_lo = static_cast<double>(i) / n;
+    double emp_hi = static_cast<double>(j) / n;
+    double model_cdf_below = 1.0 - zeta_x / zeta_xmin;  // Pr(X < x)
+    double model_cdf_at =
+        1.0 - (zeta_x - std::pow(static_cast<double>(x), -model.beta())) /
+                  zeta_xmin;  // Pr(X <= x)
+    max_diff = std::max(max_diff, std::abs(emp_lo - model_cdf_below));
+    max_diff = std::max(max_diff, std::abs(emp_hi - model_cdf_at));
+    i = j;
+  }
+  return max_diff;
+}
+
+PowerLawFit FitPowerLaw(const std::vector<std::int64_t>& data,
+                        const PowerLawFitOptions& options) {
+  PowerLawFit best;
+  best.ks = 2.0;
+  if (data.empty()) return best;
+
+  std::vector<std::int64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Candidate xmins: the distinct data values, smallest first, keeping a
+  // usable tail and capping the candidate count for large inputs.
+  std::vector<std::int64_t> candidates;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] < 1) continue;
+    if (i > 0 && sorted[i] == sorted[i - 1]) continue;
+    if (sorted.size() - i < options.min_tail_size) break;
+    candidates.push_back(sorted[i]);
+    if (candidates.size() >= options.max_xmin_candidates) break;
+  }
+  if (candidates.empty() && !sorted.empty() && sorted.back() >= 1) {
+    candidates.push_back(std::max<std::int64_t>(sorted.front(), 1));
+  }
+
+  for (std::int64_t xmin : candidates) {
+    auto first =
+        std::lower_bound(sorted.begin(), sorted.end(), xmin);
+    std::vector<std::int64_t> tail(first, sorted.end());
+    if (tail.empty()) continue;
+    double beta =
+        FitBetaGivenXmin(tail, xmin, options.beta_lo, options.beta_hi);
+    PowerLaw model(beta, xmin);
+    double ks = KsDistance(tail, model);
+    if (ks < best.ks) {
+      best.beta = beta;
+      best.xmin = xmin;
+      best.ks = ks;
+      best.n_tail = tail.size();
+      double sum_log_x = 0.0;
+      for (std::int64_t x : tail) sum_log_x += std::log((double)x);
+      best.log_likelihood =
+          -NegLogLikelihood(beta, xmin, tail.size(), sum_log_x);
+    }
+  }
+  return best;
+}
+
+double PowerLawPValue(const std::vector<std::int64_t>& data,
+                      const PowerLawFit& fit, std::size_t num_reps, Rng& rng,
+                      const PowerLawFitOptions& options) {
+  if (data.empty() || num_reps == 0) return 0.0;
+  // Split the data into body (< xmin) and tail (>= xmin).
+  std::vector<std::int64_t> body;
+  std::size_t n_tail = 0;
+  for (std::int64_t x : data) {
+    if (x < fit.xmin) {
+      body.push_back(x);
+    } else {
+      ++n_tail;
+    }
+  }
+  const std::size_t n = data.size();
+  const double tail_prob = static_cast<double>(n_tail) / n;
+  PowerLaw model(fit.beta, fit.xmin);
+
+  std::size_t exceed = 0;
+  std::vector<std::int64_t> synth(n);
+  for (std::size_t rep = 0; rep < num_reps; ++rep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (body.empty() || rng.Uniform() < tail_prob) {
+        synth[i] = model.Sample(rng);
+      } else {
+        synth[i] = body[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(body.size()) - 1))];
+      }
+    }
+    PowerLawFit synth_fit = FitPowerLaw(synth, options);
+    if (synth_fit.ks >= fit.ks) ++exceed;
+  }
+  return static_cast<double>(exceed) / num_reps;
+}
+
+}  // namespace tar

@@ -1,0 +1,91 @@
+// Discrete power-law toolkit (Clauset, Shalizi & Newman, SIAM Review 2009).
+//
+// Section 6.1 of the paper models the count aggregate X of a POI as
+//   Pr(X = x) = x^-beta / zeta(beta, xmin),   x >= xmin,
+// and Table 2 reports the fitted (beta, xmin, p-value) per data set. This
+// module provides: the Hurwitz zeta function, maximum-likelihood fitting
+// with KS-minimizing xmin selection, a semiparametric bootstrap p-value,
+// and a power-law sampler used by the synthetic LBSN generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tar {
+
+/// Hurwitz zeta function zeta(s, a) = sum_{i>=0} (i + a)^-s for s > 1,
+/// a > 0. Computed by direct summation plus an Euler-Maclaurin tail.
+double HurwitzZeta(double s, double a);
+
+/// \brief A fitted discrete power law.
+struct PowerLawFit {
+  double beta = 0.0;      ///< scaling parameter (beta-hat)
+  std::int64_t xmin = 1;  ///< lower bound of power-law behaviour (xmin-hat)
+  double ks = 0.0;        ///< KS distance of the tail at (beta, xmin)
+  std::size_t n_tail = 0; ///< sample count with x >= xmin
+  double log_likelihood = 0.0;
+};
+
+/// \brief Discrete power-law model with fixed parameters.
+class PowerLaw {
+ public:
+  PowerLaw(double beta, std::int64_t xmin);
+
+  double beta() const { return beta_; }
+  std::int64_t xmin() const { return xmin_; }
+
+  /// Pr(X = x); zero below xmin.
+  double Pmf(std::int64_t x) const;
+
+  /// Pr(X >= x); one at or below xmin.
+  double Ccdf(std::int64_t x) const;
+
+  /// Draws one sample (Clauset appendix D continuous approximation).
+  std::int64_t Sample(Rng& rng) const;
+
+ private:
+  double beta_;
+  std::int64_t xmin_;
+  double zeta_xmin_;  // zeta(beta, xmin), the normalization constant
+};
+
+/// Options controlling the fit.
+struct PowerLawFitOptions {
+  /// Try at most this many distinct candidate xmin values (smallest first).
+  std::size_t max_xmin_candidates = 200;
+  /// Require at least this many tail samples for a candidate xmin.
+  std::size_t min_tail_size = 10;
+  /// Search range for beta.
+  double beta_lo = 1.01;
+  double beta_hi = 6.0;
+};
+
+/// \brief MLE fit of a discrete power law to positive integer data.
+///
+/// xmin is chosen to minimize the KS distance between the model and the
+/// empirical tail distribution (the CSN recipe). `data` need not be sorted.
+PowerLawFit FitPowerLaw(const std::vector<std::int64_t>& data,
+                        const PowerLawFitOptions& options = {});
+
+/// MLE for beta with xmin fixed.
+double FitBetaGivenXmin(const std::vector<std::int64_t>& sorted_tail,
+                        std::int64_t xmin, double beta_lo = 1.01,
+                        double beta_hi = 6.0);
+
+/// KS distance between a fitted model and the empirical tail (x >= xmin).
+double KsDistance(const std::vector<std::int64_t>& sorted_tail,
+                  const PowerLaw& model);
+
+/// \brief Goodness-of-fit p-value via the CSN semiparametric bootstrap.
+///
+/// Generates `num_reps` synthetic data sets that follow the fitted model in
+/// the tail and resample the empirical body below xmin, refits each, and
+/// returns the fraction whose KS distance exceeds the observed one. The
+/// power-law hypothesis is ruled out when p <= 0.1.
+double PowerLawPValue(const std::vector<std::int64_t>& data,
+                      const PowerLawFit& fit, std::size_t num_reps, Rng& rng,
+                      const PowerLawFitOptions& options = {});
+
+}  // namespace tar

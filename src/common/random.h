@@ -1,0 +1,37 @@
+// Deterministic RNG wrapper so experiments are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tar {
+
+/// \brief Seedable random source used by generators, workloads and tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : gen_(seed) {}
+
+  double Uniform() { return uni_(gen_); }
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+};
+
+}  // namespace tar

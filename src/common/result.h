@@ -1,0 +1,64 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible producers.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tar {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<Page*> r = pool.Fetch(id);
+///   if (!r.ok()) return r.status();
+///   Page* page = r.ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status; Status::OK() if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+#define TAR_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto _res_##__LINE__ = (expr);                     \
+  if (!_res_##__LINE__.ok()) {                       \
+    return _res_##__LINE__.status();                 \
+  }                                                  \
+  lhs = std::move(_res_##__LINE__).ValueOrDie()
+
+}  // namespace tar

@@ -1,0 +1,21 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace tar {
+
+std::string AccessStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "node_accesses=%llu (rtree=%llu tia=%llu) buffer_hits=%llu "
+                "entries=%llu agg_calls=%llu",
+                static_cast<unsigned long long>(NodeAccesses()),
+                static_cast<unsigned long long>(rtree_node_reads),
+                static_cast<unsigned long long>(tia_page_reads),
+                static_cast<unsigned long long>(tia_buffer_hits),
+                static_cast<unsigned long long>(entries_scanned),
+                static_cast<unsigned long long>(aggregate_calls));
+  return buf;
+}
+
+}  // namespace tar

@@ -1,0 +1,40 @@
+// Access accounting: the paper's primary cost metric is node accesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tar {
+
+/// \brief Counters for one query (or one batch of queries).
+///
+/// "Node accesses" in the paper = R-tree nodes read during search plus TIA
+/// pages fetched from (simulated) disk; TIA buffer-pool hits are free.
+struct AccessStats {
+  std::uint64_t rtree_node_reads = 0;
+  std::uint64_t rtree_leaf_reads = 0;  ///< subset of rtree_node_reads
+  std::uint64_t tia_page_reads = 0;    ///< buffer-pool misses
+  std::uint64_t tia_buffer_hits = 0;   ///< served from the pool, not counted
+  std::uint64_t entries_scanned = 0;   ///< entries examined (CPU proxy)
+  std::uint64_t aggregate_calls = 0;   ///< TIA Aggregate() invocations
+
+  std::uint64_t NodeAccesses() const {
+    return rtree_node_reads + tia_page_reads;
+  }
+
+  void Reset() { *this = AccessStats{}; }
+
+  AccessStats& operator+=(const AccessStats& o) {
+    rtree_node_reads += o.rtree_node_reads;
+    rtree_leaf_reads += o.rtree_leaf_reads;
+    tia_page_reads += o.tia_page_reads;
+    tia_buffer_hits += o.tia_buffer_hits;
+    entries_scanned += o.entries_scanned;
+    aggregate_calls += o.aggregate_calls;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace tar

@@ -1,0 +1,88 @@
+// Arrow/RocksDB-style status object for error handling without exceptions.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace tar {
+
+/// \brief Outcome of an operation that can fail.
+///
+/// Core library code returns Status (or Result<T>) instead of throwing.
+/// A default-constructed Status is OK. The error message is stored only for
+/// non-OK statuses, keeping the OK path allocation free.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kCorruption,
+    kNotSupported,
+    kResourceExhausted,
+    kAlreadyExists,
+    kIoError,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define TAR_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::tar::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+}  // namespace tar

@@ -1,0 +1,81 @@
+// Time axis discretization: epochs and query time intervals.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tar {
+
+/// Timestamps are seconds since the application start t0.
+using Timestamp = std::int64_t;
+
+constexpr Timestamp kSecondsPerDay = 86400;
+
+/// \brief A closed time interval [start, end], end inclusive.
+///
+/// Used both for query intervals Iq and for epoch extents <ts, te>.
+struct TimeInterval {
+  Timestamp start = 0;
+  Timestamp end = 0;
+
+  bool Valid() const { return start <= end; }
+
+  /// True iff `other` is fully contained in this interval.
+  bool Contains(const TimeInterval& other) const {
+    return start <= other.start && other.end <= end;
+  }
+
+  bool Intersects(const TimeInterval& other) const {
+    return start <= other.end && other.start <= end;
+  }
+
+  Timestamp Length() const { return end - start; }
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+/// \brief Maps timestamps to fixed-length epochs.
+///
+/// Epoch i covers [t0 + i*len, t0 + (i+1)*len). The paper discretizes the
+/// time axis into epochs (default 7 days); the aggregate g(p, Iq) sums the
+/// check-in counts of the epochs intersecting Iq, which the TIA implements
+/// as containment of the epoch extent in Iq after Iq is aligned outward to
+/// epoch boundaries.
+class EpochGrid {
+ public:
+  EpochGrid() = default;
+  EpochGrid(Timestamp t0, Timestamp epoch_length)
+      : t0_(t0), len_(epoch_length) {}
+
+  Timestamp t0() const { return t0_; }
+  Timestamp epoch_length() const { return len_; }
+
+  /// Index of the epoch containing `t` (t >= t0 assumed).
+  std::int64_t EpochOf(Timestamp t) const { return (t - t0_) / len_; }
+
+  Timestamp EpochStart(std::int64_t e) const { return t0_ + e * len_; }
+
+  /// Inclusive end of epoch e (one tick before the next epoch starts).
+  Timestamp EpochEnd(std::int64_t e) const { return t0_ + (e + 1) * len_ - 1; }
+
+  TimeInterval EpochExtent(std::int64_t e) const {
+    return {EpochStart(e), EpochEnd(e)};
+  }
+
+  /// Expands Iq outward so that it exactly covers every epoch it intersects.
+  /// After alignment, "epoch intersects Iq" == "epoch contained in Iq".
+  TimeInterval AlignOutward(const TimeInterval& iq) const {
+    std::int64_t first = EpochOf(std::max<Timestamp>(iq.start, t0_));
+    std::int64_t last = EpochOf(std::max<Timestamp>(iq.end, t0_));
+    return {EpochStart(first), EpochEnd(last)};
+  }
+
+  /// Number of whole epochs covering [t0, now].
+  std::int64_t NumEpochs(Timestamp now) const { return EpochOf(now) + 1; }
+
+ private:
+  Timestamp t0_ = 0;
+  Timestamp len_ = 7 * kSecondsPerDay;
+};
+
+}  // namespace tar

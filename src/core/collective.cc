@@ -1,0 +1,169 @@
+#include "core/collective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace tar {
+
+Status ProcessIndividually(const TarTree& tree,
+                           const std::vector<KnntaQuery>& queries,
+                           std::vector<std::vector<KnntaResult>>* results,
+                           AccessStats* stats) {
+  results->assign(queries.size(), {});
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    TAR_RETURN_NOT_OK(tree.Query(queries[i], &(*results)[i], stats));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct Item {
+  double score;
+  bool is_poi;
+  PoiId poi;
+  TarTree::NodeId node;
+  double dist;
+  std::int64_t aggregate;
+
+  bool operator>(const Item& o) const {
+    if (score != o.score) return score > o.score;
+    if (is_poi != o.is_poi) return !is_poi;
+    return is_poi ? poi > o.poi : node > o.node;
+  }
+};
+
+using ItemQueue =
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>>;
+
+struct QueryState {
+  TarTree::QueryContext ctx;
+  std::size_t group = 0;  ///< interval group (same aligned interval)
+  std::size_t k = 0;
+  ItemQueue queue;
+  std::vector<KnntaResult>* out = nullptr;
+  bool done = false;
+};
+
+}  // namespace
+
+Status ProcessCollectively(const TarTree& tree,
+                           const std::vector<KnntaQuery>& queries,
+                           std::vector<std::vector<KnntaResult>>* results,
+                           AccessStats* stats) {
+  results->assign(queries.size(), {});
+  for (const KnntaQuery& q : queries) {
+    if (q.k == 0) return Status::InvalidArgument("k must be positive");
+    if (q.alpha0 <= 0.0 || q.alpha0 >= 1.0) {
+      return Status::InvalidArgument("alpha0 must be in (0, 1)");
+    }
+    if (!q.interval.Valid()) {
+      return Status::InvalidArgument("invalid query interval");
+    }
+  }
+  if (tree.empty() || queries.empty()) return Status::OK();
+
+  // Group the queries by their aligned time interval; the normalizer gmax
+  // and all TIA aggregates are shared within a group.
+  std::map<std::pair<Timestamp, Timestamp>, std::size_t> group_ids;
+  std::vector<TarTree::QueryContext> group_ctx;
+  std::vector<QueryState> states(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    TimeInterval aligned = tree.grid().AlignOutward(queries[i].interval);
+    auto [it, inserted] = group_ids.emplace(
+        std::make_pair(aligned.start, aligned.end), group_ctx.size());
+    if (inserted) {
+      // One context (and one charged gmax lookup) per interval group.
+      group_ctx.push_back(tree.MakeContext(queries[i], stats));
+    }
+    QueryState& qs = states[i];
+    qs.group = it->second;
+    qs.ctx = group_ctx[it->second];
+    qs.ctx.q = queries[i].point;
+    qs.ctx.alpha0 = queries[i].alpha0;
+    qs.ctx.alpha1 = 1.0 - queries[i].alpha0;
+    qs.k = queries[i].k;
+    qs.out = &(*results)[i];
+  }
+
+  // Fetches a node once and feeds its entries to every query in `members`,
+  // computing each entry's aggregate once per interval group.
+  auto expand_node = [&](TarTree::NodeId node_id,
+                         const std::vector<std::size_t>& members) {
+    const TarTree::Node& node = tree.node(node_id);
+    if (stats != nullptr) ++stats->rtree_node_reads;
+    // group id -> per-entry normalized aggregate complement s1.
+    std::unordered_map<std::size_t, std::vector<double>> s1_cache;
+    for (std::size_t qi : members) {
+      QueryState& qs = states[qi];
+      auto [it, inserted] = s1_cache.try_emplace(qs.group);
+      std::vector<double>& s1s = it->second;
+      if (inserted) {
+        s1s.reserve(node.entries.size());
+        for (const auto& e : node.entries) {
+          if (stats != nullptr) ++stats->entries_scanned;
+          auto agg = e.tia->Aggregate(qs.ctx.interval, stats);
+          double g = agg.ok() ? static_cast<double>(agg.ValueOrDie()) : 0.0;
+          s1s.push_back(1.0 - std::min(1.0, g / qs.ctx.gmax));
+        }
+      }
+      for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
+        const auto& e = node.entries[ei];
+        double s0 = MinDistToBox(qs.ctx.q, e.box) / qs.ctx.dmax;
+        double s1 = s1s[ei];
+        double score = qs.ctx.alpha0 * s0 + qs.ctx.alpha1 * s1;
+        if (node.is_leaf()) {
+          qs.queue.push(Item{score, true, e.poi, TarTree::kInvalidNodeId,
+                             s0 * qs.ctx.dmax,
+                             static_cast<std::int64_t>(std::llround(
+                                 (1.0 - s1) * qs.ctx.gmax))});
+        } else {
+          qs.queue.push(Item{score, false, kInvalidPoiId, e.child, 0.0, 0});
+        }
+      }
+    }
+  };
+
+  // All searches start at the root: one shared access.
+  std::vector<std::size_t> everyone(queries.size());
+  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  expand_node(tree.root(), everyone);
+
+  for (;;) {
+    // Eject POIs (no node accesses) until each front is an internal entry.
+    for (QueryState& qs : states) {
+      if (qs.done) continue;
+      while (!qs.queue.empty() && qs.out->size() < qs.k &&
+             qs.queue.top().is_poi) {
+        const Item& item = qs.queue.top();
+        qs.out->push_back(
+            KnntaResult{item.poi, item.score, item.dist, item.aggregate});
+        qs.queue.pop();
+      }
+      if (qs.out->size() >= qs.k || qs.queue.empty()) qs.done = true;
+    }
+
+    // Greedy sharing: fetch the node that is the front of the most queues.
+    std::unordered_map<TarTree::NodeId, std::vector<std::size_t>> fronts;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (!states[i].done) fronts[states[i].queue.top().node].push_back(i);
+    }
+    if (fronts.empty()) break;
+    auto best = fronts.begin();
+    for (auto it = fronts.begin(); it != fronts.end(); ++it) {
+      if (it->second.size() > best->second.size() ||
+          (it->second.size() == best->second.size() &&
+           it->first < best->first)) {
+        best = it;
+      }
+    }
+    for (std::size_t qi : best->second) states[qi].queue.pop();
+    expand_node(best->first, best->second);
+  }
+  return Status::OK();
+}
+
+}  // namespace tar

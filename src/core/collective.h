@@ -1,0 +1,32 @@
+// Collective processing of kNNTA query batches (Section 7.2).
+//
+// c queries run best-first search with c private priority queues, but node
+// accesses are shared: each round, the node that is the front entry of the
+// most queues is fetched once and consumed by all of them. Queries with the
+// same (aligned) time interval are grouped so the aggregate computation on
+// the TIAs in an accessed node is also shared.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+
+/// \brief Processes the batch one query at a time (the baseline).
+Status ProcessIndividually(const TarTree& tree,
+                           const std::vector<KnntaQuery>& queries,
+                           std::vector<std::vector<KnntaResult>>* results,
+                           AccessStats* stats = nullptr);
+
+/// \brief Processes the batch collectively, sharing node accesses and
+/// aggregate computations. Produces exactly the same per-query results as
+/// individual processing.
+Status ProcessCollectively(const TarTree& tree,
+                           const std::vector<KnntaQuery>& queries,
+                           std::vector<std::vector<KnntaResult>>* results,
+                           AccessStats* stats = nullptr);
+
+}  // namespace tar

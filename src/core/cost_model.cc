@@ -1,0 +1,138 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace tar {
+
+CostModel::CostModel(const CostModelParams& params)
+    : params_(params), law_(params.beta, params.xmin) {}
+
+double CostModel::ExpectedPoisOnLayer(std::int64_t x) const {
+  // x_max is the observed maximum aggregate, so the model's tail mass above
+  // it is folded into the bottom layer: P(X = x_max in the data) =
+  // P(X >= x_max under the fitted law).
+  if (x == params_.xmax) {
+    return static_cast<double>(params_.num_pois) * law_.Ccdf(x);
+  }
+  return static_cast<double>(params_.num_pois) * law_.Pmf(x);
+}
+
+double CostModel::LayerHeight(std::int64_t x) const {
+  return 1.0 - static_cast<double>(x) / static_cast<double>(params_.xmax);
+}
+
+double CostModel::CrossSectionRadius(double fpk, double alpha0, double h) {
+  double alpha1 = 1.0 - alpha0;
+  double r0 = fpk / alpha0;
+  double hl = fpk / alpha1;
+  if (h >= hl) return 0.0;
+  return (hl - h) / hl * r0;
+}
+
+double CostModel::ExpectedDiskSquareIntersection(double r) {
+  // Tao et al. (TKDE'04): for a query uniformly distributed in the unit
+  // square, E[S_{D(q,r) ∩ U}] ~= (sqrt(pi) r - pi r^2 / 4)^2, capped at 1.
+  const double sqrt_pi = std::sqrt(std::numbers::pi);
+  if (sqrt_pi * r >= 2.0) return 1.0;
+  double s = sqrt_pi * r - std::numbers::pi * r * r / 4.0;
+  return s * s;
+}
+
+double CostModel::ExpectedPoisInRegion(double fpk, double alpha0) const {
+  double sum = 0.0;
+  for (std::int64_t x = params_.xmin; x <= params_.xmax; ++x) {
+    double h = LayerHeight(x);
+    double rx = CrossSectionRadius(fpk, alpha0, h);
+    if (rx <= 0.0) continue;
+    sum += ExpectedPoisOnLayer(x) * ExpectedDiskSquareIntersection(rx);
+  }
+  return sum;
+}
+
+double CostModel::EstimateFpk(double alpha0, std::size_t k) const {
+  // The expected count grows monotonically with the budget: bisect.
+  double lo = 0.0;
+  double hi = std::max(alpha0 * std::numbers::sqrt2, 1.0 - alpha0) + 1.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    if (ExpectedPoisInRegion(mid, alpha0) < static_cast<double>(k)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+double CostModel::EstimateNodeAccessesGivenFpk(double alpha0,
+                                               double fpk) const {
+  const double f =
+      std::max(2.0, params_.fill_factor *
+                        static_cast<double>(params_.node_capacity));
+  double total = 0.0;
+  std::int64_t x = params_.xmin;  // top layer (smallest aggregate)
+  while (x <= params_.xmax) {
+    // Grow the band [x, y] downward until the nodes inside are roughly
+    // cubic: spatial extent S_y ~= band height hx - hy.
+    double hx = LayerHeight(x);
+    double n_band = 0.0;
+    std::int64_t y = x;
+    double sy = 0.0;
+    for (;; ++y) {
+      n_band += ExpectedPoisOnLayer(y);
+      double dh = hx - LayerHeight(y);
+      sy = (1.0 - 1.0 / f) *
+           std::sqrt(std::min(f / std::max(n_band, 1e-9), 1.0));
+      if (sy <= dh || y == params_.xmax) break;
+    }
+
+    if (n_band > 0.0) {
+      // Cross-section radius at the band's bottom layer.
+      double ry = CrossSectionRadius(fpk, alpha0, LayerHeight(y));
+      // Minkowski sum of the node square (side sy) and the disk D(q, ry),
+      // expressed as the side of an equivalent square: L_y^2 =
+      // sum_{i=0..2} C(2,i) sy^{2-i} pi^{i/2}/Gamma(i/2+1) ry^i
+      //            = sy^2 + 4 sy ry + pi ry^2.
+      double ly2 = sy * sy + 4.0 * sy * ry + std::numbers::pi * ry * ry;
+      double ly = std::sqrt(ly2);
+      double py;
+      if (ly + sy < 2.0 && sy < 1.0) {
+        double v = (4.0 * ly - (ly + sy) * (ly + sy)) / (4.0 * (1.0 - sy));
+        py = std::clamp(v * v, 0.0, 1.0);
+      } else {
+        py = 1.0;
+      }
+      total += n_band / f * py;
+    }
+    x = y + 1;
+  }
+  return total;
+}
+
+double CostModel::EstimateNodeAccesses(double alpha0, std::size_t k) const {
+  return EstimateNodeAccessesGivenFpk(alpha0, EstimateFpk(alpha0, k));
+}
+
+CostModelParams FitCostModel(const std::vector<std::int64_t>& aggregates,
+                             std::size_t node_capacity) {
+  CostModelParams params;
+  params.node_capacity = node_capacity;
+  params.num_pois = aggregates.size();
+  PowerLawFit fit = FitPowerLaw(aggregates);
+  params.beta = fit.beta;
+  std::int64_t lo = INT64_MAX;
+  std::int64_t hi = 1;
+  for (std::int64_t a : aggregates) {
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  // Omega: the minimum aggregate value among the indexed POIs; the fitted
+  // x-hat-min often sits above it, but the layer sum starts at Omega.
+  params.xmin = std::max<std::int64_t>(1, lo == INT64_MAX ? 1 : lo);
+  params.xmax = hi;
+  return params;
+}
+
+}  // namespace tar

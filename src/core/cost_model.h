@@ -1,0 +1,76 @@
+// Cost analysis of kNNTA query processing on the TAR-tree (Section 6).
+//
+// The aggregate values of the POIs follow a discrete power law, so in the
+// normalized 3-D unit cube the POIs lie on countably many horizontal layers
+// (one per aggregate value x, at height 1 - x/x_max). The search region is
+// a cone whose base radius and height are fixed by the score of the k-th
+// POI, f(pk). The model (i) estimates f(pk) by filling the cone with k
+// expected POIs, layer by layer, with boundary effects, and (ii) estimates
+// the number of leaf-node accesses by cutting the cube into bands of
+// near-cubic nodes and applying a Minkowski-sum intersection probability
+// per band. It doubles as a cost model for query optimization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/powerlaw.h"
+
+namespace tar {
+
+/// \brief Parameters of the analytical model.
+struct CostModelParams {
+  double beta = 2.5;             ///< fitted power-law exponent
+  std::int64_t xmin = 1;         ///< minimum aggregate value (Omega)
+  std::int64_t xmax = 100;       ///< maximum aggregate value (layer 0)
+  std::size_t num_pois = 10000;  ///< N
+  std::size_t node_capacity = 36;
+  double fill_factor = 0.69;     ///< fanout = fill_factor * capacity
+};
+
+/// \brief Section 6 estimator.
+class CostModel {
+ public:
+  explicit CostModel(const CostModelParams& params);
+
+  /// Expected number of POIs with aggregate value exactly x (N(x)).
+  double ExpectedPoisOnLayer(std::int64_t x) const;
+
+  /// Height of layer x in the unit cube: 1 - x / x_max.
+  double LayerHeight(std::int64_t x) const;
+
+  /// Expected number of POIs inside the search region of score budget fpk,
+  /// accounting for boundary effects (Section 6.2).
+  double ExpectedPoisInRegion(double fpk, double alpha0) const;
+
+  /// Estimate of f(pk): the smallest score budget whose search region is
+  /// expected to contain k POIs (solved by bisection; the count is
+  /// monotone in the budget).
+  double EstimateFpk(double alpha0, std::size_t k) const;
+
+  /// Expected number of leaf-node accesses NA(alpha, k) (Section 6.3).
+  double EstimateNodeAccesses(double alpha0, std::size_t k) const;
+
+  /// Same, but with f(pk) supplied (e.g. a measured value).
+  double EstimateNodeAccessesGivenFpk(double alpha0, double fpk) const;
+
+  const CostModelParams& params() const { return params_; }
+
+  /// Radius of the cone cross-section at height h (0 above the cone).
+  static double CrossSectionRadius(double fpk, double alpha0, double h);
+
+  /// E[area of D(q, r) ∩ unit square] for a uniformly placed query
+  /// (boundary-effect approximation of Section 6.2).
+  static double ExpectedDiskSquareIntersection(double r);
+
+ private:
+  CostModelParams params_;
+  PowerLaw law_;
+};
+
+/// Convenience: fit the model parameters from the aggregate values of the
+/// indexed POIs (one value per POI over a reference interval).
+CostModelParams FitCostModel(const std::vector<std::int64_t>& aggregates,
+                             std::size_t node_capacity);
+
+}  // namespace tar

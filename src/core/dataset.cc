@@ -1,0 +1,68 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+namespace tar {
+
+void Dataset::ComputeBounds() {
+  bounds = Box2();
+  for (const Poi& p : pois) {
+    bounds.Extend(Box2::FromPoint({p.pos.x, p.pos.y}));
+  }
+}
+
+Dataset Dataset::SnapshotUntil(Timestamp t) const {
+  Dataset snap;
+  snap.name = name;
+  snap.pois = pois;
+  snap.bounds = bounds;
+  snap.t_end = t;
+  snap.checkins.reserve(checkins.size());
+  for (const CheckIn& c : checkins) {
+    if (c.time <= t) snap.checkins.push_back(c);
+  }
+  return snap;
+}
+
+std::int64_t EpochCounts::Total(PoiId poi) const {
+  std::int64_t sum = 0;
+  for (std::int32_t c : counts[poi]) sum += c;
+  return sum;
+}
+
+std::int64_t EpochCounts::SumRange(PoiId poi, std::int64_t first,
+                                   std::int64_t last) const {
+  const auto& v = counts[poi];
+  std::int64_t sum = 0;
+  std::int64_t hi = std::min<std::int64_t>(last, (std::int64_t)v.size() - 1);
+  for (std::int64_t e = std::max<std::int64_t>(first, 0); e <= hi; ++e) {
+    sum += v[e];
+  }
+  return sum;
+}
+
+EpochCounts BuildEpochCounts(const Dataset& data, const EpochGrid& grid) {
+  EpochCounts out;
+  out.grid = grid;
+  out.num_epochs = grid.NumEpochs(data.t_end);
+  out.counts.resize(data.pois.size());
+  for (const CheckIn& c : data.checkins) {
+    if (c.time > data.t_end) continue;
+    std::int64_t e = grid.EpochOf(c.time);
+    auto& v = out.counts[c.poi];
+    if ((std::int64_t)v.size() <= e) v.resize(e + 1, 0);
+    ++v[e];
+  }
+  return out;
+}
+
+std::vector<PoiId> EffectivePois(const EpochCounts& counts,
+                                 std::int64_t min_checkins) {
+  std::vector<PoiId> out;
+  for (PoiId id = 0; id < counts.counts.size(); ++id) {
+    if (counts.Total(id) >= min_checkins) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace tar

@@ -1,0 +1,69 @@
+// POI / check-in data model shared by the index, generators and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/time_types.h"
+
+namespace tar {
+
+using PoiId = std::uint32_t;
+constexpr PoiId kInvalidPoiId = 0xFFFFFFFFu;
+
+/// \brief A point of interest (club, restaurant, attraction, ...).
+struct Poi {
+  PoiId id = kInvalidPoiId;
+  Vec2 pos;
+};
+
+/// \brief One visit / like / photo at a POI ("check-in" in the paper).
+struct CheckIn {
+  PoiId poi = kInvalidPoiId;
+  Timestamp time = 0;
+};
+
+/// \brief An LBSN data set: POIs plus a time-ordered check-in stream.
+struct Dataset {
+  std::string name;
+  std::vector<Poi> pois;
+  std::vector<CheckIn> checkins;  ///< sorted by time
+  Box2 bounds;                    ///< spatial extent of the POIs
+  Timestamp t_end = 0;            ///< tc, the end of the observed period
+
+  /// Recomputes `bounds` from the POIs.
+  void ComputeBounds();
+
+  /// Keeps only check-ins with time <= t (POIs are kept; a snapshot of the
+  /// LBSN as of time t, used by the growth experiments).
+  Dataset SnapshotUntil(Timestamp t) const;
+};
+
+/// \brief Per-POI, per-epoch check-in counts for one data set.
+///
+/// counts[poi][e] is the number of check-ins of `poi` in epoch e. The outer
+/// vector is indexed by PoiId; the inner vectors run up to the last epoch in
+/// which the POI had a check-in (trailing zero epochs are not stored).
+struct EpochCounts {
+  EpochGrid grid;
+  std::int64_t num_epochs = 0;  ///< number of epochs covering [t0, t_end]
+  std::vector<std::vector<std::int32_t>> counts;
+
+  /// Total check-ins of one POI.
+  std::int64_t Total(PoiId poi) const;
+
+  /// Sum over the epoch index range [first, last] (both inclusive).
+  std::int64_t SumRange(PoiId poi, std::int64_t first, std::int64_t last) const;
+};
+
+/// Counts check-ins per (POI, epoch) for the whole data set.
+EpochCounts BuildEpochCounts(const Dataset& data, const EpochGrid& grid);
+
+/// Ids of POIs with at least `min_checkins` check-ins in `counts` — the
+/// paper indexes only such "effective public POIs".
+std::vector<PoiId> EffectivePois(const EpochCounts& counts,
+                                 std::int64_t min_checkins);
+
+}  // namespace tar

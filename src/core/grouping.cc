@@ -1,0 +1,274 @@
+// Entry grouping strategies (Section 5): R*-style ChooseSubtree and split
+// for the spatial and integral-3D strategies (differing only in how many
+// box dimensions participate), and distribution-distance grouping for
+// IND-agg.
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/tar_tree.h"
+
+namespace tar {
+
+const char* ToString(GroupingStrategy s) {
+  switch (s) {
+    case GroupingStrategy::kSpatial:
+      return "IND-spa";
+    case GroupingStrategy::kAggregate:
+      return "IND-agg";
+    case GroupingStrategy::kIntegral3D:
+      return "TAR-tree";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Manhattan distance between two per-epoch aggregate distributions;
+/// missing trailing epochs count as zero.
+double DistributionDistance(const std::vector<std::int32_t>& a,
+                            const std::vector<std::int32_t>& b) {
+  double d = 0.0;
+  std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    double av = i < a.size() ? a[i] : 0;
+    double bv = i < b.size() ? b[i] : 0;
+    d += std::abs(av - bv);
+  }
+  return d;
+}
+
+Box3 UnionOf(const std::vector<Box3>& boxes,
+             const std::vector<std::size_t>& idx, std::size_t first,
+             std::size_t last) {
+  Box3 b;
+  for (std::size_t i = first; i < last; ++i) b.Extend(boxes[idx[i]]);
+  return b;
+}
+
+}  // namespace
+
+Box3 TarTree::NormalizedForGrouping(const Box3& box) const {
+  const Box2& space = options_.space;
+  Box3 out = box;
+  for (std::size_t dim = 0; dim < 2; ++dim) {
+    double lo = space.empty() ? 0.0 : space.lo[dim];
+    double extent = space.empty() ? 1.0 : space.Extent(dim);
+    if (extent <= 0.0) extent = 1.0;
+    out.lo[dim] = (box.lo[dim] - lo) / extent;
+    out.hi[dim] = (box.hi[dim] - lo) / extent;
+  }
+  return out;  // the z dimension is already normalized to [0, 1]
+}
+
+std::size_t TarTree::ChooseSubtree(const Node& node, const Box3& box) const {
+  const std::size_t dims = options_.GroupingDims();
+  const bool points_to_leaves = node.level == 1;
+  std::size_t best = 0;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+
+  Box3 nbox = NormalizedForGrouping(box);
+  std::vector<Box3> nentries(node.entries.size());
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    nentries[i] = NormalizedForGrouping(node.entries[i].box);
+  }
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    const Box3& ebox = nentries[i];
+    Box3 enlarged = Box3::Union(ebox, nbox);
+    double area = ebox.Area(dims);
+    double enlargement = enlarged.Area(dims) - area;
+
+    double primary;
+    if (points_to_leaves) {
+      // R*: minimize overlap enlargement with the sibling entries.
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (std::size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += ebox.OverlapArea(nentries[j], dims);
+        overlap_after += enlarged.OverlapArea(nentries[j], dims);
+      }
+      primary = overlap_after - overlap_before;
+    } else {
+      primary = enlargement;
+    }
+    double secondary = points_to_leaves ? enlargement : area;
+    double tertiary = area;
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary) ||
+        (primary == best_primary && secondary == best_secondary &&
+         tertiary < best_area)) {
+      best = i;
+      best_primary = primary;
+      best_secondary = secondary;
+      best_area = tertiary;
+    }
+  }
+  return best;
+}
+
+std::size_t TarTree::ChooseSubtreeByDistribution(
+    const Node& node, const std::vector<std::int32_t>& distvec) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    double d = DistributionDistance(node.entries[i].distvec, distvec);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void TarTree::SplitEntries(std::vector<Entry> entries,
+                           std::vector<Entry>* left,
+                           std::vector<Entry>* right) const {
+  if (options_.strategy == GroupingStrategy::kAggregate) {
+    SplitEntriesByDistribution(&entries, left, right);
+  } else {
+    SplitEntriesRStar(&entries, left, right);
+  }
+}
+
+void TarTree::SplitEntriesRStar(std::vector<Entry>* entries,
+                                std::vector<Entry>* left,
+                                std::vector<Entry>* right) const {
+  const std::size_t dims = options_.GroupingDims();
+  const std::size_t n = entries->size();
+  const std::size_t m = std::max<std::size_t>(1, min_fill_);
+
+  std::vector<Box3> nboxes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nboxes[i] = NormalizedForGrouping((*entries)[i].box);
+  }
+
+  // Choose the split axis: the one minimizing the total margin over all
+  // (sort order, split position) distributions.
+  std::size_t best_axis = 0;
+  bool best_axis_by_hi = false;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  for (std::size_t axis = 0; axis < dims; ++axis) {
+    for (bool by_hi : {false, true}) {
+      std::vector<std::size_t> idx(n);
+      std::iota(idx.begin(), idx.end(), 0);
+      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return by_hi ? nboxes[a].hi[axis] < nboxes[b].hi[axis]
+                     : nboxes[a].lo[axis] < nboxes[b].lo[axis];
+      });
+      double margin_sum = 0.0;
+      for (std::size_t k = m; k + m <= n; ++k) {
+        margin_sum += UnionOf(nboxes, idx, 0, k).Margin(dims) +
+                      UnionOf(nboxes, idx, k, n).Margin(dims);
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_hi = by_hi;
+      }
+    }
+  }
+
+  // On the chosen axis, pick the distribution with the least overlap
+  // (ties: least total area).
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return best_axis_by_hi ? nboxes[a].hi[best_axis] < nboxes[b].hi[best_axis]
+                           : nboxes[a].lo[best_axis] < nboxes[b].lo[best_axis];
+  });
+  std::size_t best_k = m;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (std::size_t k = m; k + m <= n; ++k) {
+    Box3 a = UnionOf(nboxes, idx, 0, k);
+    Box3 b = UnionOf(nboxes, idx, k, n);
+    double overlap = a.OverlapArea(b, dims);
+    double area = a.Area(dims) + b.Area(dims);
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_k = k;
+    }
+  }
+
+  left->clear();
+  right->clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    Entry& e = (*entries)[idx[i]];
+    if (i < best_k) {
+      left->push_back(std::move(e));
+    } else {
+      right->push_back(std::move(e));
+    }
+  }
+}
+
+void TarTree::SplitEntriesByDistribution(std::vector<Entry>* entries,
+                                         std::vector<Entry>* left,
+                                         std::vector<Entry>* right) const {
+  const std::size_t n = entries->size();
+  const std::size_t m = std::max<std::size_t>(1, min_fill_);
+
+  // Seeds: the pair with the largest distribution distance (so the two new
+  // nodes end up as far apart as possible).
+  std::size_t seed_a = 0;
+  std::size_t seed_b = 1 % n;
+  double best = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double d = DistributionDistance((*entries)[i].distvec,
+                                      (*entries)[j].distvec);
+      if (d > best) {
+        best = d;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  // Order the remaining entries by their affinity difference and assign to
+  // the closer seed, reserving space so both sides reach the minimum fill.
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(i);
+  }
+  std::vector<double> pref(n, 0.0);
+  for (std::size_t i : rest) {
+    pref[i] = DistributionDistance((*entries)[i].distvec,
+                                   (*entries)[seed_a].distvec) -
+              DistributionDistance((*entries)[i].distvec,
+                                   (*entries)[seed_b].distvec);
+  }
+  std::sort(rest.begin(), rest.end(),
+            [&](std::size_t a, std::size_t b) { return pref[a] < pref[b]; });
+
+  std::vector<std::size_t> group_a{seed_a};
+  std::vector<std::size_t> group_b{seed_b};
+  for (std::size_t r = 0; r < rest.size(); ++r) {
+    std::size_t i = rest[r];
+    bool to_a = pref[i] < 0.0;
+    // Force the assignment when one group would otherwise starve.
+    std::size_t remaining = rest.size() - r;
+    if (group_a.size() + remaining <= m) {
+      to_a = true;
+    } else if (group_b.size() + remaining <= m) {
+      to_a = false;
+    } else if (group_a.size() >= n - m) {
+      to_a = false;
+    } else if (group_b.size() >= n - m) {
+      to_a = true;
+    }
+    (to_a ? group_a : group_b).push_back(i);
+  }
+
+  left->clear();
+  right->clear();
+  for (std::size_t i : group_a) left->push_back(std::move((*entries)[i]));
+  for (std::size_t i : group_b) right->push_back(std::move((*entries)[i]));
+}
+
+}  // namespace tar

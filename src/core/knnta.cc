@@ -1,0 +1,169 @@
+// kNNTA query processing: best-first search over the TAR-tree (Section
+// 4.3). The priority of an entry is its ranking score f(e); Property 1
+// guarantees f(e) <= f(e_c) for every child, so the first k POIs ejected
+// from the queue are exactly the query answer.
+#include <cmath>
+#include <queue>
+
+#include "core/tar_tree.h"
+
+namespace tar {
+
+TarTree::QueryContext TarTree::MakeContext(const KnntaQuery& query,
+                                           AccessStats* stats) const {
+  QueryContext ctx;
+  ctx.q = query.point;
+  ctx.interval = options_.grid.AlignOutward(query.interval);
+  ctx.alpha0 = query.alpha0;
+  ctx.alpha1 = 1.0 - query.alpha0;
+
+  Box2 space = options_.space;
+  if (space.empty() && root_ != kInvalidNodeId) {
+    Box3 rb = NodeBox(*nodes_[root_]);
+    space.lo = {rb.lo[0], rb.lo[1]};
+    space.hi = {rb.hi[0], rb.hi[1]};
+  }
+  ctx.dmax = std::hypot(space.Extent(0), space.Extent(1));
+  if (ctx.dmax <= 0.0) ctx.dmax = 1.0;
+
+  std::int64_t gmax = MaxAggregate(ctx.interval, stats);
+  ctx.gmax = gmax > 0 ? static_cast<double>(gmax) : 1.0;
+  return ctx;
+}
+
+std::int64_t TarTree::MaxAggregate(const TimeInterval& iq,
+                                   AccessStats* stats) const {
+  if (root_ == kInvalidNodeId) return 0;
+  // Best-first on the aggregate upper bound: a leaf entry's aggregate is
+  // exact, so the first POI popped is the maximum.
+  struct AggItem {
+    std::int64_t bound;
+    bool is_poi;
+    NodeId node;
+
+    bool operator<(const AggItem& o) const {
+      if (bound != o.bound) return bound < o.bound;
+      if (is_poi != o.is_poi) return !is_poi;  // POIs first on ties
+      return node < o.node;
+    }
+  };
+  std::priority_queue<AggItem> queue;
+  auto push_entries = [&](NodeId node_id) {
+    const Node& node = *nodes_[node_id];
+    if (stats != nullptr) {
+      ++stats->rtree_node_reads;
+      if (node.is_leaf()) ++stats->rtree_leaf_reads;
+    }
+    for (const Entry& e : node.entries) {
+      if (stats != nullptr) ++stats->entries_scanned;
+      auto agg = e.tia->Aggregate(iq, stats);
+      std::int64_t bound = agg.ok() ? agg.ValueOrDie() : 0;
+      queue.push(AggItem{bound, node.is_leaf(), e.child});
+    }
+  };
+  push_entries(root_);
+  while (!queue.empty()) {
+    AggItem item = queue.top();
+    queue.pop();
+    if (item.is_poi || item.bound == 0) return item.bound;
+    push_entries(item.node);
+  }
+  return 0;
+}
+
+void TarTree::EntryComponents(const Entry& entry, const QueryContext& ctx,
+                              double* s0, double* s1,
+                              AccessStats* stats) const {
+  *s0 = MinDistToBox(ctx.q, entry.box) / ctx.dmax;
+  auto agg = entry.tia->Aggregate(ctx.interval, stats);
+  double g = agg.ok() ? static_cast<double>(agg.ValueOrDie()) : 0.0;
+  *s1 = 1.0 - std::min(1.0, g / ctx.gmax);
+}
+
+double TarTree::EntryScore(const Entry& entry, const QueryContext& ctx,
+                           AccessStats* stats) const {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  EntryComponents(entry, ctx, &s0, &s1, stats);
+  return ctx.alpha0 * s0 + ctx.alpha1 * s1;
+}
+
+namespace {
+
+/// One best-first queue element: either a POI (exact score) or a child
+/// node reached through an internal entry (lower-bound score).
+struct QueueItem {
+  double score;
+  bool is_poi;
+  PoiId poi;
+  TarTree::NodeId node;
+  double dist;           // POIs only: unnormalized spatial distance
+  std::int64_t aggregate;  // POIs only: aggregate over the interval
+
+  /// Min-heap by score; POIs first on ties so the search can terminate.
+  bool operator>(const QueueItem& o) const {
+    if (score != o.score) return score > o.score;
+    if (is_poi != o.is_poi) return !is_poi;
+    return is_poi ? poi > o.poi : node > o.node;
+  }
+};
+
+}  // namespace
+
+Status TarTree::Query(const KnntaQuery& query,
+                      std::vector<KnntaResult>* results,
+                      AccessStats* stats) const {
+  results->clear();
+  if (query.k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.alpha0 <= 0.0 || query.alpha0 >= 1.0) {
+    return Status::InvalidArgument("alpha0 must be in (0, 1)");
+  }
+  if (!query.interval.Valid()) {
+    return Status::InvalidArgument("invalid query interval");
+  }
+  if (root_ == kInvalidNodeId) return Status::OK();
+
+  QueryContext ctx = MakeContext(query, stats);
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      queue;
+
+  auto push_node_entries = [&](NodeId node_id) {
+    const Node& node = *nodes_[node_id];
+    if (stats != nullptr) {
+      ++stats->rtree_node_reads;
+      if (node.is_leaf()) ++stats->rtree_leaf_reads;
+    }
+    for (const Entry& e : node.entries) {
+      if (stats != nullptr) ++stats->entries_scanned;
+      double s0 = 0.0;
+      double s1 = 0.0;
+      EntryComponents(e, ctx, &s0, &s1, stats);
+      double score = ctx.alpha0 * s0 + ctx.alpha1 * s1;
+      if (node.is_leaf()) {
+        queue.push(QueueItem{score, true, e.poi, kInvalidNodeId,
+                             s0 * ctx.dmax,
+                             static_cast<std::int64_t>(
+                                 std::llround((1.0 - s1) * ctx.gmax))});
+      } else {
+        queue.push(QueueItem{score, false, kInvalidPoiId, e.child, 0.0, 0});
+      }
+    }
+  };
+
+  push_node_entries(root_);
+  while (!queue.empty() && results->size() < query.k) {
+    QueueItem item = queue.top();
+    queue.pop();
+    if (item.is_poi) {
+      results->push_back(
+          KnntaResult{item.poi, item.score, item.dist, item.aggregate});
+    } else {
+      push_node_entries(item.node);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tar

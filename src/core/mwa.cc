@@ -1,0 +1,248 @@
+#include "core/mwa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace tar {
+
+std::optional<double> CrossoverWeight(const ScoredPoi& i,
+                                      const ScoredPoi& j) {
+  double d0 = i.s0 - j.s0;
+  double d1 = i.s1 - j.s1;
+  if (d0 * d1 >= 0.0) return std::nullopt;  // i dominates j (or ties)
+  return d1 / (d1 - d0);
+}
+
+std::vector<ScoredPoi> Skyline(std::vector<ScoredPoi> points) {
+  // Sort by s0 then s1; sweep keeping the strictly decreasing s1 frontier.
+  std::sort(points.begin(), points.end(),
+            [](const ScoredPoi& a, const ScoredPoi& b) {
+              if (a.s0 != b.s0) return a.s0 < b.s0;
+              return a.s1 < b.s1;
+            });
+  std::vector<ScoredPoi> sky;
+  double best_s1 = std::numeric_limits<double>::infinity();
+  for (const ScoredPoi& p : points) {
+    if (p.s1 < best_s1) {
+      sky.push_back(p);
+      best_s1 = p.s1;
+    }
+  }
+  return sky;
+}
+
+std::vector<ScoredPoi> ReversedSkyline(std::vector<ScoredPoi> points) {
+  for (ScoredPoi& p : points) {
+    p.s0 = -p.s0;
+    p.s1 = -p.s1;
+  }
+  std::vector<ScoredPoi> sky = Skyline(std::move(points));
+  for (ScoredPoi& p : sky) {
+    p.s0 = -p.s0;
+    p.s1 = -p.s1;
+  }
+  return sky;
+}
+
+void AccumulateMwa(const std::vector<ScoredPoi>& top,
+                   const std::vector<ScoredPoi>& rest, double alpha0,
+                   MwaResult* out) {
+  for (const ScoredPoi& i : top) {
+    for (const ScoredPoi& j : rest) {
+      auto gamma = CrossoverWeight(i, j);
+      if (!gamma.has_value()) continue;
+      double d0 = i.s0 - j.s0;
+      if (d0 < 0.0) {
+        // Decreasing the weight below gamma flips the pair.
+        if (*gamma < alpha0 &&
+            (!out->lower.has_value() || *gamma > *out->lower)) {
+          out->lower = *gamma;
+        }
+      } else if (d0 > 0.0) {
+        if (*gamma > alpha0 &&
+            (!out->upper.has_value() || *gamma < *out->upper)) {
+          out->upper = *gamma;
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Exact components of every top-k POI of `query`.
+Status TopKComponents(const TarTree& tree, const KnntaQuery& query,
+                      const TarTree::QueryContext& ctx,
+                      std::vector<ScoredPoi>* top, AccessStats* stats) {
+  std::vector<KnntaResult> results;
+  TAR_RETURN_NOT_OK(tree.Query(query, &results, stats));
+  top->clear();
+  for (const KnntaResult& r : results) {
+    double s0 = r.dist / ctx.dmax;
+    double s1 =
+        1.0 - std::min(1.0, static_cast<double>(r.aggregate) / ctx.gmax);
+    top->push_back(ScoredPoi{r.poi, s0, s1});
+  }
+  return Status::OK();
+}
+
+struct BbsItem {
+  double key;  // s0 + s1 lower bound (mindist in the component space)
+  bool is_poi;
+  PoiId poi;
+  TarTree::NodeId node;
+  double s0;
+  double s1;
+
+  bool operator>(const BbsItem& o) const {
+    if (key != o.key) return key > o.key;
+    if (is_poi != o.is_poi) return !is_poi;
+    return is_poi ? poi > o.poi : node > o.node;
+  }
+};
+
+bool SkyDominates(const std::vector<ScoredPoi>& sky, double s0, double s1) {
+  // Non-strict on ties: exact duplicates are deduplicated, matching
+  // Skyline(); a duplicate contributes no new crossover weight.
+  for (const ScoredPoi& p : sky) {
+    if (p.s0 <= s0 && p.s1 <= s1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
+                   const std::vector<PoiId>& exclude,
+                   std::vector<ScoredPoi>* out, AccessStats* stats) {
+  out->clear();
+  if (tree.empty()) return Status::OK();
+
+  std::priority_queue<BbsItem, std::vector<BbsItem>, std::greater<BbsItem>>
+      queue;
+  auto push_entries = [&](TarTree::NodeId node_id) {
+    const TarTree::Node& node = tree.node(node_id);
+    if (stats != nullptr) ++stats->rtree_node_reads;
+    for (const auto& e : node.entries) {
+      if (stats != nullptr) ++stats->entries_scanned;
+      double s0 = 0.0;
+      double s1 = 0.0;
+      tree.EntryComponents(e, ctx, &s0, &s1, stats);
+      if (node.is_leaf()) {
+        if (std::binary_search(exclude.begin(), exclude.end(), e.poi)) {
+          continue;
+        }
+        queue.push(BbsItem{s0 + s1, true, e.poi, TarTree::kInvalidNodeId,
+                           s0, s1});
+      } else {
+        queue.push(BbsItem{s0 + s1, false, kInvalidPoiId, e.child, s0, s1});
+      }
+    }
+  };
+
+  push_entries(tree.root());
+  while (!queue.empty()) {
+    BbsItem item = queue.top();
+    queue.pop();
+    if (SkyDominates(*out, item.s0, item.s1)) continue;
+    if (item.is_poi) {
+      out->push_back(ScoredPoi{item.poi, item.s0, item.s1});
+    } else {
+      push_entries(item.node);
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const ScoredPoi& a, const ScoredPoi& b) {
+              return a.s0 < b.s0;
+            });
+  return Status::OK();
+}
+
+Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
+                             MwaResult* out, AccessStats* stats) {
+  *out = MwaResult{};
+  TarTree::QueryContext ctx = tree.MakeContext(query, stats);
+  std::vector<ScoredPoi> top;
+  TAR_RETURN_NOT_OK(TopKComponents(tree, query, ctx, &top, stats));
+  if (top.empty()) return Status::OK();
+  std::vector<PoiId> top_ids;
+  for (const ScoredPoi& p : top) top_ids.push_back(p.poi);
+  std::sort(top_ids.begin(), top_ids.end());
+
+  // For each top-k POI, traverse the tree skipping everything it dominates
+  // (the only pruning the baseline has), folding in each surviving lower-
+  // ranked POI.
+  for (const ScoredPoi& p : top) {
+    std::vector<TarTree::NodeId> stack{tree.root()};
+    while (!stack.empty()) {
+      const TarTree::Node& node = tree.node(stack.back());
+      stack.pop_back();
+      if (stats != nullptr) ++stats->rtree_node_reads;
+      for (const auto& e : node.entries) {
+        if (stats != nullptr) ++stats->entries_scanned;
+        double s0 = 0.0;
+        double s1 = 0.0;
+        tree.EntryComponents(e, ctx, &s0, &s1, stats);
+        // p dominates the (lower bounds of the) entry: no child can flip
+        // with p.
+        if (p.s0 <= s0 && p.s1 <= s1) continue;
+        if (node.is_leaf()) {
+          if (std::binary_search(top_ids.begin(), top_ids.end(), e.poi)) {
+            continue;
+          }
+          AccumulateMwa({p}, {ScoredPoi{e.poi, s0, s1}}, query.alpha0, out);
+        } else {
+          stack.push_back(e.child);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
+                          std::size_t steps, bool increase,
+                          std::vector<double>* boundaries,
+                          AccessStats* stats) {
+  boundaries->clear();
+  KnntaQuery q = query;
+  for (std::size_t step = 0; step < steps; ++step) {
+    MwaResult mwa;
+    TAR_RETURN_NOT_OK(ComputeMwaPruning(tree, q, &mwa, stats));
+    auto gamma = increase ? mwa.upper : mwa.lower;
+    if (!gamma.has_value()) break;
+    boundaries->push_back(*gamma);
+    // Step just past the boundary for the next round; stop when the weight
+    // leaves the valid open interval (0, 1).
+    double eps = 1e-9 * std::max(1.0, std::abs(*gamma));
+    double next = increase ? *gamma + eps : *gamma - eps;
+    if (next <= 0.0 || next >= 1.0) break;
+    q.alpha0 = next;
+  }
+  return Status::OK();
+}
+
+Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
+                         MwaResult* out, AccessStats* stats) {
+  *out = MwaResult{};
+  TarTree::QueryContext ctx = tree.MakeContext(query, stats);
+  std::vector<ScoredPoi> top;
+  TAR_RETURN_NOT_OK(TopKComponents(tree, query, ctx, &top, stats));
+  if (top.empty()) return Status::OK();
+
+  std::vector<PoiId> top_ids;
+  for (const ScoredPoi& p : top) top_ids.push_back(p.poi);
+  std::sort(top_ids.begin(), top_ids.end());
+
+  // (i) the reversed-dominance skyline of the top-k results (no node
+  // accesses: the components are already known), (ii) the skyline of the
+  // lower-ranked POIs via BBS on the tree, (iii) the pairwise crossovers.
+  std::vector<ScoredPoi> top_sky = ReversedSkyline(top);
+  std::vector<ScoredPoi> rest_sky;
+  TAR_RETURN_NOT_OK(TreeSkyline(tree, ctx, top_ids, &rest_sky, stats));
+  AccumulateMwa(top_sky, rest_sky, query.alpha0, out);
+  return Status::OK();
+}
+
+}  // namespace tar

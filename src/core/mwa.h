@@ -1,0 +1,90 @@
+// Minimum weight adjustment (Section 7.1).
+//
+// Users exploring results may change the weight alpha0; the MWA is the
+// smallest adjustment (on either side of the current weight) that changes
+// the set of top-k POIs. For a top-k POI p_i and a lower-ranked p_j with
+// delta_t = s_{i,t} - s_{j,t}, the crossover weight is
+//     gamma_{i,j} = delta_1 / (delta_1 - delta_0)       (delta_0*delta_1<0)
+// and the MWA is Gamma_l = max{gamma : delta_0 < 0} (below alpha0) and
+// Gamma_u = min{gamma : delta_0 > 0} (above alpha0).
+//
+// Two algorithms are provided: the straightforward `enumerating` baseline
+// (one dominance-pruned traversal per top-k POI) and the paper's `pruning`
+// algorithm, which reduces the candidates to (i) the reversed-dominance
+// skyline of the top-k POIs and (ii) the skyline of the lower-ranked POIs,
+// computed with a BBS-style traversal of the TAR-tree.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+
+/// \brief The minimum weight adjustments around the current alpha0.
+struct MwaResult {
+  /// Largest crossover weight below alpha0, if any result change is
+  /// reachable by decreasing the weight.
+  std::optional<double> lower;
+  /// Smallest crossover weight above alpha0.
+  std::optional<double> upper;
+
+  friend bool operator==(const MwaResult&, const MwaResult&) = default;
+};
+
+/// \brief A POI with its two normalized score components.
+struct ScoredPoi {
+  PoiId poi = kInvalidPoiId;
+  double s0 = 0.0;  ///< normalized spatial distance
+  double s1 = 0.0;  ///< normalized aggregate complement
+};
+
+/// Crossover weight of the pair (i, j); nullopt when i dominates j (the
+/// order can then never flip).
+std::optional<double> CrossoverWeight(const ScoredPoi& i, const ScoredPoi& j);
+
+/// Skyline of `points` under minimizing dominance (a point survives if no
+/// other point is <= in both components and < in one). Exact component
+/// ties are deduplicated: one representative survives.
+std::vector<ScoredPoi> Skyline(std::vector<ScoredPoi> points);
+
+/// Skyline under maximizing (reversed) dominance.
+std::vector<ScoredPoi> ReversedSkyline(std::vector<ScoredPoi> points);
+
+/// Folds the crossover weights of all pairs (top[i], rest[j]) into `out`.
+void AccumulateMwa(const std::vector<ScoredPoi>& top,
+                   const std::vector<ScoredPoi>& rest, double alpha0,
+                   MwaResult* out);
+
+/// \brief MWA by the enumerating baseline: for each top-k POI, continue the
+/// best-first search over the whole tree, skipping subtrees it dominates.
+Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
+                             MwaResult* out, AccessStats* stats = nullptr);
+
+/// \brief MWA by the pruning algorithm (two skylines).
+Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
+                         MwaResult* out, AccessStats* stats = nullptr);
+
+/// \brief Successive weight boundaries in one direction (the extension the
+/// paper sketches: adjustments that change multiple top-k POIs).
+///
+/// boundaries[0] is the MWA; crossing boundaries[i] changes the (i+1)-th
+/// POI relative to the original result set. Stops early when no further
+/// change is reachable. `increase` selects the direction of adjustment.
+Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
+                          std::size_t steps, bool increase,
+                          std::vector<double>* boundaries,
+                          AccessStats* stats = nullptr);
+
+/// BBS (branch-and-bound skyline, Papadias et al.) over the TAR-tree in the
+/// (s0, s1) component space of `ctx`, excluding the POIs in `exclude`
+/// (sorted). Exposed for tests; the TAR-tree supports skyline queries as a
+/// byproduct of its R-tree structure.
+Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
+                   const std::vector<PoiId>& exclude,
+                   std::vector<ScoredPoi>* out, AccessStats* stats = nullptr);
+
+}  // namespace tar

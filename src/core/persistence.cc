@@ -1,0 +1,263 @@
+// Binary serialization of a TAR-tree.
+//
+// The format preserves the exact index structure (node membership, boxes,
+// distribution vectors, TIA records, normalizers), so a loaded tree has
+// identical query results *and* identical node-access costs. Layout:
+// little-endian host integers, a "TART" magic and a format version, then
+// options, normalizer state, the global TIA, the POI registry, and the
+// live nodes with dead-node ids compacted away.
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "core/tar_tree.h"
+
+namespace tar {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'A', 'R', 'T'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good() || (in.eof() && in.gcount() == sizeof(T));
+}
+
+void WriteBox(std::ostream& out, const Box3& box) {
+  for (std::size_t d = 0; d < 3; ++d) {
+    WritePod(out, box.lo[d]);
+    WritePod(out, box.hi[d]);
+  }
+}
+
+bool ReadBox(std::istream& in, Box3* box) {
+  for (std::size_t d = 0; d < 3; ++d) {
+    if (!ReadPod(in, &box->lo[d]) || !ReadPod(in, &box->hi[d])) return false;
+  }
+  return true;
+}
+
+Status WriteTia(std::ostream& out, const Tia& tia) {
+  std::vector<TiaRecord> records;
+  TAR_RETURN_NOT_OK(tia.Records(&records));
+  WritePod<std::uint64_t>(out, records.size());
+  for (const TiaRecord& r : records) {
+    WritePod(out, r.extent.start);
+    WritePod(out, r.extent.end);
+    WritePod(out, r.aggregate);
+  }
+  return Status::OK();
+}
+
+Status ReadTia(std::istream& in, Tia* tia) {
+  std::uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::Corruption("truncated TIA");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TiaRecord r;
+    if (!ReadPod(in, &r.extent.start) || !ReadPod(in, &r.extent.end) ||
+        !ReadPod(in, &r.aggregate)) {
+      return Status::Corruption("truncated TIA record");
+    }
+    TAR_RETURN_NOT_OK(tia->Append(r.extent, r.aggregate));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TarTree::Save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kFormatVersion);
+
+  // Options.
+  WritePod<std::uint8_t>(out, static_cast<std::uint8_t>(options_.strategy));
+  WritePod<std::uint8_t>(out,
+                         static_cast<std::uint8_t>(options_.tia_backend));
+  WritePod<std::uint64_t>(out, options_.node_size_bytes);
+  WritePod<std::uint64_t>(out, options_.tia_buffer_slots);
+  WritePod<std::uint64_t>(out, options_.tia_page_size);
+  WritePod(out, options_.grid.t0());
+  WritePod(out, options_.grid.epoch_length());
+  WritePod<std::uint8_t>(out, options_.space.empty() ? 1 : 0);
+  WritePod(out, options_.space.lo[0]);
+  WritePod(out, options_.space.lo[1]);
+  WritePod(out, options_.space.hi[0]);
+  WritePod(out, options_.space.hi[1]);
+
+  // Normalizer state and POI registry.
+  WritePod(out, max_total_);
+  WritePod<std::uint64_t>(out, poi_info_.size());
+  for (const auto& [id, info] : poi_info_) {
+    WritePod(out, id);
+    WritePod(out, info.pos.x);
+    WritePod(out, info.pos.y);
+    WritePod(out, info.total);
+  }
+  TAR_RETURN_NOT_OK(WriteTia(out, *global_tia_));
+
+  // Live nodes, ids compacted. The root is written first so Load can
+  // allocate in order.
+  std::map<NodeId, std::uint32_t> remap;
+  std::vector<NodeId> order;
+  if (root_ != kInvalidNodeId) {
+    std::vector<NodeId> stack{root_};
+    while (!stack.empty()) {
+      NodeId id = stack.back();
+      stack.pop_back();
+      remap[id] = static_cast<std::uint32_t>(order.size());
+      order.push_back(id);
+      for (const Entry& e : nodes_[id]->entries) {
+        if (!e.is_leaf_entry()) stack.push_back(e.child);
+      }
+    }
+  }
+  WritePod<std::uint32_t>(out,
+                          root_ == kInvalidNodeId ? kInvalidNodeId : 0u);
+  WritePod<std::uint64_t>(out, order.size());
+  for (NodeId id : order) {
+    const Node& node = *nodes_[id];
+    WritePod(out, node.level);
+    WritePod<std::uint64_t>(out, node.entries.size());
+    for (const Entry& e : node.entries) {
+      WriteBox(out, e.box);
+      WritePod(out, e.poi);
+      WritePod<std::uint32_t>(
+          out, e.is_leaf_entry() ? kInvalidNodeId : remap.at(e.child));
+      WritePod<std::uint64_t>(out, e.distvec.size());
+      for (std::int32_t v : e.distvec) WritePod(out, v);
+      TAR_RETURN_NOT_OK(WriteTia(out, *e.tia));
+    }
+  }
+  if (!out.good()) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TarTree>> TarTree::Load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("not a TAR-tree file (bad magic)");
+  }
+  std::uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kFormatVersion) {
+    return Status::NotSupported("unsupported TAR-tree format version");
+  }
+
+  TarTreeOptions options;
+  std::uint8_t strategy = 0;
+  std::uint8_t backend = 0;
+  std::uint64_t node_size = 0;
+  std::uint64_t buffer_slots = 0;
+  std::uint64_t page_size = 0;
+  Timestamp t0 = 0;
+  Timestamp epoch_len = 0;
+  std::uint8_t space_empty = 0;
+  double sx0, sy0, sx1, sy1;
+  if (!ReadPod(in, &strategy) || !ReadPod(in, &backend) ||
+      !ReadPod(in, &node_size) || !ReadPod(in, &buffer_slots) ||
+      !ReadPod(in, &page_size) || !ReadPod(in, &t0) ||
+      !ReadPod(in, &epoch_len) || !ReadPod(in, &space_empty) ||
+      !ReadPod(in, &sx0) || !ReadPod(in, &sy0) || !ReadPod(in, &sx1) ||
+      !ReadPod(in, &sy1)) {
+    return Status::Corruption("truncated header");
+  }
+  if (strategy > 2 || backend > 1 || node_size < 64 || page_size < 320 ||
+      epoch_len <= 0) {
+    return Status::Corruption("implausible header fields");
+  }
+  options.strategy = static_cast<GroupingStrategy>(strategy);
+  options.tia_backend = static_cast<TiaBackend>(backend);
+  options.node_size_bytes = node_size;
+  options.tia_buffer_slots = buffer_slots;
+  options.tia_page_size = page_size;
+  options.grid = EpochGrid(t0, epoch_len);
+  if (space_empty == 0) {
+    options.space = Box2::Union(Box2::FromPoint({sx0, sy0}),
+                                Box2::FromPoint({sx1, sy1}));
+  }
+
+  auto tree = std::make_unique<TarTree>(options);
+  if (!ReadPod(in, &tree->max_total_)) {
+    return Status::Corruption("truncated normalizer");
+  }
+  std::uint64_t num_pois = 0;
+  if (!ReadPod(in, &num_pois)) return Status::Corruption("truncated POIs");
+  for (std::uint64_t i = 0; i < num_pois; ++i) {
+    PoiId id;
+    PoiInfo info;
+    if (!ReadPod(in, &id) || !ReadPod(in, &info.pos.x) ||
+        !ReadPod(in, &info.pos.y) || !ReadPod(in, &info.total)) {
+      return Status::Corruption("truncated POI registry");
+    }
+    tree->poi_info_[id] = info;
+  }
+  tree->num_pois_ = tree->poi_info_.size();
+  TAR_RETURN_NOT_OK(ReadTia(in, tree->global_tia_.get()));
+
+  std::uint32_t root_marker = 0;
+  std::uint64_t node_count = 0;
+  if (!ReadPod(in, &root_marker) || !ReadPod(in, &node_count)) {
+    return Status::Corruption("truncated node directory");
+  }
+  for (std::uint64_t n = 0; n < node_count; ++n) {
+    std::int32_t level = 0;
+    std::uint64_t entry_count = 0;
+    if (!ReadPod(in, &level) || !ReadPod(in, &entry_count)) {
+      return Status::Corruption("truncated node");
+    }
+    NodeId id = tree->NewNode(level);
+    Node* node = tree->MutableNode(id);
+    for (std::uint64_t i = 0; i < entry_count; ++i) {
+      Entry e;
+      std::uint32_t child = kInvalidNodeId;
+      std::uint64_t distvec_size = 0;
+      if (!ReadBox(in, &e.box) || !ReadPod(in, &e.poi) ||
+          !ReadPod(in, &child) || !ReadPod(in, &distvec_size)) {
+        return Status::Corruption("truncated entry");
+      }
+      e.child = child;
+      e.distvec.resize(distvec_size);
+      for (auto& v : e.distvec) {
+        if (!ReadPod(in, &v)) return Status::Corruption("truncated distvec");
+      }
+      e.tia = tree->NewTia();
+      TAR_RETURN_NOT_OK(ReadTia(in, e.tia.get()));
+      if (e.is_leaf_entry() && tree->poi_info_.count(e.poi) == 0) {
+        return Status::Corruption("leaf entry for unregistered POI");
+      }
+      if (!e.is_leaf_entry() && e.child >= node_count) {
+        return Status::Corruption("entry child out of range");
+      }
+      node->entries.push_back(std::move(e));
+    }
+  }
+  if (root_marker != kInvalidNodeId && node_count > 0) {
+    tree->root_ = root_marker;
+  }
+  TAR_RETURN_NOT_OK(tree->CheckInvariants());
+  return tree;
+}
+
+Status TarTree::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return Save(out);
+}
+
+Result<std::unique_ptr<TarTree>> TarTree::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return Load(in);
+}
+
+}  // namespace tar

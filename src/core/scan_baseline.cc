@@ -1,0 +1,115 @@
+#include "core/scan_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tar {
+
+Status ScanBaseline::AddPoi(const Poi& poi,
+                            const std::vector<std::int32_t>& history) {
+  if (poi.id < poi_index_.size() && poi_index_[poi.id] >= 0) {
+    return Status::AlreadyExists("POI already registered");
+  }
+  if (poi.id >= poi_index_.size()) poi_index_.resize(poi.id + 1, -1);
+  poi_index_[poi.id] = static_cast<std::int64_t>(pois_.size());
+  Item item;
+  item.poi = poi;
+  for (std::size_t e = 0; e < history.size(); ++e) {
+    if (history[e] <= 0) continue;
+    item.records.push_back(
+        {static_cast<std::int32_t>(e), history[e]});
+  }
+  pois_.push_back(std::move(item));
+  return Status::OK();
+}
+
+Status ScanBaseline::AddCheckIns(PoiId poi, std::int64_t epoch,
+                                 std::int32_t count) {
+  if (count <= 0) return Status::OK();
+  if (poi >= poi_index_.size() || poi_index_[poi] < 0) {
+    return Status::NotFound("unknown POI");
+  }
+  Item& item = pois_[poi_index_[poi]];
+  if (!item.records.empty() && item.records.back().epoch == epoch) {
+    item.records.back().count += count;
+  } else if (!item.records.empty() && item.records.back().epoch > epoch) {
+    return Status::InvalidArgument("epochs must be appended in order");
+  } else {
+    item.records.push_back({static_cast<std::int32_t>(epoch), count});
+  }
+  return Status::OK();
+}
+
+Status ScanBaseline::RemovePoi(PoiId poi) {
+  if (poi >= poi_index_.size() || poi_index_[poi] < 0) {
+    return Status::NotFound("unknown POI");
+  }
+  std::int64_t slot = poi_index_[poi];
+  std::int64_t last = static_cast<std::int64_t>(pois_.size()) - 1;
+  if (slot != last) {
+    pois_[slot] = std::move(pois_[last]);
+    poi_index_[pois_[slot].poi.id] = slot;
+  }
+  pois_.pop_back();
+  poi_index_[poi] = -1;
+  return Status::OK();
+}
+
+Status ScanBaseline::Query(const KnntaQuery& query,
+                           std::vector<KnntaResult>* results) const {
+  results->clear();
+  if (query.k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.alpha0 <= 0.0 || query.alpha0 >= 1.0) {
+    return Status::InvalidArgument("alpha0 must be in (0, 1)");
+  }
+  if (!query.interval.Valid()) {
+    return Status::InvalidArgument("invalid query interval");
+  }
+  if (pois_.empty()) return Status::OK();
+
+  TimeInterval aligned = grid_.AlignOutward(query.interval);
+  std::int64_t first = grid_.EpochOf(aligned.start);
+  std::int64_t last = grid_.EpochOf(aligned.end);
+
+  double dmax = std::hypot(space_.Extent(0), space_.Extent(1));
+  if (dmax <= 0.0) dmax = 1.0;
+  double alpha1 = 1.0 - query.alpha0;
+
+  // First pass: the aggregates, whose maximum is the normalizer (the range
+  // of the aggregate over the interval), exactly as the TAR-tree computes
+  // it with its max-aggregate search.
+  std::vector<std::int64_t> aggs(pois_.size(), 0);
+  std::int64_t gmax_i = 0;
+  for (std::size_t i = 0; i < pois_.size(); ++i) {
+    for (const Record& r : pois_[i].records) {
+      if (r.epoch >= first && r.epoch <= last) aggs[i] += r.count;
+    }
+    gmax_i = std::max(gmax_i, aggs[i]);
+  }
+  double gmax = gmax_i > 0 ? static_cast<double>(gmax_i) : 1.0;
+
+  std::vector<KnntaResult> scored;
+  scored.reserve(pois_.size());
+  for (std::size_t i = 0; i < pois_.size(); ++i) {
+    const Item& item = pois_[i];
+    double dist = Distance(item.poi.pos, query.point);
+    // Same expression shape as TarTree::EntryScore so that scores agree
+    // bit-for-bit and results are directly comparable.
+    double s0 = dist / dmax;
+    double s1 = 1.0 - std::min(1.0, static_cast<double>(aggs[i]) / gmax);
+    double score = query.alpha0 * s0 + alpha1 * s1;
+    scored.push_back(KnntaResult{item.poi.id, score, dist, aggs[i]});
+  }
+
+  std::size_t k = std::min(query.k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const KnntaResult& a, const KnntaResult& b) {
+                      if (a.score != b.score) return a.score < b.score;
+                      return a.poi < b.poi;
+                    });
+  scored.resize(k);
+  *results = std::move(scored);
+  return Status::OK();
+}
+
+}  // namespace tar

@@ -1,0 +1,57 @@
+// The straightforward approach of Section 3.2: keep per-POI per-epoch
+// counts, add them up over the query interval, score every POI and take the
+// top k. O(m'N + N log m + k log N) per query. Used as the experimental
+// baseline and as the correctness oracle for the TAR-tree in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+
+/// \brief Sequential-scan kNNTA processor.
+///
+/// Uses the same ranking normalization as the TAR-tree (spatial distance by
+/// the diagonal of the data space, aggregate by the per-epoch global
+/// maximum summed over the interval), so its results are comparable
+/// one-to-one with TarTree::Query.
+class ScanBaseline {
+ public:
+  ScanBaseline(const EpochGrid& grid, const Box2& space)
+      : grid_(grid), space_(space) {}
+
+  /// Registers a POI with its per-epoch history (history[e] = count).
+  Status AddPoi(const Poi& poi, const std::vector<std::int32_t>& history);
+
+  /// Adds `count` check-ins at `poi` in epoch `epoch`.
+  Status AddCheckIns(PoiId poi, std::int64_t epoch, std::int32_t count);
+
+  /// Removes a POI from the candidate set. The per-epoch normalizer is kept
+  /// as-is, mirroring the TAR-tree whose global TIA never shrinks.
+  Status RemovePoi(PoiId poi);
+
+  Status Query(const KnntaQuery& query,
+               std::vector<KnntaResult>* results) const;
+
+  std::size_t num_pois() const { return pois_.size(); }
+
+ private:
+  struct Record {
+    std::int32_t epoch;
+    std::int32_t count;
+  };
+  struct Item {
+    Poi poi;
+    std::vector<Record> records;  // sorted by epoch
+  };
+
+  EpochGrid grid_;
+  Box2 space_;
+  std::vector<Item> pois_;
+  std::vector<std::int64_t> poi_index_;  // PoiId -> slot in pois_
+};
+
+}  // namespace tar

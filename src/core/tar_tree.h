@@ -1,0 +1,347 @@
+// TAR-tree: temporal aggregate R-tree (Section 4 of the paper).
+//
+// An R*-tree variant in which every entry points to a TIA (temporal index on
+// the aggregate). A leaf entry's TIA holds the per-epoch check-in counts of
+// its POI; an internal entry's TIA holds, per epoch, the maximum aggregate
+// of the TIAs in its child node, giving query processing a consistent upper
+// bound (Property 1). Entries are grouped by one of three strategies
+// (Section 5): the classic R* spatial grouping (IND-spa), grouping by
+// aggregate-distribution similarity (IND-agg), or the paper's integral-3D
+// strategy where each entry is a 3-D box whose third coordinate is the
+// normalized expected check-in rate z_p = 1 - lambda_p / max lambda_p.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "core/dataset.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "temporal/tia.h"
+
+namespace tar {
+
+/// Entry grouping strategy (Section 5).
+enum class GroupingStrategy {
+  kSpatial,     ///< IND-spa: R* on the 2-D spatial extents
+  kAggregate,   ///< IND-agg: Manhattan distance between epoch distributions
+  kIntegral3D,  ///< TAR-tree: R* on 3-D boxes (x, y, normalized aggregate)
+};
+
+const char* ToString(GroupingStrategy s);
+
+/// \brief Construction parameters for a TarTree.
+struct TarTreeOptions {
+  GroupingStrategy strategy = GroupingStrategy::kIntegral3D;
+
+  /// R-tree node size in bytes; the paper uses 1024 by default, giving node
+  /// capacities of 50 (2-D entries) and 36 (3-D entries).
+  std::size_t node_size_bytes = 1024;
+
+  /// Buffer slots per TIA (the paper assigns a maximum of 10).
+  std::size_t tia_buffer_slots = 10;
+
+  /// Page size of the simulated disk holding the TIAs.
+  std::size_t tia_page_size = 1024;
+
+  /// Index structure backing the TIAs (the paper uses the multiversion
+  /// B-tree; the plain B+-tree is the aRB-tree-style alternative).
+  TiaBackend tia_backend = TiaBackend::kMvbt;
+
+  /// Epoch discretization of the time axis.
+  EpochGrid grid;
+
+  /// Spatial extent of the data space; the ranking function normalizes the
+  /// spatial distance by this box's diagonal.
+  Box2 space;
+
+  std::size_t NodeCapacity() const;
+  std::size_t GroupingDims() const {
+    return strategy == GroupingStrategy::kIntegral3D ? 3 : 2;
+  }
+};
+
+/// \brief A kNNTA query (Definition 1).
+struct KnntaQuery {
+  Vec2 point;
+  TimeInterval interval;
+  std::size_t k = 10;
+  double alpha0 = 0.3;  ///< weight of the spatial distance; alpha1 = 1 - a0
+};
+
+/// \brief One result of a kNNTA query.
+struct KnntaResult {
+  PoiId poi = kInvalidPoiId;
+  double score = 0.0;        ///< f(p), lower is better
+  double dist = 0.0;         ///< unnormalized Euclidean distance
+  std::int64_t aggregate = 0;  ///< temporal aggregate over the interval
+};
+
+/// \brief The TAR-tree.
+class TarTree {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+  /// \brief One slot of a TAR-tree node.
+  ///
+  /// The grouping box has the spatial MBR in dims 0-1 and the normalized
+  /// aggregate interval in dim 2 (maintained for every strategy; only the
+  /// integral-3D strategy uses it for grouping). Query processing reads the
+  /// spatial extent from the box and the aggregate bound from the TIA.
+  struct Entry {
+    Box3 box;
+    NodeId child = kInvalidNodeId;  ///< internal entries
+    PoiId poi = kInvalidPoiId;      ///< leaf entries
+    std::unique_ptr<Tia> tia;
+    /// Per-epoch aggregate distribution (kAggregate grouping only).
+    std::vector<std::int32_t> distvec;
+
+    bool is_leaf_entry() const { return poi != kInvalidPoiId; }
+  };
+
+  struct Node {
+    NodeId id = kInvalidNodeId;
+    std::int32_t level = 0;  ///< 0 = leaf
+    std::vector<Entry> entries;
+
+    bool is_leaf() const { return level == 0; }
+  };
+
+  explicit TarTree(const TarTreeOptions& options);
+
+  TarTree(const TarTree&) = delete;
+  TarTree& operator=(const TarTree&) = delete;
+
+  /// Inserts a POI with its per-epoch check-in history so far (history[e] =
+  /// count in epoch e; may be empty for a brand-new POI). Updates the MBRs,
+  /// z-intervals and TIAs along the insertion path (Section 4.2).
+  Status InsertPoi(const Poi& poi,
+                   const std::vector<std::int32_t>& history = {});
+
+  /// Removes a POI (same as R-tree deletion; underfull nodes reinsert).
+  Status DeletePoi(PoiId poi);
+
+  /// Digests one finished epoch: `aggs[poi]` is the check-in count of each
+  /// POI with a non-zero aggregate in the epoch with index `epoch`. Appends
+  /// to the TIAs along the affected paths and refreshes the z-coordinates.
+  Status AppendEpoch(std::int64_t epoch,
+                     const std::unordered_map<PoiId, std::int64_t>& aggs);
+
+  /// Answers a kNNTA query with best-first search. Access counts are added
+  /// to `stats` when provided.
+  Status Query(const KnntaQuery& query, std::vector<KnntaResult>* results,
+               AccessStats* stats = nullptr) const;
+
+  // --- Introspection (cost analysis, MWA, collective processing, tests) ---
+
+  /// Normalization and alignment shared by all query-processing code.
+  struct QueryContext {
+    Vec2 q;
+    TimeInterval interval;  ///< aligned outward to epoch boundaries
+    double alpha0 = 0.3;
+    double alpha1 = 0.7;
+    double dmax = 1.0;  ///< spatial normalizer (diagonal of the space)
+    double gmax = 1.0;  ///< aggregate normalizer over the interval
+  };
+
+  /// Builds the query context. The aggregate normalizer gmax is the
+  /// maximum single-POI aggregate over the interval (the range of the
+  /// aggregate, as the ranking function requires), found by a best-first
+  /// search on the TIA bounds; its accesses are charged to `stats`.
+  QueryContext MakeContext(const KnntaQuery& query,
+                           AccessStats* stats = nullptr) const;
+
+  /// Maximum aggregate of any single POI over `iq` (0 on an empty tree or
+  /// an interval with no check-ins). Exact; runs a best-first search
+  /// guided by the internal TIA upper bounds.
+  std::int64_t MaxAggregate(const TimeInterval& iq,
+                            AccessStats* stats = nullptr) const;
+
+  /// Ranking score f(e) of an entry: exact for leaf entries, a consistent
+  /// lower bound for internal entries (Property 1).
+  double EntryScore(const Entry& entry, const QueryContext& ctx,
+                    AccessStats* stats = nullptr) const;
+
+  /// Both normalized components of an entry's score: the normalized spatial
+  /// distance s0 and normalized aggregate complement s1 (f = a0*s0 + a1*s1).
+  void EntryComponents(const Entry& entry, const QueryContext& ctx,
+                       double* s0, double* s1,
+                       AccessStats* stats = nullptr) const;
+
+  const Node& node(NodeId id) const { return *nodes_[id]; }
+  NodeId root() const { return root_; }
+  bool empty() const { return num_pois_ == 0; }
+  std::size_t num_pois() const { return num_pois_; }
+  std::size_t num_nodes() const { return num_live_nodes_; }
+  std::size_t height() const;
+  const TarTreeOptions& options() const { return options_; }
+  const EpochGrid& grid() const { return options_.grid; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Global per-epoch maximum aggregate over all POIs; its Aggregate(Iq) is
+  /// the normalizer g_max of the ranking function.
+  const Tia& global_tia() const { return *global_tia_; }
+
+  /// Buffer pool backing all TIAs (exposed so experiments can vary quotas).
+  BufferPool* tia_buffer_pool() { return &pool_; }
+
+  /// Largest POI check-in total seen (normalizes the z dimension).
+  std::int64_t max_total() const { return max_total_; }
+
+  /// Pre-seeds the z normalizer before a bulk build. Without this, POIs
+  /// inserted early get z coordinates computed against a smaller running
+  /// maximum, degrading the integral-3D grouping (the staleness the paper
+  /// addresses with periodic rebuilds). Only ever raises the value.
+  void SeedMaxTotal(std::int64_t max_total) {
+    max_total_ = std::max(max_total_, max_total);
+  }
+
+  /// Structural invariants: MBR/z containment, fill bounds, balanced
+  /// height, TIA upper-bound property on sampled intervals. For tests.
+  Status CheckInvariants() const;
+
+  /// Rebuilds the tree from its current POIs (recomputes z with the current
+  /// max total; the paper suggests periodic rebuilds when performance
+  /// degrades).
+  Status Rebuild();
+
+  /// Serializes the index (structure, boxes, TIA records, normalizers) to
+  /// a binary stream. Load restores an exact structural copy: same nodes,
+  /// same grouping, same query costs.
+  Status Save(std::ostream& out) const;
+  static Result<std::unique_ptr<TarTree>> Load(std::istream& in);
+
+  /// File wrappers around Save/Load.
+  Status SaveToFile(const std::string& path) const;
+  static Result<std::unique_ptr<TarTree>> LoadFromFile(
+      const std::string& path);
+
+ private:
+  friend class TarTreeTestPeer;
+
+  /// What an in-flight insertion contributes to the entries on its path.
+  struct InsertionInfo {
+    Box3 box;
+    std::vector<TiaRecord> records;
+    const std::vector<std::int32_t>* distvec = nullptr;
+  };
+
+  /// An entry waiting to be (re)inserted into a node at `level`.
+  struct PendingInsert {
+    Entry entry;
+    std::int32_t level;
+  };
+
+  Node* MutableNode(NodeId id) { return nodes_[id].get(); }
+  NodeId NewNode(std::int32_t level);
+  std::unique_ptr<Tia> NewTia();
+
+  /// z-coordinate of a POI with check-in total `total`.
+  double ZOf(std::int64_t total) const;
+
+  /// Inserts `entry` into a node at tree level `level` (0 = leaf),
+  /// R*-style; drives the deferred forced-reinsertion queue.
+  Status InsertEntry(Entry entry, std::int32_t level);
+
+  /// Recursive insertion step. On a split, *split_out carries the entry for
+  /// the new sibling; forced reinsertions are pushed onto `pending`.
+  Status InsertRec(NodeId node_id, Entry entry, std::int32_t level,
+                   const InsertionInfo& info,
+                   std::vector<bool>* reinsert_done,
+                   std::vector<PendingInsert>* pending,
+                   std::unique_ptr<Entry>* split_out);
+
+  /// Rescales a grouping box so every dimension spans [0, 1] (the paper
+  /// normalizes the spatial and aggregate dimensions by their domain
+  /// ranges before grouping; without this the raw spatial extents drown
+  /// the aggregate dimension in the R* margin/area/overlap metrics).
+  Box3 NormalizedForGrouping(const Box3& box) const;
+
+  /// R*: index of the child of `node` to descend into for `box`.
+  std::size_t ChooseSubtree(const Node& node, const Box3& box) const;
+
+  /// kAggregate: index of the child with the closest distribution.
+  std::size_t ChooseSubtreeByDistribution(
+      const Node& node, const std::vector<std::int32_t>& distvec) const;
+
+  /// Splits the entries of an overflowing node into two groups.
+  void SplitEntries(std::vector<Entry> entries,
+                    std::vector<Entry>* left, std::vector<Entry>* right) const;
+
+  /// R* split (margin-minimal axis, overlap-minimal distribution).
+  void SplitEntriesRStar(std::vector<Entry>* entries,
+                         std::vector<Entry>* left,
+                         std::vector<Entry>* right) const;
+
+  /// IND-agg split (maximize the distribution distance between groups).
+  void SplitEntriesByDistribution(std::vector<Entry>* entries,
+                                  std::vector<Entry>* left,
+                                  std::vector<Entry>* right) const;
+
+  /// Rebuilds a parent entry (box, TIA, distvec) exactly from its child
+  /// node's members (allocates a fresh TIA).
+  Status RefreshParentEntry(Entry* parent_entry, const Node& child);
+
+  /// Extends a parent entry by an insertion passing through it: box union,
+  /// TIA raise, distvec max. Never shrinks, preserving the upper bounds.
+  Status AugmentParentEntry(Entry* parent_entry, const InsertionInfo& info);
+
+  /// Union of the member boxes of a node.
+  Box3 NodeBox(const Node& node) const;
+
+  /// Per-epoch max over the member entries' TIA records of a node.
+  Status NodeDistribution(const Node& node,
+                          std::vector<TiaRecord>* out) const;
+
+  /// Raises `tia` so it dominates `records`.
+  Status RaiseTia(Tia* tia, const std::vector<TiaRecord>& records) const;
+
+  /// Converts per-epoch records to a dense epoch-indexed vector.
+  std::vector<std::int32_t> RecordsToDistvec(
+      const std::vector<TiaRecord>& records) const;
+
+  /// Walks from the root to the leaf containing POI `poi`'s entry; `pos` is
+  /// the POI's position (used to prune by spatial containment).
+  bool FindLeaf(NodeId node_id, PoiId poi, const Vec2& pos,
+                std::vector<NodeId>* path) const;
+
+  Status CheckNodeInvariants(NodeId id, const Entry* parent_entry,
+                             std::size_t* leaf_depth, std::size_t depth,
+                             std::size_t* poi_count) const;
+
+  TarTreeOptions options_;
+  std::size_t capacity_;
+  std::size_t min_fill_;
+  std::size_t reinsert_count_;
+
+  PageFile file_;    // simulated disk for all TIAs
+  BufferPool pool_;  // per-TIA buffer quotas
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  NodeId root_ = kInvalidNodeId;
+  std::size_t num_live_nodes_ = 0;
+  std::size_t num_pois_ = 0;
+  OwnerId next_owner_ = 1;
+
+  std::unique_ptr<Tia> global_tia_;
+  std::int64_t max_total_ = 0;
+
+  /// Per-POI running totals and positions (z maintenance and rebuilds).
+  struct PoiInfo {
+    Vec2 pos;
+    std::int64_t total = 0;
+  };
+  std::unordered_map<PoiId, PoiInfo> poi_info_;
+};
+
+}  // namespace tar

@@ -1,0 +1,173 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/powerlaw.h"
+#include "common/random.h"
+
+namespace tar {
+
+Dataset GenerateLbsn(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Dataset data;
+  data.name = config.name;
+  data.t_end = config.span_days * kSecondsPerDay;
+
+  // Urban clusters: centers uniform in the space, Zipf-ish weights so a few
+  // downtown clusters hold most POIs.
+  Box2 space = config.space;
+  if (space.empty()) {
+    space = Box2::Union(Box2::FromPoint({0.0, 0.0}),
+                        Box2::FromPoint({100.0, 100.0}));
+  }
+  struct Cluster {
+    Vec2 center;
+    double weight;
+  };
+  std::vector<Cluster> clusters;
+  double total_weight = 0.0;
+  for (std::size_t c = 0; c < config.num_clusters; ++c) {
+    Cluster cl;
+    cl.center = {rng.Uniform(space.lo[0], space.hi[0]),
+                 rng.Uniform(space.lo[1], space.hi[1])};
+    cl.weight = 1.0 / static_cast<double>(c + 1);
+    total_weight += cl.weight;
+    clusters.push_back(cl);
+  }
+  double stddev =
+      config.cluster_stddev_fraction *
+      std::max(space.Extent(0), space.Extent(1));
+
+  PowerLaw tail(config.tail_beta, config.tail_xmin);
+  double body_p = 1.0 / (1.0 + config.body_mean);
+
+  for (std::size_t i = 0; i < config.num_pois; ++i) {
+    // Position: pick a cluster by weight, then a Gaussian offset (clamped
+    // to the space).
+    double pick = rng.Uniform(0.0, total_weight);
+    const Cluster* cl = &clusters.back();
+    for (const Cluster& c : clusters) {
+      pick -= c.weight;
+      if (pick <= 0.0) {
+        cl = &c;
+        break;
+      }
+    }
+    Poi poi;
+    poi.id = static_cast<PoiId>(i);
+    poi.pos = {std::clamp(rng.Gaussian(cl->center.x, stddev), space.lo[0],
+                          space.hi[0]),
+               std::clamp(rng.Gaussian(cl->center.y, stddev), space.lo[1],
+                          space.hi[1])};
+    data.pois.push_back(poi);
+
+    // Popularity: tail POIs from the power law, body POIs from a small
+    // geometric, truncated below the tail threshold.
+    std::int64_t total;
+    if (rng.Uniform() < config.tail_fraction) {
+      std::int64_t cap =
+          config.tail_cap_factor > 0.0
+              ? static_cast<std::int64_t>(config.tail_cap_factor *
+                                          config.tail_xmin)
+              : INT64_MAX;
+      do {
+        total = tail.Sample(rng);
+      } while (total > cap);
+    } else {
+      total = 1;
+      while (rng.Uniform() > body_p && total < config.tail_xmin - 1) {
+        ++total;
+      }
+    }
+
+    // Check-in times: density grows as t^(1/a - 1) over the span.
+    for (std::int64_t c = 0; c < total; ++c) {
+      double u = rng.Uniform();
+      double frac = std::pow(u, config.growth_exponent);
+      Timestamp t = static_cast<Timestamp>(frac * (data.t_end - 1));
+      data.checkins.push_back(CheckIn{poi.id, t});
+    }
+  }
+
+  std::sort(data.checkins.begin(), data.checkins.end(),
+            [](const CheckIn& a, const CheckIn& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.poi < b.poi;
+            });
+  data.ComputeBounds();
+  return data;
+}
+
+namespace {
+
+std::size_t Scaled(std::size_t n, double scale) {
+  return std::max<std::size_t>(100, static_cast<std::size_t>(n * scale));
+}
+
+}  // namespace
+
+GeneratorConfig NycConfig(double scale, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.name = "NYC";
+  cfg.num_pois = Scaled(72626, scale);       // Table 4
+  cfg.tail_beta = 3.20;                      // Table 2
+  cfg.tail_xmin = 31;
+  cfg.tail_fraction = 0.04;
+  cfg.body_mean = 2.0;
+  cfg.span_days = 1126;                      // 05/2008 - 06/2011
+  cfg.effective_threshold = 15;
+  cfg.num_clusters = 30;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GeneratorConfig LaConfig(double scale, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.name = "LA";
+  cfg.num_pois = Scaled(45591, scale);
+  cfg.tail_beta = 3.07;
+  cfg.tail_xmin = 16;
+  cfg.tail_fraction = 0.06;
+  cfg.body_mean = 1.8;
+  cfg.span_days = 880;                       // 02/2009 - 07/2011
+  cfg.effective_threshold = 10;
+  cfg.num_clusters = 40;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GeneratorConfig GwConfig(double scale, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.name = "GW";
+  cfg.num_pois = Scaled(1280969, scale);
+  cfg.tail_beta = 2.82;
+  cfg.tail_xmin = 85;
+  cfg.tail_fraction = 0.02;
+  cfg.body_mean = 4.0;
+  cfg.span_days = 600;                       // 02/2009 - 10/2010
+  cfg.effective_threshold = 100;
+  cfg.num_clusters = 48;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GeneratorConfig GsConfig(double scale, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.name = "GS";
+  cfg.num_pois = Scaled(182968, scale);
+  cfg.tail_beta = 2.19;
+  cfg.tail_xmin = 59;
+  // The very heavy GS tail needs a higher cutoff or the truncation starts
+  // to show in the goodness-of-fit test.
+  cfg.tail_cap_factor = 60.0;
+  cfg.tail_fraction = 0.05;
+  cfg.body_mean = 6.0;
+  cfg.span_days = 180;                       // 01/2011 - 07/2011
+  cfg.effective_threshold = 50;
+  cfg.num_clusters = 36;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace tar

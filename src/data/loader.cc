@@ -1,0 +1,116 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace tar {
+
+namespace {
+
+/// Parses "YYYY-MM-DDTHH:MM:SSZ" to seconds since the Unix epoch;
+/// returns false on malformed input.
+bool ParseIso8601(const std::string& s, std::int64_t* out) {
+  int year, month, day, hour, minute, second;
+  if (std::sscanf(s.c_str(), "%d-%d-%dT%d:%d:%d", &year, &month, &day, &hour,
+                  &minute, &second) != 6) {
+    return false;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return false;
+  }
+  // Days since epoch by the civil-from-days algorithm (avoids timegm).
+  std::int64_t y = year;
+  std::int64_t m = month;
+  y -= m <= 2;
+  std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  std::int64_t yoe = y - era * 400;
+  std::int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  std::int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  std::int64_t days = era * 146097 + doe - 719468;
+  *out = days * 86400 + hour * 3600 + minute * 60 + second;
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> LoadSnapCheckins(std::istream& in,
+                                 const LoaderOptions& options) {
+  Dataset data;
+  data.name = "snap";
+  std::unordered_map<std::string, PoiId> location_ids;
+  std::string line;
+  std::size_t parsed = 0;
+  std::size_t seen = 0;
+  std::int64_t min_time = INT64_MAX;
+  std::int64_t max_time = INT64_MIN;
+  std::vector<std::int64_t> raw_times;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++seen;
+    std::istringstream ls(line);
+    std::string user, time_str, lat_str, lon_str, loc_str;
+    if (!std::getline(ls, user, '\t') || !std::getline(ls, time_str, '\t') ||
+        !std::getline(ls, lat_str, '\t') ||
+        !std::getline(ls, lon_str, '\t') || !std::getline(ls, loc_str)) {
+      continue;
+    }
+    std::int64_t t;
+    if (!ParseIso8601(time_str, &t)) continue;
+    char* end = nullptr;
+    double lat = std::strtod(lat_str.c_str(), &end);
+    if (end == lat_str.c_str()) continue;
+    double lon = std::strtod(lon_str.c_str(), &end);
+    if (end == lon_str.c_str()) continue;
+
+    auto it = location_ids.find(loc_str);
+    PoiId poi;
+    if (it == location_ids.end()) {
+      if (options.max_locations != 0 &&
+          location_ids.size() >= options.max_locations) {
+        continue;
+      }
+      poi = static_cast<PoiId>(data.pois.size());
+      location_ids.emplace(loc_str, poi);
+      data.pois.push_back(Poi{poi, {lon, lat}});
+    } else {
+      poi = it->second;
+    }
+    raw_times.push_back(t);
+    data.checkins.push_back(CheckIn{poi, 0});
+    min_time = std::min(min_time, t);
+    max_time = std::max(max_time, t);
+    ++parsed;
+  }
+  if (seen > 0 && parsed == 0) {
+    return Status::Corruption("no line of the input parsed as a check-in");
+  }
+  for (std::size_t i = 0; i < data.checkins.size(); ++i) {
+    data.checkins[i].time = raw_times[i] - min_time;
+  }
+  std::sort(data.checkins.begin(), data.checkins.end(),
+            [](const CheckIn& a, const CheckIn& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.poi < b.poi;
+            });
+  data.t_end = parsed > 0 ? max_time - min_time : 0;
+  data.ComputeBounds();
+  return data;
+}
+
+Result<Dataset> LoadSnapCheckinsFile(const std::string& path,
+                                     const LoaderOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  return LoadSnapCheckins(in, options);
+}
+
+}  // namespace tar

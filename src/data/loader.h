@@ -1,0 +1,32 @@
+// Loader for the public Gowalla / Brightkite check-in file format
+// (SNAP: user \t ISO8601-time \t latitude \t longitude \t location_id).
+// Drop the real data file next to the benches and they will use it instead
+// of the synthetic generator.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "common/result.h"
+#include "core/dataset.h"
+
+namespace tar {
+
+struct LoaderOptions {
+  /// Keep at most this many distinct locations (0 = all), by first
+  /// appearance. Lets the benches cap memory on the full Gowalla file.
+  std::size_t max_locations = 0;
+};
+
+/// Parses a SNAP-format check-in stream. Location ids are remapped to dense
+/// PoiIds; (longitude, latitude) become (x, y); timestamps become seconds
+/// since the earliest check-in. Lines that do not parse are skipped unless
+/// every line fails.
+Result<Dataset> LoadSnapCheckins(std::istream& in,
+                                 const LoaderOptions& options = {});
+
+/// Convenience file wrapper around LoadSnapCheckins.
+Result<Dataset> LoadSnapCheckinsFile(const std::string& path,
+                                     const LoaderOptions& options = {});
+
+}  // namespace tar

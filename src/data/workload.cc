@@ -1,0 +1,68 @@
+#include "data/workload.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace tar {
+
+std::vector<KnntaQuery> MakeQueries(const Dataset& data,
+                                    const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  std::vector<KnntaQuery> queries;
+  queries.reserve(config.num_queries);
+  for (std::size_t i = 0; i < config.num_queries; ++i) {
+    KnntaQuery q;
+    // Query points are uniformly sampled from the data set's POIs.
+    if (!data.pois.empty()) {
+      const Poi& p = data.pois[static_cast<std::size_t>(
+          rng.UniformInt(0, (std::int64_t)data.pois.size() - 1))];
+      q.point = p.pos;
+    }
+    std::int64_t days = config.interval_days[static_cast<std::size_t>(
+        rng.UniformInt(0, (std::int64_t)config.interval_days.size() - 1))];
+    Timestamp len = std::min<Timestamp>(days * kSecondsPerDay,
+                                        std::max<Timestamp>(data.t_end, 1));
+    Timestamp start = rng.UniformInt(0, std::max<Timestamp>(
+                                            data.t_end - len, 0));
+    q.interval = {start, start + len - 1};
+    q.k = config.k;
+    q.alpha0 = config.alpha0;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<KnntaQuery> MakeBatchQueries(const Dataset& data,
+                                         std::size_t num_queries,
+                                         std::size_t num_types,
+                                         const WorkloadConfig& config) {
+  Rng rng(config.seed);
+  // Interval types: the last 1, 2, 4, ... days before t_end.
+  std::vector<TimeInterval> types;
+  std::int64_t days = 1;
+  for (std::size_t t = 0; t < std::max<std::size_t>(num_types, 1); ++t) {
+    Timestamp len = std::min<Timestamp>(days * kSecondsPerDay,
+                                        std::max<Timestamp>(data.t_end, 1));
+    types.push_back({std::max<Timestamp>(data.t_end - len, 0), data.t_end});
+    days = days < (1 << 20) ? days * 2 : days + 7;
+  }
+  std::vector<KnntaQuery> queries;
+  queries.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    KnntaQuery q;
+    if (!data.pois.empty()) {
+      const Poi& p = data.pois[static_cast<std::size_t>(
+          rng.UniformInt(0, (std::int64_t)data.pois.size() - 1))];
+      q.point = p.pos;
+    }
+    q.interval = types[static_cast<std::size_t>(
+        rng.UniformInt(0, (std::int64_t)types.size() - 1))];
+    q.k = config.k;
+    q.alpha0 = config.alpha0;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace tar

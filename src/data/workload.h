@@ -1,0 +1,38 @@
+// Query workload generation matching the paper's setup (Section 8): query
+// points uniformly sampled from the data set, interval lengths uniformly
+// from {2^0, ..., 2^9} days, k = 10 and alpha0 = 0.3 by default.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+
+struct WorkloadConfig {
+  std::size_t num_queries = 1000;
+  std::size_t k = 10;
+  double alpha0 = 0.3;
+  /// Interval lengths (days) to sample from; the paper uses 2^0 .. 2^9.
+  std::vector<std::int64_t> interval_days = {1,  2,  4,   8,   16,
+                                             32, 64, 128, 256, 512};
+  std::uint64_t seed = 7;
+};
+
+/// Random queries over `data` per the config. Interval placement is uniform
+/// within [0, t_end]; lengths longer than the span are clamped.
+std::vector<KnntaQuery> MakeQueries(const Dataset& data,
+                                    const WorkloadConfig& config);
+
+/// Batch workload for the collective-processing experiments: every query's
+/// interval is one of `num_types` fixed "recent history" intervals (the
+/// last 1, 2, 4, ... days before t_end), as apps offer a few preset
+/// choices.
+std::vector<KnntaQuery> MakeBatchQueries(const Dataset& data,
+                                         std::size_t num_queries,
+                                         std::size_t num_types,
+                                         const WorkloadConfig& config);
+
+}  // namespace tar

@@ -1,0 +1,46 @@
+#include "storage/buffer_pool.h"
+
+namespace tar {
+
+bool BufferPool::Touch(OwnerId owner, PageId id) {
+  if (quota_ == 0) return false;
+  OwnerCache& cache = caches_[owner];
+  auto it = cache.where.find(id);
+  if (it != cache.where.end()) {
+    cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+    return true;
+  }
+  cache.lru.push_front(id);
+  cache.where[id] = cache.lru.begin();
+  if (cache.lru.size() > quota_) {
+    cache.where.erase(cache.lru.back());
+    cache.lru.pop_back();
+  }
+  return false;
+}
+
+Result<const Page*> BufferPool::Fetch(OwnerId owner, PageId id,
+                                      bool* was_hit) {
+  bool hit = Touch(owner, id);
+  if (hit) {
+    ++hits_;
+    if (was_hit) *was_hit = true;
+    const Page* page = file_->UnaccountedPage(id);
+    if (page == nullptr) return Status::OutOfRange("page id out of range");
+    return page;
+  }
+  ++misses_;
+  if (was_hit) *was_hit = false;
+  return file_->ReadPage(id);
+}
+
+Result<Page*> BufferPool::FetchForWrite(OwnerId owner, PageId id) {
+  Touch(owner, id);  // write-through: cache but always charge the write
+  return file_->GetPageForWrite(id);
+}
+
+void BufferPool::Clear() { caches_.clear(); }
+
+void BufferPool::Evict(OwnerId owner) { caches_.erase(owner); }
+
+}  // namespace tar

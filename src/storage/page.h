@@ -1,0 +1,47 @@
+// Fixed-size page abstraction for the simulated disk.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace tar {
+
+using PageId = std::uint32_t;
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// \brief A fixed-size block of bytes, the unit of simulated disk I/O.
+///
+/// MVBT nodes (and therefore TIA records) are serialized into pages so that
+/// the buffer pool can account for disk accesses exactly as a disk-resident
+/// index would incur them.
+class Page {
+ public:
+  explicit Page(std::size_t size)
+      : size_(size), data_(new std::uint8_t[size]) {
+    std::memset(data_.get(), 0, size);
+  }
+
+  std::size_t size() const { return size_; }
+  std::uint8_t* data() { return data_.get(); }
+  const std::uint8_t* data() const { return data_.get(); }
+
+  /// Typed access helpers for fixed-offset serialization.
+  template <typename T>
+  T ReadAt(std::size_t offset) const {
+    T v;
+    std::memcpy(&v, data_.get() + offset, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void WriteAt(std::size_t offset, const T& v) {
+    std::memcpy(data_.get() + offset, &v, sizeof(T));
+  }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<std::uint8_t[]> data_;
+};
+
+}  // namespace tar

@@ -1,0 +1,31 @@
+#include "storage/page_file.h"
+
+namespace tar {
+
+PageId PageFile::Allocate() {
+  pages_.emplace_back(page_size_);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Result<Page*> PageFile::GetPageForWrite(PageId id) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id out of range");
+  }
+  ++physical_writes_;
+  return &pages_[id];
+}
+
+Result<const Page*> PageFile::ReadPage(PageId id) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id out of range");
+  }
+  ++physical_reads_;
+  return const_cast<const Page*>(&pages_[id]);
+}
+
+Page* PageFile::UnaccountedPage(PageId id) {
+  if (id >= pages_.size()) return nullptr;
+  return &pages_[id];
+}
+
+}  // namespace tar

@@ -1,0 +1,53 @@
+// Simulated disk: a growable array of fixed-size pages with I/O counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tar {
+
+/// \brief An in-memory stand-in for a paged disk file.
+///
+/// The paper's experiments measure node/page accesses rather than wall-clock
+/// disk latency, so the "disk" here is RAM plus exact access accounting.
+/// All reads and writes go through ReadPage/GetPage so the physical access
+/// counters are trustworthy.
+class PageFile {
+ public:
+  explicit PageFile(std::size_t page_size) : page_size_(page_size) {}
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  std::size_t page_size() const { return page_size_; }
+  std::size_t num_pages() const { return pages_.size(); }
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Direct access for mutation; counts one physical write.
+  Result<Page*> GetPageForWrite(PageId id);
+
+  /// Direct access for reading; counts one physical read.
+  Result<const Page*> ReadPage(PageId id);
+
+  /// Access without touching the counters (used by the buffer pool after it
+  /// has already accounted for the miss, and by tests).
+  Page* UnaccountedPage(PageId id);
+
+  std::uint64_t physical_reads() const { return physical_reads_; }
+  std::uint64_t physical_writes() const { return physical_writes_; }
+  void ResetCounters() { physical_reads_ = physical_writes_ = 0; }
+
+ private:
+  std::size_t page_size_;
+  std::vector<Page> pages_;
+  std::uint64_t physical_reads_ = 0;
+  std::uint64_t physical_writes_ = 0;
+};
+
+}  // namespace tar

@@ -1,0 +1,134 @@
+#include "temporal/tia.h"
+
+#include <algorithm>
+
+namespace tar {
+
+const char* ToString(TiaBackend backend) {
+  switch (backend) {
+    case TiaBackend::kMvbt:
+      return "MVBT";
+    case TiaBackend::kBpTree:
+      return "B+tree";
+  }
+  return "?";
+}
+
+Tia::Tia(PageFile* file, BufferPool* pool, OwnerId owner, TiaBackend backend)
+    : owner_(owner), backend_(backend) {
+  if (backend_ == TiaBackend::kMvbt) {
+    mvbt_.emplace(file, pool, owner);
+  } else {
+    bptree_.emplace(file, pool, owner);
+  }
+}
+
+std::int64_t Tia::Pack(const TimeInterval& extent, std::int64_t agg) {
+  // value = duration (seconds, 31 bits) << 32 | aggregate (32 bits).
+  std::int64_t duration = extent.end - extent.start + 1;
+  return (duration << 32) | (agg & 0xFFFFFFFFll);
+}
+
+TiaRecord Tia::Unpack(std::int64_t ts, std::int64_t value) {
+  std::int64_t duration = value >> 32;
+  std::int64_t agg = value & 0xFFFFFFFFll;
+  return TiaRecord{{ts, ts + duration - 1}, agg};
+}
+
+Status Tia::InsertRecord(std::int64_t key, std::int64_t value) {
+  if (backend_ == TiaBackend::kMvbt) {
+    return mvbt_->Insert(++op_counter_, key, value);
+  }
+  auto existing = bptree_->Get(key);
+  if (!existing.ok()) return existing.status();
+  if (existing.ValueOrDie().has_value()) {
+    return Status::AlreadyExists("record for this epoch already stored");
+  }
+  return bptree_->Put(key, value);
+}
+
+Result<std::optional<std::int64_t>> Tia::LookupRecord(std::int64_t key)
+    const {
+  if (backend_ == TiaBackend::kMvbt) {
+    return mvbt_->Lookup(mvbt_->last_version(), key);
+  }
+  return bptree_->Get(key);
+}
+
+Status Tia::OverwriteRecord(std::int64_t key, std::int64_t value) {
+  if (backend_ == TiaBackend::kMvbt) {
+    TAR_RETURN_NOT_OK(mvbt_->Erase(++op_counter_, key));
+    return mvbt_->Insert(++op_counter_, key, value);
+  }
+  return bptree_->Put(key, value);
+}
+
+Status Tia::ScanRecords(
+    std::int64_t lo, std::int64_t hi,
+    std::vector<std::pair<std::int64_t, std::int64_t>>* out,
+    AccessStats* stats) const {
+  if (backend_ == TiaBackend::kMvbt) {
+    return mvbt_->RangeScanCurrent(lo, hi, out, stats);
+  }
+  return bptree_->RangeScan(lo, hi, out, stats);
+}
+
+Status Tia::Append(const TimeInterval& extent, std::int64_t aggregate) {
+  if (aggregate <= 0) {
+    return Status::InvalidArgument("TIA stores only non-zero aggregates");
+  }
+  if (!extent.Valid()) {
+    return Status::InvalidArgument("invalid epoch extent");
+  }
+  if (aggregate >= (1ll << 32) ||
+      extent.end - extent.start + 1 >= (1ll << 31)) {
+    return Status::InvalidArgument("aggregate or epoch length out of range");
+  }
+  TAR_RETURN_NOT_OK(InsertRecord(extent.start, Pack(extent, aggregate)));
+  total_ += aggregate;
+  ++num_records_;
+  return Status::OK();
+}
+
+Status Tia::RaiseTo(const TimeInterval& extent, std::int64_t aggregate) {
+  if (aggregate <= 0) return Status::OK();
+  auto existing = LookupRecord(extent.start);
+  if (!existing.ok()) return existing.status();
+  if (existing.ValueOrDie().has_value()) {
+    TiaRecord old = Unpack(extent.start, *existing.ValueOrDie());
+    if (old.aggregate >= aggregate) return Status::OK();
+    TAR_RETURN_NOT_OK(
+        OverwriteRecord(extent.start, Pack(extent, aggregate)));
+    total_ += aggregate - old.aggregate;
+    return Status::OK();
+  }
+  TAR_RETURN_NOT_OK(InsertRecord(extent.start, Pack(extent, aggregate)));
+  total_ += aggregate;
+  ++num_records_;
+  return Status::OK();
+}
+
+Result<std::int64_t> Tia::Aggregate(const TimeInterval& iq,
+                                    AccessStats* stats) const {
+  if (stats != nullptr) ++stats->aggregate_calls;
+  std::vector<std::pair<std::int64_t, std::int64_t>> hits;
+  TAR_RETURN_NOT_OK(ScanRecords(iq.start, iq.end, &hits, stats));
+  std::int64_t sum = 0;
+  for (const auto& [ts, value] : hits) {
+    TiaRecord rec = Unpack(ts, value);
+    if (rec.extent.end <= iq.end) sum += rec.aggregate;
+  }
+  return sum;
+}
+
+Status Tia::Records(std::vector<TiaRecord>* out, AccessStats* stats) const {
+  out->clear();
+  std::vector<std::pair<std::int64_t, std::int64_t>> hits;
+  TAR_RETURN_NOT_OK(
+      ScanRecords(INT64_MIN, INT64_MAX - 1, &hits, stats));
+  out->reserve(hits.size());
+  for (const auto& [ts, value] : hits) out->push_back(Unpack(ts, value));
+  return Status::OK();
+}
+
+}  // namespace tar

@@ -1,0 +1,105 @@
+// TIA — temporal index on the aggregate (Section 4.1 of the paper).
+//
+// Each TAR-tree entry points to a TIA storing one record <ts, te, agg> per
+// epoch with a non-zero aggregate. A leaf entry's TIA holds the POI's own
+// per-epoch counts; an internal entry's TIA holds, per epoch, the maximum
+// aggregate among the TIAs in its child node. Records support epochs of
+// varied lengths.
+//
+// Two backends are provided, both disk-paged through the buffer pool so
+// every query is charged page accesses exactly like a disk-resident index:
+//   * kMvbt — the multiversion B-tree the paper uses (asymptotically
+//     optimal for versioned access; keeps the full update history);
+//   * kBpTree — a plain B+-tree, the backend of the aRB-tree family the
+//     paper compares against in its related work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "temporal/bptree.h"
+#include "temporal/mvbt.h"
+
+namespace tar {
+
+/// \brief One temporal record: the aggregate over one epoch.
+struct TiaRecord {
+  TimeInterval extent;     ///< [ts, te] of the epoch
+  std::int64_t aggregate;  ///< e.g. number of check-ins in the epoch
+
+  friend bool operator==(const TiaRecord&, const TiaRecord&) = default;
+};
+
+/// Which index structure stores the temporal records.
+enum class TiaBackend {
+  kMvbt,
+  kBpTree,
+};
+
+const char* ToString(TiaBackend backend);
+
+/// \brief Temporal index on the aggregate of one TAR-tree entry.
+class Tia {
+ public:
+  /// \param owner buffer-pool owner id; the paper gives each TIA its own
+  ///        small buffer quota (10 slots by default).
+  Tia(PageFile* file, BufferPool* pool, OwnerId owner,
+      TiaBackend backend = TiaBackend::kMvbt);
+
+  Tia(Tia&&) = default;
+  Tia& operator=(Tia&&) = default;
+
+  /// Appends the record for a finished epoch. `aggregate` must be positive
+  /// (zero aggregates are simply not stored).
+  Status Append(const TimeInterval& extent, std::int64_t aggregate);
+
+  /// Raises the stored aggregate of the epoch starting at extent.start to
+  /// at least `aggregate` (no-op if the stored value is already >=). Used
+  /// when a POI insertion updates the TIAs along its path.
+  Status RaiseTo(const TimeInterval& extent, std::int64_t aggregate);
+
+  /// Sum of `agg` over all records whose extent is contained in iq.
+  /// Callers align iq outward to epoch boundaries first (EpochGrid), which
+  /// turns the paper's "epoch intersects Iq" into containment.
+  Result<std::int64_t> Aggregate(const TimeInterval& iq,
+                                 AccessStats* stats = nullptr) const;
+
+  /// All records in time order.
+  Status Records(std::vector<TiaRecord>* out,
+                 AccessStats* stats = nullptr) const;
+
+  /// Total aggregate over the whole history (maintained in memory).
+  std::int64_t total() const { return total_; }
+
+  /// Number of stored (non-zero) records.
+  std::size_t num_records() const { return num_records_; }
+
+  OwnerId owner() const { return owner_; }
+  TiaBackend backend() const { return backend_; }
+
+ private:
+  static std::int64_t Pack(const TimeInterval& extent, std::int64_t agg);
+  static TiaRecord Unpack(std::int64_t ts, std::int64_t value);
+
+  Status InsertRecord(std::int64_t key, std::int64_t value);
+  Result<std::optional<std::int64_t>> LookupRecord(std::int64_t key) const;
+  Status OverwriteRecord(std::int64_t key, std::int64_t value);
+  Status ScanRecords(std::int64_t lo, std::int64_t hi,
+                     std::vector<std::pair<std::int64_t, std::int64_t>>* out,
+                     AccessStats* stats) const;
+
+  OwnerId owner_;
+  TiaBackend backend_;
+  std::optional<mvbt::Mvbt> mvbt_;
+  std::optional<bptree::BpTree> bptree_;
+  mvbt::Version op_counter_ = 0;
+  std::int64_t total_ = 0;
+  std::size_t num_records_ = 0;
+};
+
+}  // namespace tar

@@ -1,0 +1,102 @@
+// Parameterized property sweeps over random boxes: the algebraic
+// invariants the R*-grouping math relies on.
+#include <gtest/gtest.h>
+
+#include "common/geometry.h"
+#include "common/random.h"
+
+namespace tar {
+namespace {
+
+class BoxPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Box3 RandomBox(Rng& rng) {
+    Box3 b;
+    for (std::size_t d = 0; d < 3; ++d) {
+      double a = rng.Uniform(-50, 50);
+      double c = rng.Uniform(-50, 50);
+      b.lo[d] = std::min(a, c);
+      b.hi[d] = std::max(a, c);
+    }
+    return b;
+  }
+};
+
+TEST_P(BoxPropertyTest, UnionContainsBothOperands) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Box3 a = RandomBox(rng);
+    Box3 b = RandomBox(rng);
+    Box3 u = Box3::Union(a, b);
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    EXPECT_GE(u.Area() + 1e-9, std::max(a.Area(), b.Area()));
+    EXPECT_GE(u.Margin() + 1e-9, std::max(a.Margin(), b.Margin()));
+  }
+}
+
+TEST_P(BoxPropertyTest, OverlapIsSymmetricAndBounded) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 200; ++i) {
+    Box3 a = RandomBox(rng);
+    Box3 b = RandomBox(rng);
+    double ab = a.OverlapArea(b);
+    double ba = b.OverlapArea(a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, std::min(a.Area(), b.Area()) + 1e-9);
+    EXPECT_EQ(ab > 0.0, a.Intersects(b) && a.OverlapArea(b) > 0.0);
+    // Self overlap is the area.
+    EXPECT_NEAR(a.OverlapArea(a), a.Area(), 1e-9);
+  }
+}
+
+TEST_P(BoxPropertyTest, ContainmentImpliesIntersection) {
+  Rng rng(GetParam() + 200);
+  for (int i = 0; i < 200; ++i) {
+    Box3 a = RandomBox(rng);
+    Box3 b = RandomBox(rng);
+    Box3 u = Box3::Union(a, b);
+    if (a.Contains(b)) {
+      EXPECT_TRUE(a.Intersects(b));
+      EXPECT_NEAR(a.OverlapArea(b), b.Area(), 1e-9);
+    }
+    EXPECT_TRUE(u.Intersects(a));
+  }
+}
+
+TEST_P(BoxPropertyTest, MinDistLowerBoundsDistanceToContainedPoints) {
+  Rng rng(GetParam() + 300);
+  for (int i = 0; i < 100; ++i) {
+    Box3 b = RandomBox(rng);
+    Vec2 q{rng.Uniform(-80, 80), rng.Uniform(-80, 80)};
+    double lb = MinDistToBox(q, b);
+    // Sample points inside the box: every actual distance >= the bound.
+    for (int s = 0; s < 20; ++s) {
+      Vec2 p{rng.Uniform(b.lo[0], b.hi[0]), rng.Uniform(b.lo[1], b.hi[1])};
+      EXPECT_LE(lb, Distance(q, p) + 1e-9);
+    }
+    // Extending a box can only lower the bound (consistency of BFS).
+    Box3 bigger = Box3::Union(b, RandomBox(rng));
+    EXPECT_LE(MinDistToBox(q, bigger), lb + 1e-12);
+  }
+}
+
+TEST_P(BoxPropertyTest, ExtendIsIdempotentAndMonotone) {
+  Rng rng(GetParam() + 400);
+  for (int i = 0; i < 200; ++i) {
+    Box3 a = RandomBox(rng);
+    Box3 b = RandomBox(rng);
+    Box3 once = a;
+    once.Extend(b);
+    Box3 twice = once;
+    twice.Extend(b);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace tar

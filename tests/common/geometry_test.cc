@@ -1,0 +1,72 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace tar {
+namespace {
+
+TEST(GeometryTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(GeometryTest, EmptyBoxBehavesAsIdentity) {
+  Box3 empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.Area(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Margin(), 0.0);
+
+  Box3 b = PointBox({1, 2}, 0.5);
+  Box3 u = Box3::Union(empty, b);
+  EXPECT_EQ(u, b);
+  u = Box3::Union(b, empty);
+  EXPECT_EQ(u, b);
+}
+
+TEST(GeometryTest, ExtendAndUnion) {
+  Box3 a = PointBox({0, 0}, 0.0);
+  a.Extend(PointBox({2, 3}, 1.0));
+  EXPECT_DOUBLE_EQ(a.Extent(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.Extent(1), 3.0);
+  EXPECT_DOUBLE_EQ(a.Extent(2), 1.0);
+  EXPECT_DOUBLE_EQ(a.Area(2), 6.0);   // spatial dims only
+  EXPECT_DOUBLE_EQ(a.Area(3), 6.0);   // x1 in z
+  EXPECT_DOUBLE_EQ(a.Margin(3), 6.0);
+}
+
+TEST(GeometryTest, ContainsAndIntersects) {
+  Box3 big = Box3::Union(PointBox({0, 0}, 0.0), PointBox({10, 10}, 1.0));
+  Box3 inner = Box3::Union(PointBox({2, 2}, 0.2), PointBox({3, 3}, 0.4));
+  EXPECT_TRUE(big.Contains(inner));
+  EXPECT_FALSE(inner.Contains(big));
+  EXPECT_TRUE(big.Intersects(inner));
+
+  Box3 outside = PointBox({20, 20}, 0.5);
+  EXPECT_FALSE(big.Intersects(outside));
+  EXPECT_FALSE(big.Contains(outside));
+}
+
+TEST(GeometryTest, OverlapArea) {
+  Box3 a = Box3::Union(PointBox({0, 0}, 0.0), PointBox({4, 4}, 0.0));
+  Box3 b = Box3::Union(PointBox({2, 2}, 0.0), PointBox({6, 6}, 0.0));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b, 2), 4.0);
+  Box3 c = Box3::Union(PointBox({5, 5}, 0.0), PointBox({6, 6}, 0.0));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c, 2), 0.0);
+}
+
+TEST(GeometryTest, MinDistToBox) {
+  Box3 b = Box3::Union(PointBox({1, 1}, 0.0), PointBox({3, 3}, 1.0));
+  EXPECT_DOUBLE_EQ(MinDistToBox({2, 2}, b), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(MinDistToBox({0, 2}, b), 1.0);  // left of box
+  EXPECT_DOUBLE_EQ(MinDistToBox({6, 7}, b), 5.0);  // corner 3-4-5
+}
+
+TEST(GeometryTest, MinDist2RespectsDims) {
+  Box3 b = Box3::Union(PointBox({1, 1}, 0.0), PointBox({3, 3}, 0.0));
+  // z distance ignored when dims = 2.
+  EXPECT_DOUBLE_EQ(b.MinDist2({2.0, 2.0, 9.0}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(b.MinDist2({2.0, 2.0, 9.0}, 3), 81.0);
+}
+
+}  // namespace
+}  // namespace tar

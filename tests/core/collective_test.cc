@@ -1,0 +1,160 @@
+#include "core/collective.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tar {
+namespace {
+
+constexpr Timestamp kEpochLen = 7 * kSecondsPerDay;
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed, std::size_t n = 400,
+                   std::int64_t epochs = 20)
+      : rng(seed), num_epochs(epochs) {
+    TarTreeOptions opt;
+    opt.strategy = GroupingStrategy::kIntegral3D;
+    opt.node_size_bytes = 512;
+    opt.grid = EpochGrid(0, kEpochLen);
+    opt.space = Box2::Union(Box2::FromPoint({0, 0}),
+                            Box2::FromPoint({100, 100}));
+    tree = std::make_unique<TarTree>(opt);
+    for (std::size_t i = 0; i < n; ++i) {
+      Poi p{static_cast<PoiId>(i),
+            {rng.Uniform(0, 100), rng.Uniform(0, 100)}};
+      std::vector<std::int32_t> hist(epochs, 0);
+      std::int64_t total =
+          static_cast<std::int64_t>(std::pow(10.0, rng.Uniform(0.0, 2.0)));
+      for (std::int64_t c = 0; c < total; ++c) {
+        ++hist[rng.UniformInt(0, epochs - 1)];
+      }
+      EXPECT_TRUE(tree->InsertPoi(p, hist).ok());
+    }
+  }
+
+  std::vector<KnntaQuery> MakeBatch(std::size_t count,
+                                    std::size_t num_interval_types) {
+    // A few preset intervals, many query points (the collective workload).
+    std::vector<TimeInterval> types;
+    for (std::size_t t = 0; t < num_interval_types; ++t) {
+      std::int64_t last = num_epochs - 1;
+      std::int64_t first =
+          std::max<std::int64_t>(0, last - (std::int64_t{1} << t));
+      types.push_back({first * kEpochLen, (last + 1) * kEpochLen - 1});
+    }
+    std::vector<KnntaQuery> batch;
+    for (std::size_t i = 0; i < count; ++i) {
+      KnntaQuery q;
+      q.point = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      q.interval = types[i % types.size()];
+      q.k = 10;
+      q.alpha0 = 0.3;
+      batch.push_back(q);
+    }
+    return batch;
+  }
+
+  Rng rng;
+  std::unique_ptr<TarTree> tree;
+  std::int64_t num_epochs;
+};
+
+class CollectiveEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollectiveEquivalenceTest, SameResultsAsIndividualProcessing) {
+  Fixture fx(GetParam());
+  for (std::size_t types : {1u, 3u, 5u}) {
+    std::vector<KnntaQuery> batch = fx.MakeBatch(60, types);
+    std::vector<std::vector<KnntaResult>> individual, collective;
+    ASSERT_TRUE(ProcessIndividually(*fx.tree, batch, &individual).ok());
+    ASSERT_TRUE(ProcessCollectively(*fx.tree, batch, &collective).ok());
+    ASSERT_EQ(individual.size(), collective.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(individual[i].size(), collective[i].size())
+          << "query " << i << " types " << types;
+      for (std::size_t r = 0; r < individual[i].size(); ++r) {
+        EXPECT_EQ(individual[i][r].poi, collective[i][r].poi)
+            << "query " << i << " rank " << r;
+        EXPECT_NEAR(individual[i][r].score, collective[i][r].score, 1e-12);
+        EXPECT_EQ(individual[i][r].aggregate, collective[i][r].aggregate);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveEquivalenceTest,
+                         ::testing::Values(2, 11, 23));
+
+TEST(CollectiveTest, SharesNodeAccessesAcrossTheBatch) {
+  Fixture fx(5);
+  std::vector<KnntaQuery> batch = fx.MakeBatch(100, 2);
+  AccessStats ind_stats, col_stats;
+  std::vector<std::vector<KnntaResult>> out;
+  // No TIA buffering, as in the paper's last experiment set: the sharing
+  // must come from the algorithm, not the cache.
+  fx.tree->tia_buffer_pool()->set_quota(0);
+  fx.tree->tia_buffer_pool()->Clear();
+  ASSERT_TRUE(ProcessIndividually(*fx.tree, batch, &out, &ind_stats).ok());
+  ASSERT_TRUE(ProcessCollectively(*fx.tree, batch, &out, &col_stats).ok());
+  EXPECT_LT(col_stats.rtree_node_reads, ind_stats.rtree_node_reads);
+  EXPECT_LT(col_stats.tia_page_reads, ind_stats.tia_page_reads);
+}
+
+TEST(CollectiveTest, MoreIntervalTypesCostMore) {
+  Fixture fx(9);
+  std::vector<std::vector<KnntaResult>> out;
+  fx.tree->tia_buffer_pool()->set_quota(0);
+  AccessStats few, many;
+  ASSERT_TRUE(
+      ProcessCollectively(*fx.tree, fx.MakeBatch(120, 1), &out, &few).ok());
+  ASSERT_TRUE(
+      ProcessCollectively(*fx.tree, fx.MakeBatch(120, 6), &out, &many).ok());
+  EXPECT_LT(few.tia_page_reads, many.tia_page_reads)
+      << "fewer interval types must share more aggregate computation";
+}
+
+TEST(CollectiveTest, EmptyBatchAndEmptyTree) {
+  Fixture fx(3, /*n=*/150);
+  std::vector<std::vector<KnntaResult>> out;
+  ASSERT_TRUE(ProcessCollectively(*fx.tree, {}, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  TarTreeOptions opt;
+  opt.grid = EpochGrid(0, kEpochLen);
+  TarTree empty(opt);
+  std::vector<KnntaQuery> batch{{{1, 1}, {0, 100}, 5, 0.3}};
+  ASSERT_TRUE(ProcessCollectively(empty, batch, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty());
+}
+
+TEST(CollectiveTest, RejectsInvalidQueriesUpFront) {
+  Fixture fx(4, /*n=*/120);
+  std::vector<std::vector<KnntaResult>> out;
+  std::vector<KnntaQuery> bad{{{1, 1}, {0, 100}, 0, 0.3}};
+  EXPECT_TRUE(ProcessCollectively(*fx.tree, bad, &out).IsInvalidArgument());
+  bad = {{{1, 1}, {100, 0}, 5, 0.3}};
+  EXPECT_TRUE(ProcessCollectively(*fx.tree, bad, &out).IsInvalidArgument());
+}
+
+TEST(CollectiveTest, MixedKPerQuery) {
+  Fixture fx(6);
+  std::vector<KnntaQuery> batch = fx.MakeBatch(30, 2);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].k = 1 + i % 17;
+  }
+  std::vector<std::vector<KnntaResult>> individual, collective;
+  ASSERT_TRUE(ProcessIndividually(*fx.tree, batch, &individual).ok());
+  ASSERT_TRUE(ProcessCollectively(*fx.tree, batch, &collective).ok());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(individual[i].size(), collective[i].size()) << i;
+    for (std::size_t r = 0; r < individual[i].size(); ++r) {
+      EXPECT_EQ(individual[i][r].poi, collective[i][r].poi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tar

@@ -1,0 +1,158 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tar {
+namespace {
+
+CostModelParams DefaultParams() {
+  CostModelParams p;
+  p.beta = 2.5;
+  p.xmin = 10;
+  p.xmax = 500;
+  p.num_pois = 20000;
+  p.node_capacity = 36;
+  return p;
+}
+
+TEST(CostModelTest, LayerHeights) {
+  CostModel model(DefaultParams());
+  EXPECT_DOUBLE_EQ(model.LayerHeight(500), 0.0);  // max aggregate: bottom
+  EXPECT_DOUBLE_EQ(model.LayerHeight(250), 0.5);
+  EXPECT_NEAR(model.LayerHeight(10), 1.0 - 10.0 / 500.0, 1e-12);
+}
+
+TEST(CostModelTest, PaperExampleLayerHeight) {
+  // Section 6.2: aggregate 2 with max 12 sits at height 1 - 2/12 = 0.83.
+  CostModelParams p = DefaultParams();
+  p.xmax = 12;
+  CostModel model(p);
+  EXPECT_NEAR(model.LayerHeight(2), 0.8333, 1e-3);
+  EXPECT_NEAR(model.LayerHeight(6), 0.5, 1e-12);
+}
+
+TEST(CostModelTest, ConeGeometryMatchesPaperExample) {
+  // Section 6.2: alpha0 = 0.3, f(pk) = 0.058 -> r0 = 0.192, hl = 0.082.
+  EXPECT_NEAR(CostModel::CrossSectionRadius(0.058, 0.3, 0.0), 0.058 / 0.3,
+              1e-12);
+  EXPECT_NEAR(0.058 / 0.3, 0.192, 2e-3);
+  EXPECT_NEAR(0.058 / 0.7, 0.082, 1e-3);
+  // Above the cone there is no cross-section.
+  EXPECT_DOUBLE_EQ(CostModel::CrossSectionRadius(0.058, 0.3, 0.1), 0.0);
+  // The radius shrinks linearly with height.
+  double r_half = CostModel::CrossSectionRadius(0.058, 0.3, 0.058 / 0.7 / 2);
+  EXPECT_NEAR(r_half, 0.058 / 0.3 / 2, 1e-12);
+}
+
+TEST(CostModelTest, DiskSquareIntersectionLimits) {
+  // Small radius: the boundary correction vanishes, E -> pi r^2.
+  double r = 0.01;
+  EXPECT_NEAR(CostModel::ExpectedDiskSquareIntersection(r),
+              std::numbers::pi * r * r, 1e-5);
+  // Large radius: capped at the unit square.
+  EXPECT_DOUBLE_EQ(CostModel::ExpectedDiskSquareIntersection(5.0), 1.0);
+  // Monotone in r until the cap.
+  double prev = 0.0;
+  for (double rr = 0.05; rr < 1.0; rr += 0.05) {
+    double v = CostModel::ExpectedDiskSquareIntersection(rr);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(CostModelTest, EstimateFpkFillsRegionWithKPois) {
+  CostModel model(DefaultParams());
+  for (std::size_t k : {1u, 5u, 10u, 50u, 100u}) {
+    double fpk = model.EstimateFpk(0.3, k);
+    EXPECT_GT(fpk, 0.0);
+    EXPECT_NEAR(model.ExpectedPoisInRegion(fpk, 0.3), k, k * 1e-3 + 1e-6);
+  }
+}
+
+TEST(CostModelTest, FpkGrowsWithK) {
+  CostModel model(DefaultParams());
+  double prev = 0.0;
+  for (std::size_t k : {1u, 5u, 10u, 50u, 100u}) {
+    double fpk = model.EstimateFpk(0.3, k);
+    EXPECT_GT(fpk, prev);
+    prev = fpk;
+  }
+}
+
+TEST(CostModelTest, NodeAccessesGrowWithK) {
+  CostModel model(DefaultParams());
+  double prev = 0.0;
+  for (std::size_t k : {1u, 10u, 100u}) {
+    double na = model.EstimateNodeAccesses(0.3, k);
+    EXPECT_GT(na, prev);
+    prev = na;
+  }
+  // Sanity: never more than the total number of leaf nodes.
+  double leaves = 20000.0 / (0.69 * 36);
+  EXPECT_LE(model.EstimateNodeAccesses(0.3, 100), leaves);
+}
+
+TEST(CostModelTest, FitFromAggregates) {
+  Rng rng(3);
+  PowerLaw law(2.6, 20);
+  std::vector<std::int64_t> aggs(20000);
+  for (auto& a : aggs) a = law.Sample(rng);
+  CostModelParams p = FitCostModel(aggs, 36);
+  EXPECT_EQ(p.num_pois, aggs.size());
+  EXPECT_NEAR(p.beta, 2.6, 0.15);
+  EXPECT_EQ(p.xmin, *std::min_element(aggs.begin(), aggs.end()));
+  EXPECT_EQ(p.xmax, *std::max_element(aggs.begin(), aggs.end()));
+}
+
+TEST(CostModelTest, EstimateTracksMeasurementOrderOfMagnitude) {
+  // End-to-end sanity of the Section 6.2 estimate: draw POIs as the model
+  // assumes (uniform positions, power-law aggregates on layers), measure
+  // the true f(pk) and compare. The paper reports close agreement for
+  // k >= 5; we assert the same within a modest factor.
+  Rng rng(11);
+  CostModelParams params = DefaultParams();
+  params.num_pois = 20000;
+  CostModel model(params);
+  PowerLaw law(params.beta, params.xmin);
+
+  struct P {
+    double x, y, z;
+  };
+  std::vector<P> pois(params.num_pois);
+  for (auto& p : pois) {
+    std::int64_t agg = std::min(law.Sample(rng), params.xmax);
+    p = {rng.Uniform(), rng.Uniform(),
+         1.0 - static_cast<double>(agg) / params.xmax};
+  }
+  const double alpha0 = 0.3;
+  for (std::size_t k : {5u, 10u, 50u}) {
+    double measured = 0.0;
+    const int kQueries = 40;
+    std::vector<double> scores(pois.size());
+    for (int qi = 0; qi < kQueries; ++qi) {
+      double qx = rng.Uniform();
+      double qy = rng.Uniform();
+      for (std::size_t i = 0; i < pois.size(); ++i) {
+        double d = std::sqrt((pois[i].x - qx) * (pois[i].x - qx) +
+                             (pois[i].y - qy) * (pois[i].y - qy));
+        // Normalized by the unit square: d in [0, sqrt(2)], z in [0, 1].
+        scores[i] = alpha0 * d + (1 - alpha0) * pois[i].z;
+      }
+      std::nth_element(scores.begin(), scores.begin() + k - 1, scores.end());
+      measured += scores[k - 1];
+    }
+    measured /= kQueries;
+    double estimated = model.EstimateFpk(alpha0, k);
+    EXPECT_GT(estimated, measured * 0.5) << "k=" << k;
+    EXPECT_LT(estimated, measured * 2.0) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace tar

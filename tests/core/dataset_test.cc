@@ -1,0 +1,88 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace tar {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset data;
+  data.name = "toy";
+  data.pois = {{0, {1, 1}}, {1, {5, 9}}, {2, {3, 2}}};
+  // Epoch length 10s for readability.
+  data.checkins = {{0, 1},  {0, 5},  {1, 12}, {0, 15}, {2, 21},
+                   {1, 25}, {1, 27}, {1, 29}, {0, 35}};
+  data.t_end = 39;
+  data.ComputeBounds();
+  return data;
+}
+
+TEST(DatasetTest, ComputeBounds) {
+  Dataset data = SmallDataset();
+  EXPECT_DOUBLE_EQ(data.bounds.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(data.bounds.hi[0], 5.0);
+  EXPECT_DOUBLE_EQ(data.bounds.lo[1], 1.0);
+  EXPECT_DOUBLE_EQ(data.bounds.hi[1], 9.0);
+}
+
+TEST(DatasetTest, SnapshotUntilKeepsPrefix) {
+  Dataset data = SmallDataset();
+  Dataset snap = data.SnapshotUntil(21);
+  EXPECT_EQ(snap.pois.size(), 3u);
+  EXPECT_EQ(snap.checkins.size(), 5u);
+  EXPECT_EQ(snap.t_end, 21);
+  for (const CheckIn& c : snap.checkins) EXPECT_LE(c.time, 21);
+}
+
+TEST(EpochCountsTest, CountsPerPoiPerEpoch) {
+  Dataset data = SmallDataset();
+  EpochGrid grid(0, 10);
+  EpochCounts counts = BuildEpochCounts(data, grid);
+  EXPECT_EQ(counts.num_epochs, 4);
+  // POI 0: epochs 0 (t=1,5), 1 (t=15), 3 (t=35).
+  ASSERT_GE(counts.counts[0].size(), 4u);
+  EXPECT_EQ(counts.counts[0][0], 2);
+  EXPECT_EQ(counts.counts[0][1], 1);
+  EXPECT_EQ(counts.counts[0][2], 0);
+  EXPECT_EQ(counts.counts[0][3], 1);
+  // POI 1: epoch 1 (t=12), epoch 2 (t=25,27,29).
+  EXPECT_EQ(counts.counts[1][1], 1);
+  EXPECT_EQ(counts.counts[1][2], 3);
+  // POI 2: epoch 2 only.
+  EXPECT_EQ(counts.counts[2][2], 1);
+  EXPECT_EQ(counts.Total(0), 4);
+  EXPECT_EQ(counts.Total(1), 4);
+  EXPECT_EQ(counts.Total(2), 1);
+}
+
+TEST(EpochCountsTest, SumRangeClampsBounds) {
+  Dataset data = SmallDataset();
+  EpochCounts counts = BuildEpochCounts(data, EpochGrid(0, 10));
+  EXPECT_EQ(counts.SumRange(0, 0, 3), 4);
+  EXPECT_EQ(counts.SumRange(0, 1, 2), 1);
+  EXPECT_EQ(counts.SumRange(0, -5, 100), 4);
+  EXPECT_EQ(counts.SumRange(2, 0, 1), 0);
+}
+
+TEST(EpochCountsTest, EffectivePoisThreshold) {
+  Dataset data = SmallDataset();
+  EpochCounts counts = BuildEpochCounts(data, EpochGrid(0, 10));
+  EXPECT_EQ(EffectivePois(counts, 1).size(), 3u);
+  EXPECT_EQ(EffectivePois(counts, 2), (std::vector<PoiId>{0, 1}));
+  EXPECT_EQ(EffectivePois(counts, 5).size(), 0u);
+}
+
+TEST(EpochGridTest, AlignOutwardCoversIntersectedEpochs) {
+  EpochGrid grid(0, 10);
+  // [12, 27] intersects epochs 1 and 2 -> [10, 29].
+  TimeInterval aligned = grid.AlignOutward({12, 27});
+  EXPECT_EQ(aligned.start, 10);
+  EXPECT_EQ(aligned.end, 29);
+  // Already aligned stays put.
+  EXPECT_EQ(grid.AlignOutward({10, 29}), (TimeInterval{10, 29}));
+  // Single point.
+  EXPECT_EQ(grid.AlignOutward({25, 25}), (TimeInterval{20, 29}));
+}
+
+}  // namespace
+}  // namespace tar

@@ -1,0 +1,325 @@
+#include "core/mwa.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/scan_baseline.h"
+
+namespace tar {
+namespace {
+
+constexpr Timestamp kEpochLen = 7 * kSecondsPerDay;
+
+TEST(CrossoverWeightTest, PaperTable3Pairs) {
+  // Table 3: s values of p1..p6; alpha0 = 0.5, k = 2.
+  ScoredPoi p1{1, 0.25, 0.10};
+  ScoredPoi p2{2, 0.10, 0.30};
+  ScoredPoi p3{3, 0.20, 0.35};
+  ScoredPoi p4{4, 0.35, 0.25};
+  ScoredPoi p5{5, 0.025, 0.60};
+  ScoredPoi p6{6, 0.60, 0.05};
+
+  // f'(p1) > f'(p3) needs alpha0 > 5/6.
+  ASSERT_TRUE(CrossoverWeight(p1, p3).has_value());
+  EXPECT_NEAR(*CrossoverWeight(p1, p3), 5.0 / 6.0, 1e-12);
+  // f'(p1) > f'(p5) needs alpha0 > 20/29.
+  EXPECT_NEAR(*CrossoverWeight(p1, p5), 20.0 / 29.0, 1e-12);
+  // f'(p1) > f'(p6) needs alpha0 < 1/8.
+  EXPECT_NEAR(*CrossoverWeight(p1, p6), 1.0 / 8.0, 1e-12);
+  // f'(p2) > f'(p4), f'(p5), f'(p6): 1/6, 4/5, 1/3.
+  EXPECT_NEAR(*CrossoverWeight(p2, p4), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(*CrossoverWeight(p2, p5), 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(*CrossoverWeight(p2, p6), 1.0 / 3.0, 1e-12);
+  // p1 dominates p4 (both components smaller): no crossover.
+  EXPECT_FALSE(CrossoverWeight(p1, p4).has_value());
+}
+
+TEST(CrossoverWeightTest, PaperTable3Mwa) {
+  // The MWA of the example is alpha0 < 1/3 or alpha0 > 20/29.
+  std::vector<ScoredPoi> top = {{1, 0.25, 0.10}, {2, 0.10, 0.30}};
+  std::vector<ScoredPoi> rest = {
+      {3, 0.20, 0.35}, {4, 0.35, 0.25}, {5, 0.025, 0.60}, {6, 0.60, 0.05}};
+  MwaResult mwa;
+  AccumulateMwa(top, rest, 0.5, &mwa);
+  ASSERT_TRUE(mwa.lower.has_value());
+  ASSERT_TRUE(mwa.upper.has_value());
+  EXPECT_NEAR(*mwa.lower, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(*mwa.upper, 20.0 / 29.0, 1e-12);
+}
+
+TEST(SkylineTest, MinimalAndReversedSkylines) {
+  std::vector<ScoredPoi> pts = {{1, 0.1, 0.9}, {2, 0.5, 0.5}, {3, 0.9, 0.1},
+                                {4, 0.6, 0.6}, {5, 0.2, 0.8}};
+  std::vector<ScoredPoi> sky = Skyline(pts);
+  ASSERT_EQ(sky.size(), 4u);  // 4 is dominated by 2; 5 dominated by 1? no:
+  // (0.2, 0.8) vs (0.1, 0.9): neither dominates. Skyline = {1, 5, 2, 3}.
+  EXPECT_EQ(sky[0].poi, 1u);
+  EXPECT_EQ(sky[1].poi, 5u);
+  EXPECT_EQ(sky[2].poi, 2u);
+  EXPECT_EQ(sky[3].poi, 3u);
+
+  std::vector<ScoredPoi> rsky = ReversedSkyline(pts);
+  // Maximal points: 2 (0.5,0.5) is reverse-dominated by 4 (0.6,0.6); all
+  // others are maximal (1 vs 5: each larger in a different component).
+  ASSERT_EQ(rsky.size(), 4u);
+  std::vector<PoiId> ids;
+  for (const auto& p : rsky) ids.push_back(p.poi);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<PoiId>{1, 3, 4, 5}));
+}
+
+TEST(SkylineTest, DuplicatesAndSinglePoint) {
+  std::vector<ScoredPoi> one = {{7, 0.3, 0.3}};
+  EXPECT_EQ(Skyline(one).size(), 1u);
+  std::vector<ScoredPoi> dup = {{1, 0.3, 0.3}, {2, 0.3, 0.3}};
+  // Exact ties are deduplicated: one representative survives (a duplicate
+  // never contributes a different crossover weight).
+  EXPECT_EQ(Skyline(dup).size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Randomized equivalence: pruning == enumerating == brute force.
+// --------------------------------------------------------------------------
+
+struct MwaFixture {
+  explicit MwaFixture(std::uint64_t seed, std::size_t n = 300,
+                      std::size_t epochs = 20)
+      : rng(seed) {
+    TarTreeOptions opt;
+    opt.strategy = GroupingStrategy::kIntegral3D;
+    opt.node_size_bytes = 512;
+    opt.grid = EpochGrid(0, kEpochLen);
+    opt.space = Box2::Union(Box2::FromPoint({0, 0}),
+                            Box2::FromPoint({100, 100}));
+    tree = std::make_unique<TarTree>(opt);
+    num_epochs = epochs;
+    for (std::size_t i = 0; i < n; ++i) {
+      Poi p{static_cast<PoiId>(i),
+            {rng.Uniform(0, 100), rng.Uniform(0, 100)}};
+      std::vector<std::int32_t> hist(epochs, 0);
+      std::int64_t total =
+          static_cast<std::int64_t>(std::pow(10.0, rng.Uniform(0.0, 2.0)));
+      for (std::int64_t c = 0; c < total; ++c) {
+        ++hist[rng.UniformInt(0, epochs - 1)];
+      }
+      EXPECT_TRUE(tree->InsertPoi(p, hist).ok());
+    }
+  }
+
+  KnntaQuery RandomQuery() {
+    KnntaQuery q;
+    q.point = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::int64_t e0 = rng.UniformInt(0, num_epochs - 1);
+    std::int64_t e1 = rng.UniformInt(e0, num_epochs - 1);
+    q.interval = {e0 * kEpochLen, (e1 + 1) * kEpochLen - 1};
+    q.k = static_cast<std::size_t>(rng.UniformInt(2, 15));
+    q.alpha0 = rng.Uniform(0.1, 0.9);
+    return q;
+  }
+
+  /// Ground truth by scoring every POI and considering every pair.
+  MwaResult BruteForce(const KnntaQuery& q) {
+    TarTree::QueryContext ctx = tree->MakeContext(q);
+    KnntaQuery all = q;
+    all.k = tree->num_pois();
+    std::vector<KnntaResult> results;
+    EXPECT_TRUE(tree->Query(all, &results).ok());
+    std::vector<ScoredPoi> scored;
+    for (const KnntaResult& r : results) {
+      scored.push_back(ScoredPoi{
+          r.poi, r.dist / ctx.dmax,
+          1.0 - std::min(1.0, static_cast<double>(r.aggregate) / ctx.gmax)});
+    }
+    std::vector<ScoredPoi> top(scored.begin(),
+                               scored.begin() + std::min(q.k, scored.size()));
+    std::vector<ScoredPoi> rest(scored.begin() + top.size(), scored.end());
+    MwaResult mwa;
+    AccumulateMwa(top, rest, q.alpha0, &mwa);
+    return mwa;
+  }
+
+  Rng rng;
+  std::unique_ptr<TarTree> tree;
+  std::int64_t num_epochs = 0;
+};
+
+class MwaEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MwaEquivalenceTest, PruningMatchesEnumeratingAndBruteForce) {
+  MwaFixture fx(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    KnntaQuery q = fx.RandomQuery();
+    MwaResult truth = fx.BruteForce(q);
+    MwaResult enumerating, pruning;
+    AccessStats enum_stats, prune_stats;
+    ASSERT_TRUE(
+        ComputeMwaEnumerating(*fx.tree, q, &enumerating, &enum_stats).ok());
+    ASSERT_TRUE(ComputeMwaPruning(*fx.tree, q, &pruning, &prune_stats).ok());
+
+    ASSERT_EQ(enumerating.lower.has_value(), truth.lower.has_value())
+        << "trial " << trial;
+    ASSERT_EQ(pruning.lower.has_value(), truth.lower.has_value())
+        << "trial " << trial;
+    if (truth.lower) {
+      EXPECT_NEAR(*enumerating.lower, *truth.lower, 1e-12);
+      EXPECT_NEAR(*pruning.lower, *truth.lower, 1e-12);
+    }
+    ASSERT_EQ(enumerating.upper.has_value(), truth.upper.has_value());
+    ASSERT_EQ(pruning.upper.has_value(), truth.upper.has_value());
+    if (truth.upper) {
+      EXPECT_NEAR(*enumerating.upper, *truth.upper, 1e-12);
+      EXPECT_NEAR(*pruning.upper, *truth.upper, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwaEquivalenceTest,
+                         ::testing::Values(3, 17, 29, 61));
+
+TEST(MwaSemanticsTest, CrossingTheBoundaryChangesExactlyOneResult) {
+  MwaFixture fx(101);
+  int checked = 0;
+  for (int trial = 0; trial < 20 && checked < 8; ++trial) {
+    KnntaQuery q = fx.RandomQuery();
+    MwaResult mwa;
+    ASSERT_TRUE(ComputeMwaPruning(*fx.tree, q, &mwa).ok());
+    std::vector<KnntaResult> before;
+    ASSERT_TRUE(fx.tree->Query(q, &before).ok());
+    std::vector<PoiId> before_ids;
+    for (const auto& r : before) before_ids.push_back(r.poi);
+    std::sort(before_ids.begin(), before_ids.end());
+
+    for (int side = 0; side < 2; ++side) {
+      auto gamma = side == 0 ? mwa.lower : mwa.upper;
+      if (!gamma.has_value()) continue;
+      double eps = 1e-7;
+      double beyond = side == 0 ? *gamma - eps : *gamma + eps;
+      double inside = side == 0 ? *gamma + eps : *gamma - eps;
+      if (beyond <= 0.0 || beyond >= 1.0) continue;
+
+      KnntaQuery q2 = q;
+      q2.alpha0 = beyond;
+      std::vector<KnntaResult> after;
+      ASSERT_TRUE(fx.tree->Query(q2, &after).ok());
+      std::vector<PoiId> after_ids;
+      for (const auto& r : after) after_ids.push_back(r.poi);
+      std::sort(after_ids.begin(), after_ids.end());
+      std::vector<PoiId> diff;
+      std::set_symmetric_difference(before_ids.begin(), before_ids.end(),
+                                    after_ids.begin(), after_ids.end(),
+                                    std::back_inserter(diff));
+      EXPECT_EQ(diff.size(), 2u)
+          << "crossing the MWA must swap exactly one POI (trial " << trial
+          << " side " << side << ")";
+
+      // Staying inside the boundary must keep the result set.
+      if (inside > 0.0 && inside < 1.0) {
+        KnntaQuery q3 = q;
+        q3.alpha0 = inside;
+        std::vector<KnntaResult> same;
+        ASSERT_TRUE(fx.tree->Query(q3, &same).ok());
+        std::vector<PoiId> same_ids;
+        for (const auto& r : same) same_ids.push_back(r.poi);
+        std::sort(same_ids.begin(), same_ids.end());
+        EXPECT_EQ(same_ids, before_ids);
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 4) << "too few MWA boundaries exercised";
+}
+
+TEST(MwaSemanticsTest, PruningUsesFewerAccessesForLargeK) {
+  MwaFixture fx(7, /*n=*/500, /*epochs=*/15);
+  KnntaQuery q = fx.RandomQuery();
+  q.k = 100;
+  AccessStats enum_stats, prune_stats;
+  MwaResult a, b;
+  ASSERT_TRUE(ComputeMwaEnumerating(*fx.tree, q, &a, &enum_stats).ok());
+  ASSERT_TRUE(ComputeMwaPruning(*fx.tree, q, &b, &prune_stats).ok());
+  EXPECT_LT(prune_stats.NodeAccesses(), enum_stats.NodeAccesses());
+}
+
+TEST(MwaSemanticsTest, NoLowerRankedPoisMeansNoAdjustment) {
+  MwaFixture fx(5, /*n=*/20, /*epochs=*/5);
+  KnntaQuery q = fx.RandomQuery();
+  q.k = 50;  // k > N: every POI is in the top-k
+  MwaResult enumerating, pruning;
+  ASSERT_TRUE(ComputeMwaEnumerating(*fx.tree, q, &enumerating).ok());
+  ASSERT_TRUE(ComputeMwaPruning(*fx.tree, q, &pruning).ok());
+  EXPECT_FALSE(enumerating.lower.has_value());
+  EXPECT_FALSE(enumerating.upper.has_value());
+  EXPECT_EQ(enumerating, pruning);
+}
+
+TEST(MwaSequenceTest, BoundariesAreMonotoneAndEachChangesResults) {
+  MwaFixture fx(41);
+  KnntaQuery q = fx.RandomQuery();
+  q.alpha0 = 0.5;
+  for (bool increase : {true, false}) {
+    std::vector<double> boundaries;
+    ASSERT_TRUE(
+        ComputeMwaSequence(*fx.tree, q, 5, increase, &boundaries).ok());
+    ASSERT_GE(boundaries.size(), 2u) << "expected several boundaries";
+    // Strictly monotone away from the current weight.
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
+      if (increase) {
+        EXPECT_GT(boundaries[i], i == 0 ? q.alpha0 : boundaries[i - 1]);
+      } else {
+        EXPECT_LT(boundaries[i], i == 0 ? q.alpha0 : boundaries[i - 1]);
+      }
+      EXPECT_GT(boundaries[i], 0.0);
+      EXPECT_LT(boundaries[i], 1.0);
+    }
+    // Crossing the i-th boundary yields a result set that differs from the
+    // previous step's set by exactly one POI.
+    std::vector<KnntaResult> results;
+    ASSERT_TRUE(fx.tree->Query(q, &results).ok());
+    std::set<PoiId> prev;
+    for (const auto& r : results) prev.insert(r.poi);
+    for (double gamma : boundaries) {
+      double beyond = increase ? gamma + 1e-7 : gamma - 1e-7;
+      if (beyond <= 0.0 || beyond >= 1.0) break;
+      KnntaQuery q2 = q;
+      q2.alpha0 = beyond;
+      ASSERT_TRUE(fx.tree->Query(q2, &results).ok());
+      std::set<PoiId> cur;
+      for (const auto& r : results) cur.insert(r.poi);
+      std::vector<PoiId> diff;
+      std::set_symmetric_difference(prev.begin(), prev.end(), cur.begin(),
+                                    cur.end(), std::back_inserter(diff));
+      EXPECT_EQ(diff.size(), 2u) << "gamma " << gamma;
+      prev = cur;
+    }
+  }
+}
+
+TEST(TreeSkylineTest, MatchesBruteForceSkyline) {
+  MwaFixture fx(13, 200, 10);
+  KnntaQuery q = fx.RandomQuery();
+  TarTree::QueryContext ctx = fx.tree->MakeContext(q);
+  KnntaQuery all = q;
+  all.k = fx.tree->num_pois();
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(fx.tree->Query(all, &results).ok());
+  std::vector<ScoredPoi> scored;
+  for (const KnntaResult& r : results) {
+    scored.push_back(ScoredPoi{
+        r.poi, r.dist / ctx.dmax,
+        1.0 - std::min(1.0, static_cast<double>(r.aggregate) / ctx.gmax)});
+  }
+  std::vector<ScoredPoi> want = Skyline(scored);
+  std::vector<ScoredPoi> got;
+  ASSERT_TRUE(TreeSkyline(*fx.tree, ctx, {}, &got).ok());
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].poi, want[i].poi) << "skyline rank " << i;
+    EXPECT_NEAR(got[i].s0, want[i].s0, 1e-12);
+    EXPECT_NEAR(got[i].s1, want[i].s1, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace tar

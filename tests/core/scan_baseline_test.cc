@@ -1,0 +1,135 @@
+#include "core/scan_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tar {
+namespace {
+
+constexpr Timestamp kEpochLen = 7 * kSecondsPerDay;
+
+ScanBaseline MakeScan() {
+  return ScanBaseline(EpochGrid(0, kEpochLen),
+                      Box2::Union(Box2::FromPoint({0, 0}),
+                                  Box2::FromPoint({100, 100})));
+}
+
+TEST(ScanBaselineTest, EmptyAndInvalidQueries) {
+  ScanBaseline scan = MakeScan();
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(scan.Query({{1, 1}, {0, 100}, 5, 0.3}, &results).ok());
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(scan.Query({{1, 1}, {0, 100}, 0, 0.3}, &results)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(scan.Query({{1, 1}, {0, 100}, 5, 1.5}, &results)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(scan.Query({{1, 1}, {100, 0}, 5, 0.3}, &results)
+                  .IsInvalidArgument());
+}
+
+TEST(ScanBaselineTest, DuplicateAndUnknownPois) {
+  ScanBaseline scan = MakeScan();
+  ASSERT_TRUE(scan.AddPoi({1, {2, 2}}, {1, 2}).ok());
+  EXPECT_TRUE(scan.AddPoi({1, {3, 3}}, {}).IsAlreadyExists());
+  EXPECT_TRUE(scan.AddCheckIns(99, 0, 5).IsNotFound());
+  EXPECT_TRUE(scan.RemovePoi(99).IsNotFound());
+}
+
+TEST(ScanBaselineTest, AddCheckInsIncrementalMatchesBulkHistory) {
+  // Feeding the stream epoch by epoch must give the same answers as
+  // registering the full history up front.
+  Rng rng(3);
+  ScanBaseline bulk = MakeScan();
+  ScanBaseline incremental = MakeScan();
+  const std::size_t kPois = 80;
+  const std::size_t kEpochs = 12;
+  std::vector<std::vector<std::int32_t>> hist(kPois);
+  for (std::size_t i = 0; i < kPois; ++i) {
+    hist[i].assign(kEpochs, 0);
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      if (rng.Uniform() < 0.5) {
+        hist[i][e] = static_cast<std::int32_t>(rng.UniformInt(1, 9));
+      }
+    }
+    Poi p{static_cast<PoiId>(i),
+          {rng.Uniform(0, 100), rng.Uniform(0, 100)}};
+    ASSERT_TRUE(bulk.AddPoi(p, hist[i]).ok());
+    ASSERT_TRUE(incremental.AddPoi(p, {}).ok());
+  }
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    for (std::size_t i = 0; i < kPois; ++i) {
+      // Split an epoch's count into two calls: they must accumulate.
+      std::int32_t c = hist[i][e];
+      if (c == 0) continue;
+      ASSERT_TRUE(incremental.AddCheckIns(i, e, c / 2).ok());
+      ASSERT_TRUE(incremental.AddCheckIns(i, e, c - c / 2).ok());
+    }
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    KnntaQuery q;
+    q.point = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::int64_t e0 = rng.UniformInt(0, kEpochs - 1);
+    std::int64_t e1 = rng.UniformInt(e0, kEpochs - 1);
+    q.interval = {e0 * kEpochLen, (e1 + 1) * kEpochLen - 1};
+    q.k = 1 + trial % 10;
+    q.alpha0 = rng.Uniform(0.1, 0.9);
+    std::vector<KnntaResult> a, b;
+    ASSERT_TRUE(bulk.Query(q, &a).ok());
+    ASSERT_TRUE(incremental.Query(q, &b).ok());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].poi, b[i].poi) << "trial " << trial;
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(ScanBaselineTest, AddCheckInsRejectsOutOfOrderEpochs) {
+  ScanBaseline scan = MakeScan();
+  ASSERT_TRUE(scan.AddPoi({1, {2, 2}}, {}).ok());
+  ASSERT_TRUE(scan.AddCheckIns(1, 5, 3).ok());
+  EXPECT_TRUE(scan.AddCheckIns(1, 4, 1).IsInvalidArgument());
+  // Same epoch accumulates; later epochs fine; zero counts are no-ops.
+  ASSERT_TRUE(scan.AddCheckIns(1, 5, 2).ok());
+  ASSERT_TRUE(scan.AddCheckIns(1, 6, 1).ok());
+  ASSERT_TRUE(scan.AddCheckIns(1, 2, 0).ok());
+}
+
+TEST(ScanBaselineTest, RemoveSwapsSlotConsistently) {
+  ScanBaseline scan = MakeScan();
+  for (PoiId i = 0; i < 10; ++i) {
+    ASSERT_TRUE(scan.AddPoi({i, {static_cast<double>(i), 1.0}},
+                            {static_cast<std::int32_t>(i + 1)}).ok());
+  }
+  ASSERT_TRUE(scan.RemovePoi(0).ok());  // swaps the last POI into slot 0
+  EXPECT_EQ(scan.num_pois(), 9u);
+  // The swapped POI must still be addressable.
+  ASSERT_TRUE(scan.AddCheckIns(9, 3, 2).ok());
+  ASSERT_TRUE(scan.RemovePoi(9).ok());
+  EXPECT_EQ(scan.num_pois(), 8u);
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(scan.Query({{1, 1}, {0, 100 * kEpochLen}, 20, 0.5},
+                         &results).ok());
+  EXPECT_EQ(results.size(), 8u);
+  for (const KnntaResult& r : results) {
+    EXPECT_NE(r.poi, 0u);
+    EXPECT_NE(r.poi, 9u);
+  }
+}
+
+TEST(ScanBaselineTest, KClampsToPopulation) {
+  ScanBaseline scan = MakeScan();
+  for (PoiId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(scan.AddPoi({i, {static_cast<double>(i), 2.0}}, {1}).ok());
+  }
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(scan.Query({{0, 0}, {0, kEpochLen}, 50, 0.5}, &results).ok());
+  EXPECT_EQ(results.size(), 5u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].score, results[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace tar

@@ -1,0 +1,422 @@
+#include "core/tar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/scan_baseline.h"
+
+namespace tar {
+namespace {
+
+constexpr Timestamp kEpochLen = 7 * kSecondsPerDay;
+
+TarTreeOptions MakeOptions(GroupingStrategy strategy) {
+  TarTreeOptions opt;
+  opt.strategy = strategy;
+  opt.node_size_bytes = 512;  // small nodes so trees get deep quickly
+  opt.grid = EpochGrid(0, kEpochLen);
+  opt.space = Box2::Union(Box2::FromPoint({0, 0}),
+                          Box2::FromPoint({100, 100}));
+  return opt;
+}
+
+struct TestData {
+  std::vector<Poi> pois;
+  std::vector<std::vector<std::int32_t>> histories;
+};
+
+/// POIs at random positions; check-in histories with a heavy-tailed total
+/// spread over `epochs` epochs.
+TestData MakeData(std::size_t n, std::size_t epochs, Rng& rng) {
+  TestData data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Poi p{static_cast<PoiId>(i),
+          {rng.Uniform(0, 100), rng.Uniform(0, 100)}};
+    std::vector<std::int32_t> hist(epochs, 0);
+    // Heavy tail: most POIs small, a few large.
+    std::int64_t total =
+        static_cast<std::int64_t>(std::pow(10.0, rng.Uniform(0.0, 2.5)));
+    for (std::int64_t c = 0; c < total; ++c) {
+      ++hist[rng.UniformInt(0, epochs - 1)];
+    }
+    data.pois.push_back(p);
+    data.histories.push_back(std::move(hist));
+  }
+  return data;
+}
+
+KnntaQuery RandomQuery(std::size_t epochs, Rng& rng) {
+  KnntaQuery q;
+  q.point = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+  std::int64_t e0 = rng.UniformInt(0, epochs - 1);
+  std::int64_t e1 = rng.UniformInt(0, epochs - 1);
+  if (e0 > e1) std::swap(e0, e1);
+  q.interval = {e0 * kEpochLen + rng.UniformInt(0, kEpochLen - 1),
+                e1 * kEpochLen + rng.UniformInt(0, kEpochLen - 1)};
+  if (q.interval.start > q.interval.end) {
+    std::swap(q.interval.start, q.interval.end);
+  }
+  q.k = static_cast<std::size_t>(rng.UniformInt(1, 20));
+  q.alpha0 = rng.Uniform(0.05, 0.95);
+  return q;
+}
+
+void ExpectSameResults(const std::vector<KnntaResult>& got,
+                       const std::vector<KnntaResult>& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, want[i].score, 1e-12) << label << " rank " << i;
+    // POI ids must match unless the neighborhood is an exact score tie.
+    if (got[i].poi != want[i].poi) {
+      bool tie = false;
+      for (std::size_t j = 0; j < want.size(); ++j) {
+        if (want[j].poi == got[i].poi &&
+            std::abs(want[j].score - got[i].score) < 1e-12) {
+          tie = true;
+        }
+      }
+      EXPECT_TRUE(tie) << label << " rank " << i << ": poi " << got[i].poi
+                       << " vs " << want[i].poi;
+    }
+    EXPECT_NEAR(got[i].dist, want[i].dist, 1e-9) << label;
+    EXPECT_EQ(got[i].aggregate, want[i].aggregate) << label;
+  }
+}
+
+TEST(TarTreeOptionsTest, PaperNodeCapacities) {
+  TarTreeOptions opt;
+  opt.node_size_bytes = 1024;
+  opt.strategy = GroupingStrategy::kIntegral3D;
+  EXPECT_EQ(opt.NodeCapacity(), 36u);  // 3-D entries
+  opt.strategy = GroupingStrategy::kSpatial;
+  EXPECT_EQ(opt.NodeCapacity(), 50u);  // 2-D entries
+  opt.strategy = GroupingStrategy::kAggregate;
+  EXPECT_EQ(opt.NodeCapacity(), 50u);
+}
+
+TEST(TarTreeTest, EmptyTreeReturnsNoResults) {
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  std::vector<KnntaResult> results;
+  KnntaQuery q{{50, 50}, {0, kEpochLen}, 5, 0.3};
+  ASSERT_TRUE(tree.Query(q, &results).ok());
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TarTreeTest, InvalidQueriesRejected) {
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  std::vector<KnntaResult> results;
+  EXPECT_TRUE(tree.Query({{0, 0}, {0, 10}, 0, 0.3}, &results)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(tree.Query({{0, 0}, {0, 10}, 5, 0.0}, &results)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(tree.Query({{0, 0}, {0, 10}, 5, 1.0}, &results)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(tree.Query({{0, 0}, {10, 0}, 5, 0.3}, &results)
+                  .IsInvalidArgument());
+}
+
+TEST(TarTreeTest, DuplicatePoiRejected) {
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  ASSERT_TRUE(tree.InsertPoi({1, {3, 4}}, {1, 2}).ok());
+  EXPECT_TRUE(tree.InsertPoi({1, {5, 6}}, {}).IsAlreadyExists());
+}
+
+TEST(TarTreeTest, PaperWorkedExample) {
+  // Figure 1 / Table 1: 12 POIs, 3 epochs, query at q with a0 = 0.3 and the
+  // whole time interval. POI f (index 5) must win with the largest
+  // aggregate 12 and distance 3.
+  TarTreeOptions opt = MakeOptions(GroupingStrategy::kIntegral3D);
+  // The paper's space has max pairwise distance 15.6; model the space as a
+  // box whose diagonal is 15.6.
+  double side = 15.6 / std::sqrt(2.0);
+  opt.space = Box2::Union(Box2::FromPoint({0, 0}),
+                          Box2::FromPoint({side, side}));
+  TarTree tree(opt);
+
+  // Positions chosen so that d(f, q) = 3 and the rest farther; the exact
+  // layout of Figure 1 is not published, only distances matter here.
+  Vec2 q{5, 5};
+  std::vector<std::vector<std::int32_t>> hist = {
+      {1, 1, 0}, {1, 0, 1}, {2, 2, 2}, {2, 0, 0}, {1, 1, 0}, {3, 5, 4},
+      {2, 3, 1}, {1, 1, 0}, {2, 2, 2}, {2, 0, 0}, {1, 0, 1}, {1, 0, 1}};
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    Vec2 pos = i == 5 ? Vec2{8, 5} : Vec2{5 + 0.5 * (i + 1), 9.0};
+    ASSERT_TRUE(
+        tree.InsertPoi({static_cast<PoiId>(i), pos}, hist[i]).ok());
+  }
+  std::vector<KnntaResult> results;
+  KnntaQuery query{q, {0, 3 * kEpochLen - 1}, 1, 0.3};
+  ASSERT_TRUE(tree.Query(query, &results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].poi, 5u);  // f
+  EXPECT_EQ(results[0].aggregate, 12);
+  EXPECT_NEAR(results[0].dist, 3.0, 1e-12);
+  // f(f) = 0.3 * 3/15.6 + 0.7 * (1 - 12/12) = 0.0577
+  EXPECT_NEAR(results[0].score, 0.3 * 3.0 / 15.6, 1e-9);
+}
+
+struct StrategySeed {
+  GroupingStrategy strategy;
+  std::uint64_t seed;
+};
+
+class TarTreeOracleTest : public ::testing::TestWithParam<StrategySeed> {};
+
+TEST_P(TarTreeOracleTest, QueriesMatchSequentialScan) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  const std::size_t kPois = 400;
+  const std::size_t kEpochs = 30;
+  TestData data = MakeData(kPois, kEpochs, rng);
+
+  TarTree tree(MakeOptions(param.strategy));
+  ScanBaseline scan(EpochGrid(0, kEpochLen),
+                    MakeOptions(param.strategy).space);
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(tree.InsertPoi(data.pois[i], data.histories[i]).ok());
+    ASSERT_TRUE(scan.AddPoi(data.pois[i], data.histories[i]).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_GT(tree.height(), 1u) << "tree too shallow to be a real test";
+
+  for (int trial = 0; trial < 40; ++trial) {
+    KnntaQuery q = RandomQuery(kEpochs, rng);
+    std::vector<KnntaResult> got, want;
+    AccessStats stats;
+    ASSERT_TRUE(tree.Query(q, &got, &stats).ok());
+    ASSERT_TRUE(scan.Query(q, &want).ok());
+    ExpectSameResults(got, want,
+                      std::string(ToString(param.strategy)) + " trial " +
+                          std::to_string(trial));
+    EXPECT_GT(stats.NodeAccesses(), 0u);
+  }
+}
+
+TEST_P(TarTreeOracleTest, KLargerThanNReturnsEverything) {
+  const auto& param = GetParam();
+  Rng rng(param.seed + 1000);
+  TestData data = MakeData(60, 10, rng);
+  TarTree tree(MakeOptions(param.strategy));
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(tree.InsertPoi(data.pois[i], data.histories[i]).ok());
+  }
+  std::vector<KnntaResult> results;
+  KnntaQuery q{{50, 50}, {0, 10 * kEpochLen}, 1000, 0.5};
+  ASSERT_TRUE(tree.Query(q, &results).ok());
+  EXPECT_EQ(results.size(), 60u);
+  // Scores must be non-decreasing.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].score, results[i].score + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, TarTreeOracleTest,
+    ::testing::Values(StrategySeed{GroupingStrategy::kSpatial, 1},
+                      StrategySeed{GroupingStrategy::kSpatial, 2},
+                      StrategySeed{GroupingStrategy::kAggregate, 1},
+                      StrategySeed{GroupingStrategy::kAggregate, 2},
+                      StrategySeed{GroupingStrategy::kIntegral3D, 1},
+                      StrategySeed{GroupingStrategy::kIntegral3D, 2},
+                      StrategySeed{GroupingStrategy::kIntegral3D, 3}),
+    [](const ::testing::TestParamInfo<StrategySeed>& info) {
+      std::string name = ToString(info.param.strategy);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST(TarTreeConsistencyTest, Property1HoldsOnEveryEdge) {
+  // f(e) <= f(e_c) for every parent/child entry pair and every query — the
+  // condition that makes best-first search correct.
+  Rng rng(9);
+  TestData data = MakeData(300, 20, rng);
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(tree.InsertPoi(data.pois[i], data.histories[i]).ok());
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    KnntaQuery q = RandomQuery(20, rng);
+    TarTree::QueryContext ctx = tree.MakeContext(q);
+    // BFS over all nodes comparing parent entry scores to child entries.
+    std::vector<TarTree::NodeId> stack{tree.root()};
+    while (!stack.empty()) {
+      const TarTree::Node& node = tree.node(stack.back());
+      stack.pop_back();
+      for (const auto& e : node.entries) {
+        double fe = tree.EntryScore(e, ctx);
+        if (node.is_leaf()) continue;
+        stack.push_back(e.child);
+        for (const auto& child : tree.node(e.child).entries) {
+          double fc = tree.EntryScore(child, ctx);
+          EXPECT_LE(fe, fc + 1e-12)
+              << "parent bound above child score (trial " << trial << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(TarTreeDeleteTest, DeleteThenQueryMatchesOracle) {
+  Rng rng(21);
+  TestData data = MakeData(250, 15, rng);
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(tree.InsertPoi(data.pois[i], data.histories[i]).ok());
+  }
+  // The oracle sees every POI so its per-epoch normalizer matches the
+  // tree's global TIA (which, by design, never shrinks on deletion).
+  ScanBaseline scan(EpochGrid(0, kEpochLen),
+                    MakeOptions(GroupingStrategy::kIntegral3D).space);
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(scan.AddPoi(data.pois[i], data.histories[i]).ok());
+  }
+
+  // Delete 150 random POIs from both.
+  std::vector<PoiId> alive;
+  for (const Poi& p : data.pois) alive.push_back(p.id);
+  for (int i = 0; i < 150; ++i) {
+    std::size_t idx = rng.UniformInt(0, (std::int64_t)alive.size() - 1);
+    ASSERT_TRUE(tree.DeletePoi(alive[idx]).ok()) << "delete " << i;
+    ASSERT_TRUE(scan.RemovePoi(alive[idx]).ok());
+    alive.erase(alive.begin() + idx);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.num_pois(), alive.size());
+  EXPECT_EQ(scan.num_pois(), alive.size());
+  for (int trial = 0; trial < 20; ++trial) {
+    KnntaQuery q = RandomQuery(15, rng);
+    std::vector<KnntaResult> got, want;
+    ASSERT_TRUE(tree.Query(q, &got).ok());
+    ASSERT_TRUE(scan.Query(q, &want).ok());
+    // After deletions internal TIAs may overestimate, which must not change
+    // results — only node accesses.
+    ExpectSameResults(got, want, "after deletes, trial " +
+                          std::to_string(trial));
+  }
+  EXPECT_TRUE(tree.DeletePoi(9999).IsNotFound());
+}
+
+TEST(TarTreeDeleteTest, DeleteEverything) {
+  Rng rng(31);
+  TestData data = MakeData(120, 8, rng);
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(tree.InsertPoi(data.pois[i], data.histories[i]).ok());
+  }
+  for (const Poi& p : data.pois) {
+    ASSERT_TRUE(tree.DeletePoi(p.id).ok());
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(tree.Query({{1, 1}, {0, 100}, 3, 0.5}, &results).ok());
+  EXPECT_TRUE(results.empty());
+  // The tree remains usable after emptying.
+  ASSERT_TRUE(tree.InsertPoi(data.pois[0], data.histories[0]).ok());
+  ASSERT_TRUE(tree.Query({{1, 1}, {0, 100}, 3, 0.5}, &results).ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(TarTreeGrowthTest, AppendEpochMatchesBulkHistories) {
+  // Building via epoch-by-epoch digestion must answer queries identically
+  // to building with full histories up front.
+  Rng rng(55);
+  const std::size_t kEpochs = 12;
+  TestData data = MakeData(200, kEpochs, rng);
+
+  TarTree bulk(MakeOptions(GroupingStrategy::kIntegral3D));
+  TarTree grown(MakeOptions(GroupingStrategy::kIntegral3D));
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(bulk.InsertPoi(data.pois[i], data.histories[i]).ok());
+    ASSERT_TRUE(grown.InsertPoi(data.pois[i], {}).ok());
+  }
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (std::size_t i = 0; i < data.pois.size(); ++i) {
+      if (data.histories[i][e] > 0) {
+        batch[data.pois[i].id] = data.histories[i][e];
+      }
+    }
+    ASSERT_TRUE(grown.AppendEpoch(e, batch).ok());
+  }
+  ASSERT_TRUE(grown.CheckInvariants().ok());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    KnntaQuery q = RandomQuery(kEpochs, rng);
+    std::vector<KnntaResult> a, b;
+    ASSERT_TRUE(bulk.Query(q, &a).ok());
+    ASSERT_TRUE(grown.Query(q, &b).ok());
+    ExpectSameResults(b, a, "grown vs bulk, trial " + std::to_string(trial));
+  }
+}
+
+TEST(TarTreeGrowthTest, PoiInsertedMidEpochThenDigested) {
+  // Regression: a POI registered during epoch e arrives with a history
+  // that already covers e; the subsequent AppendEpoch(e) for the other
+  // POIs must not collide with the TIA records its insertion pushed onto
+  // the shared internal entries.
+  Rng rng(88);
+  TestData data = MakeData(120, 6, rng);
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  // Half the POIs exist from the start.
+  for (std::size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(tree.InsertPoi(data.pois[i], {}).ok());
+  }
+  for (std::size_t e = 0; e < 6; ++e) {
+    // The other half arrive one per epoch, with full histories up to and
+    // including the current epoch.
+    for (std::size_t i = 60 + e * 10; i < 70 + e * 10; ++i) {
+      std::vector<std::int32_t> hist(data.histories[i].begin(),
+                                     data.histories[i].begin() + e + 1);
+      ASSERT_TRUE(tree.InsertPoi(data.pois[i], hist).ok());
+    }
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (std::size_t i = 0; i < 60; ++i) {
+      if (data.histories[i][e] > 0) {
+        batch[data.pois[i].id] = data.histories[i][e];
+      }
+    }
+    ASSERT_TRUE(tree.AppendEpoch(e, batch).ok()) << "epoch " << e;
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.num_pois(), 120u);
+}
+
+TEST(TarTreeGrowthTest, AppendEpochRejectsUnknownPoi) {
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  ASSERT_TRUE(tree.InsertPoi({1, {2, 2}}, {}).ok());
+  std::unordered_map<PoiId, std::int64_t> batch{{99, 5}};
+  EXPECT_TRUE(tree.AppendEpoch(0, batch).IsInvalidArgument());
+}
+
+TEST(TarTreeRebuildTest, RebuildPreservesResults) {
+  Rng rng(77);
+  TestData data = MakeData(300, 20, rng);
+  TarTree tree(MakeOptions(GroupingStrategy::kIntegral3D));
+  for (std::size_t i = 0; i < data.pois.size(); ++i) {
+    ASSERT_TRUE(tree.InsertPoi(data.pois[i], data.histories[i]).ok());
+  }
+  std::vector<KnntaQuery> queries;
+  std::vector<std::vector<KnntaResult>> before;
+  for (int i = 0; i < 15; ++i) {
+    queries.push_back(RandomQuery(20, rng));
+    before.emplace_back();
+    ASSERT_TRUE(tree.Query(queries.back(), &before.back()).ok());
+  }
+  ASSERT_TRUE(tree.Rebuild().ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.num_pois(), data.pois.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::vector<KnntaResult> after;
+    ASSERT_TRUE(tree.Query(queries[i], &after).ok());
+    ExpectSameResults(after, before[i], "rebuild query " +
+                          std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace tar

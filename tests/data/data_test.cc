@@ -1,0 +1,183 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/powerlaw.h"
+#include "data/generator.h"
+#include "data/loader.h"
+#include "data/workload.h"
+
+namespace tar {
+namespace {
+
+TEST(GeneratorTest, BasicShape) {
+  GeneratorConfig cfg;
+  cfg.num_pois = 2000;
+  cfg.seed = 1;
+  Dataset data = GenerateLbsn(cfg);
+  EXPECT_EQ(data.pois.size(), 2000u);
+  EXPECT_GT(data.checkins.size(), 2000u);  // every POI has >= 1 check-in
+  EXPECT_EQ(data.t_end, cfg.span_days * kSecondsPerDay);
+  // Check-ins sorted by time and within [0, t_end].
+  for (std::size_t i = 0; i < data.checkins.size(); ++i) {
+    EXPECT_GE(data.checkins[i].time, 0);
+    EXPECT_LT(data.checkins[i].time, data.t_end);
+    if (i > 0) EXPECT_LE(data.checkins[i - 1].time, data.checkins[i].time);
+  }
+  // Bounds hold every POI.
+  for (const Poi& p : data.pois) {
+    EXPECT_TRUE(data.bounds.Contains(Box2::FromPoint({p.pos.x, p.pos.y})));
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorConfig cfg;
+  cfg.num_pois = 500;
+  cfg.seed = 9;
+  Dataset a = GenerateLbsn(cfg);
+  Dataset b = GenerateLbsn(cfg);
+  ASSERT_EQ(a.checkins.size(), b.checkins.size());
+  for (std::size_t i = 0; i < a.checkins.size(); ++i) {
+    EXPECT_EQ(a.checkins[i].poi, b.checkins[i].poi);
+    EXPECT_EQ(a.checkins[i].time, b.checkins[i].time);
+  }
+}
+
+TEST(GeneratorTest, GrowthSkewsCheckInsLate) {
+  GeneratorConfig cfg;
+  cfg.num_pois = 3000;
+  cfg.seed = 4;
+  Dataset data = GenerateLbsn(cfg);
+  std::size_t late = 0;
+  for (const CheckIn& c : data.checkins) {
+    late += c.time > data.t_end / 2;
+  }
+  // LBSNs grow: clearly more than half the check-ins in the second half.
+  EXPECT_GT(static_cast<double>(late) / data.checkins.size(), 0.55);
+}
+
+TEST(GeneratorTest, TailFollowsConfiguredPowerLaw) {
+  GeneratorConfig cfg = GwConfig(/*scale=*/0.05, /*seed=*/13);
+  Dataset data = GenerateLbsn(cfg);
+  std::vector<std::int64_t> totals(data.pois.size(), 0);
+  for (const CheckIn& c : data.checkins) ++totals[c.poi];
+  PowerLawFit fit = FitPowerLaw(totals);
+  EXPECT_NEAR(fit.beta, cfg.tail_beta, 0.35);
+  EXPECT_GE(fit.xmin, cfg.tail_xmin / 3);
+  EXPECT_LE(fit.xmin, cfg.tail_xmin * 3);
+}
+
+TEST(GeneratorTest, PresetsMatchTable4Spans) {
+  EXPECT_EQ(NycConfig().span_days, 1126);
+  EXPECT_EQ(NycConfig().effective_threshold, 15);
+  EXPECT_EQ(LaConfig().effective_threshold, 10);
+  EXPECT_EQ(GwConfig().effective_threshold, 100);
+  EXPECT_EQ(GsConfig().effective_threshold, 50);
+  EXPECT_EQ(GwConfig(1.0).num_pois, 1280969u);  // Table 4
+  EXPECT_EQ(GsConfig(1.0).num_pois, 182968u);
+  EXPECT_EQ(GwConfig(0.01).num_pois, 12809u);
+}
+
+TEST(LoaderTest, ParsesSnapFormat) {
+  std::istringstream in(
+      "0\t2010-10-19T23:55:27Z\t30.23\t-97.79\t22847\n"
+      "0\t2010-10-18T22:17:43Z\t30.26\t-97.76\t420315\n"
+      "1\t2010-10-19T23:55:28Z\t30.23\t-97.79\t22847\n");
+  auto res = LoadSnapCheckins(in);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Dataset& data = res.ValueOrDie();
+  EXPECT_EQ(data.pois.size(), 2u);
+  ASSERT_EQ(data.checkins.size(), 3u);
+  // Times rebased to the earliest check-in and sorted.
+  EXPECT_EQ(data.checkins[0].time, 0);
+  EXPECT_EQ(data.checkins[1].time,
+            (23 - 22) * 3600 + (55 - 17) * 60 + (27 - 43) + 86400);
+  EXPECT_EQ(data.checkins[2].time, data.checkins[1].time + 1);
+  // Both check-ins at location 22847 share a PoiId.
+  EXPECT_EQ(data.checkins[1].poi, data.checkins[2].poi);
+  EXPECT_EQ(data.t_end, data.checkins[2].time);
+  // Position is (lon, lat).
+  EXPECT_NEAR(data.pois[0].pos.x, -97.79, 1e-9);
+  EXPECT_NEAR(data.pois[0].pos.y, 30.23, 1e-9);
+}
+
+TEST(LoaderTest, SkipsMalformedLinesButFailsIfNothingParses) {
+  std::istringstream in(
+      "garbage line\n"
+      "0\tnot-a-time\t1\t2\t3\n"
+      "0\t2010-01-01T00:00:00Z\t30.0\t-97.0\t7\n");
+  auto res = LoadSnapCheckins(in);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ValueOrDie().checkins.size(), 1u);
+
+  std::istringstream all_bad("garbage\nmore garbage\n");
+  EXPECT_TRUE(LoadSnapCheckins(all_bad).status().IsCorruption());
+}
+
+TEST(LoaderTest, MaxLocationsCap) {
+  std::istringstream in(
+      "0\t2010-01-01T00:00:00Z\t1\t1\tA\n"
+      "0\t2010-01-02T00:00:00Z\t2\t2\tB\n"
+      "0\t2010-01-03T00:00:00Z\t3\t3\tC\n"
+      "0\t2010-01-04T00:00:00Z\t1\t1\tA\n");
+  LoaderOptions opt;
+  opt.max_locations = 2;
+  auto res = LoadSnapCheckins(in, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ValueOrDie().pois.size(), 2u);
+  EXPECT_EQ(res.ValueOrDie().checkins.size(), 3u);  // C's line dropped
+}
+
+TEST(LoaderTest, MissingFileIsIoError) {
+  EXPECT_TRUE(
+      LoadSnapCheckinsFile("/nonexistent/gowalla.txt").status().IsIoError());
+}
+
+TEST(WorkloadTest, QueriesMatchPaperSetup) {
+  GeneratorConfig cfg;
+  cfg.num_pois = 500;
+  cfg.span_days = 600;
+  Dataset data = GenerateLbsn(cfg);
+  WorkloadConfig wl;
+  wl.num_queries = 200;
+  std::vector<KnntaQuery> queries = MakeQueries(data, wl);
+  ASSERT_EQ(queries.size(), 200u);
+  for (const KnntaQuery& q : queries) {
+    EXPECT_EQ(q.k, 10u);
+    EXPECT_DOUBLE_EQ(q.alpha0, 0.3);
+    EXPECT_GE(q.interval.start, 0);
+    EXPECT_LE(q.interval.end, data.t_end);
+    // Length is one of the 2^j day presets.
+    Timestamp len = q.interval.Length() + 1;
+    bool matches = false;
+    for (std::int64_t d : wl.interval_days) {
+      if (len == d * kSecondsPerDay) matches = true;
+    }
+    EXPECT_TRUE(matches) << "interval length " << len;
+    // The query point is one of the POIs.
+    bool found = false;
+    for (const Poi& p : data.pois) {
+      if (p.pos == q.point) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(WorkloadTest, BatchQueriesUseLimitedIntervalTypes) {
+  GeneratorConfig cfg;
+  cfg.num_pois = 300;
+  Dataset data = GenerateLbsn(cfg);
+  WorkloadConfig wl;
+  for (std::size_t types : {1u, 4u, 10u}) {
+    std::vector<KnntaQuery> batch = MakeBatchQueries(data, 100, types, wl);
+    std::set<std::pair<Timestamp, Timestamp>> distinct;
+    for (const KnntaQuery& q : batch) {
+      distinct.insert({q.interval.start, q.interval.end});
+      EXPECT_EQ(q.interval.end, data.t_end) << "recent-history anchored";
+    }
+    EXPECT_LE(distinct.size(), types);
+  }
+}
+
+}  // namespace
+}  // namespace tar

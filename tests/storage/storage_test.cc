@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace tar {
+namespace {
+
+TEST(PageFileTest, AllocateReadWriteRoundTrip) {
+  PageFile file(256);
+  PageId id = file.Allocate();
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(file.num_pages(), 1u);
+
+  {
+    auto res = file.GetPageForWrite(id);
+    ASSERT_TRUE(res.ok());
+    res.ValueOrDie()->WriteAt<std::int64_t>(16, 0xDEADBEEF);
+  }
+  auto res = file.ReadPage(id);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ValueOrDie()->ReadAt<std::int64_t>(16), 0xDEADBEEF);
+  EXPECT_EQ(file.physical_reads(), 1u);
+  EXPECT_EQ(file.physical_writes(), 1u);
+}
+
+TEST(PageFileTest, FreshPagesAreZeroed) {
+  PageFile file(128);
+  PageId id = file.Allocate();
+  auto res = file.ReadPage(id);
+  ASSERT_TRUE(res.ok());
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(res.ValueOrDie()->data()[i], 0);
+  }
+}
+
+TEST(PageFileTest, OutOfRangeAccessFails) {
+  PageFile file(128);
+  EXPECT_TRUE(file.ReadPage(3).status().IsOutOfRange());
+  EXPECT_TRUE(file.GetPageForWrite(3).status().IsOutOfRange());
+  EXPECT_EQ(file.UnaccountedPage(3), nullptr);
+}
+
+TEST(BufferPoolTest, HitsAreFreeMissesCostAPhysicalRead) {
+  PageFile file(128);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, /*quota_per_owner=*/2);
+
+  bool hit = true;
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(file.physical_reads(), 1u);
+
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(file.physical_reads(), 1u);  // served from the pool
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, LruEvictionWithinQuota) {
+  PageFile file(128);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  PageId c = file.Allocate();
+  BufferPool pool(&file, 2);
+
+  bool hit;
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  ASSERT_TRUE(pool.Fetch(1, b, &hit).ok());
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());  // a is now MRU
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(pool.Fetch(1, c, &hit).ok());  // evicts b (LRU)
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(pool.Fetch(1, b, &hit).ok());
+  EXPECT_FALSE(hit) << "b must have been evicted";
+}
+
+TEST(BufferPoolTest, QuotasAreIndependentPerOwner) {
+  PageFile file(128);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 1);
+
+  bool hit;
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  ASSERT_TRUE(pool.Fetch(2, a, &hit).ok());
+  EXPECT_FALSE(hit) << "owner 2 has its own cache";
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(pool.Fetch(2, a, &hit).ok());
+  EXPECT_TRUE(hit);
+}
+
+TEST(BufferPoolTest, ZeroQuotaDisablesCaching) {
+  PageFile file(128);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 0);
+  bool hit;
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(file.physical_reads(), 2u);
+}
+
+TEST(BufferPoolTest, EvictAndClear) {
+  PageFile file(128);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 4);
+  bool hit;
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  pool.Evict(1);
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  EXPECT_FALSE(hit);
+  pool.Clear();
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
+  EXPECT_FALSE(hit);
+}
+
+TEST(BufferPoolTest, WritesAreVisibleThroughThePool) {
+  PageFile file(128);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 2);
+  bool hit;
+  ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());  // cache the page
+  {
+    auto res = pool.FetchForWrite(1, a);
+    ASSERT_TRUE(res.ok());
+    res.ValueOrDie()->WriteAt<std::int32_t>(0, 1234);
+  }
+  auto res = pool.Fetch(1, a, &hit);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(res.ValueOrDie()->ReadAt<std::int32_t>(0), 1234);
+}
+
+}  // namespace
+}  // namespace tar

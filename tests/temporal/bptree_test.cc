@@ -1,0 +1,176 @@
+#include "temporal/bptree.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tar::bptree {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t page_size = 256, std::size_t quota = 10)
+      : file(page_size), pool(&file, quota), tree(&file, &pool, /*owner=*/1) {}
+
+  PageFile file;
+  BufferPool pool;
+  BpTree tree;
+};
+
+TEST(BpTreeTest, EmptyTree) {
+  Fixture fx;
+  EXPECT_TRUE(fx.tree.empty());
+  auto res = fx.tree.Get(5);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.ValueOrDie().has_value());
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(kKeyMin, kKeyMax - 1, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(fx.tree.RangeSum(kKeyMin, kKeyMax - 1).ValueOrDie(), 0);
+  EXPECT_TRUE(fx.tree.Erase(5).IsNotFound());
+  EXPECT_TRUE(fx.tree.CheckInvariants().ok());
+}
+
+TEST(BpTreeTest, PutGetOverwrite) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Put(10, 100).ok());
+  ASSERT_TRUE(fx.tree.Put(20, 200).ok());
+  EXPECT_EQ(*fx.tree.Get(10).ValueOrDie(), 100);
+  EXPECT_EQ(*fx.tree.Get(20).ValueOrDie(), 200);
+  EXPECT_FALSE(fx.tree.Get(15).ValueOrDie().has_value());
+  EXPECT_EQ(fx.tree.size(), 2u);
+  // Overwrite does not grow the tree.
+  ASSERT_TRUE(fx.tree.Put(10, 111).ok());
+  EXPECT_EQ(*fx.tree.Get(10).ValueOrDie(), 111);
+  EXPECT_EQ(fx.tree.size(), 2u);
+}
+
+TEST(BpTreeTest, ReservedSentinelRejected) {
+  Fixture fx;
+  EXPECT_TRUE(fx.tree.Put(kKeyMax, 1).IsInvalidArgument());
+}
+
+TEST(BpTreeTest, SplitsKeepOrderAndBalance) {
+  Fixture fx(256);  // capacity 15: splits early
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(fx.tree.Put((i * 2654435761u) % 100000, i).ok()) << i;
+  }
+  ASSERT_TRUE(fx.tree.CheckInvariants().ok());
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(kKeyMin, kKeyMax - 1, &out).ok());
+  EXPECT_EQ(out.size(), fx.tree.size());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].first, out[i].first);
+  }
+}
+
+TEST(BpTreeTest, RangeSumMatchesScan) {
+  Fixture fx;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(fx.tree.Put(i * 3, i).ok());
+  }
+  for (auto [lo, hi] : std::vector<std::pair<Key, Key>>{
+           {0, 1497}, {7, 100}, {300, 301}, {1400, 9999}, {-5, -1}}) {
+    std::vector<std::pair<Key, Value>> out;
+    ASSERT_TRUE(fx.tree.RangeScan(lo, hi, &out).ok());
+    std::int64_t expected = 0;
+    for (const auto& [k, v] : out) expected += v;
+    EXPECT_EQ(fx.tree.RangeSum(lo, hi).ValueOrDie(), expected)
+        << lo << ".." << hi;
+  }
+}
+
+TEST(BpTreeTest, QueryReadsGoThroughBufferPool) {
+  Fixture fx(256, 10);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(fx.tree.Put(i, i).ok());
+  }
+  AccessStats cold, warm;
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(0, 50, &out, &cold).ok());
+  ASSERT_TRUE(fx.tree.RangeScan(0, 50, &out, &warm).ok());
+  EXPECT_GT(cold.tia_page_reads, 0u);
+  EXPECT_GT(warm.tia_buffer_hits, 0u);
+}
+
+class BpTreePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BpTreePropertyTest, RandomWorkloadMatchesOracle) {
+  Fixture fx(256, 10);
+  Rng rng(GetParam());
+  std::map<Key, Value> oracle;
+  for (int op = 0; op < 6000; ++op) {
+    double dice = rng.Uniform();
+    Key k = rng.UniformInt(0, 3000);
+    if (dice < 0.55 || oracle.empty()) {
+      Value v = rng.UniformInt(-1000000, 1000000);
+      ASSERT_TRUE(fx.tree.Put(k, v).ok()) << "op " << op;
+      oracle[k] = v;
+    } else if (dice < 0.85) {
+      Status st = fx.tree.Erase(k);
+      if (oracle.erase(k) > 0) {
+        ASSERT_TRUE(st.ok()) << "op " << op << " key " << k;
+      } else {
+        ASSERT_TRUE(st.IsNotFound()) << "op " << op;
+      }
+    } else {
+      auto res = fx.tree.Get(k);
+      ASSERT_TRUE(res.ok());
+      auto it = oracle.find(k);
+      if (it == oracle.end()) {
+        EXPECT_FALSE(res.ValueOrDie().has_value()) << "op " << op;
+      } else {
+        ASSERT_TRUE(res.ValueOrDie().has_value()) << "op " << op;
+        EXPECT_EQ(*res.ValueOrDie(), it->second);
+      }
+    }
+    if (op % 1500 == 0) {
+      ASSERT_TRUE(fx.tree.CheckInvariants().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(fx.tree.CheckInvariants().ok());
+  EXPECT_EQ(fx.tree.size(), oracle.size());
+
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(kKeyMin, kKeyMax - 1, &out).ok());
+  ASSERT_EQ(out.size(), oracle.size());
+  std::size_t i = 0;
+  for (const auto& [k, v] : oracle) {
+    EXPECT_EQ(out[i].first, k);
+    EXPECT_EQ(out[i].second, v);
+    ++i;
+  }
+  // Random sub-ranges.
+  for (int trial = 0; trial < 25; ++trial) {
+    Key lo = rng.UniformInt(0, 3000);
+    Key hi = lo + rng.UniformInt(0, 1000);
+    ASSERT_TRUE(fx.tree.RangeScan(lo, hi, &out).ok());
+    std::size_t expected = 0;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      ++expected;
+    }
+    EXPECT_EQ(out.size(), expected) << "[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BpTreePropertyTest,
+                         ::testing::Values(1, 7, 23, 99, 2024));
+
+TEST(BpTreeTest, DeleteEverythingThenReuse) {
+  Fixture fx(256);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(fx.tree.Put(i, i).ok());
+  }
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(fx.tree.Erase(i).ok()) << i;
+  }
+  EXPECT_TRUE(fx.tree.empty());
+  EXPECT_TRUE(fx.tree.CheckInvariants().ok());
+  ASSERT_TRUE(fx.tree.Put(42, 7).ok());
+  EXPECT_EQ(*fx.tree.Get(42).ValueOrDie(), 7);
+}
+
+}  // namespace
+}  // namespace tar::bptree

@@ -1,0 +1,159 @@
+// Additional MVBT coverage: layout math, page-size variations, append-only
+// TIA-like workloads, re-insert-after-delete churn and historical windows.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "temporal/mvbt.h"
+
+namespace tar::mvbt {
+namespace {
+
+TEST(NodeLayoutTest, CapacityMath) {
+  EXPECT_EQ(NodeLayout::Capacity(1024), (1024u - 8) / 40);
+  EXPECT_EQ(NodeLayout::Capacity(512), 12u);
+  EXPECT_EQ(NodeLayout::Capacity(4096), 102u);
+}
+
+class MvbtPageSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MvbtPageSizeTest, OracleAgreementAcrossPageSizes) {
+  PageFile file(GetParam());
+  BufferPool pool(&file, 10);
+  Mvbt tree(&file, &pool, 1);
+  Rng rng(GetParam());
+
+  std::map<Key, Value> live;
+  Version v = 0;
+  for (int i = 0; i < 1200; ++i) {
+    if (i % 3 == 0) ++v;
+    Key k = rng.UniformInt(0, 5000);
+    if (live.count(k)) {
+      ASSERT_TRUE(tree.Erase(v, k).ok());
+      live.erase(k);
+    } else {
+      ASSERT_TRUE(tree.Insert(v, k, k * 3).ok());
+      live[k] = k * 3;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  std::vector<std::pair<Key, Value>> got;
+  ASSERT_TRUE(tree.RangeScan(v, kKeyMin, kKeyMax - 1, &got).ok());
+  ASSERT_EQ(got.size(), live.size());
+  std::size_t i = 0;
+  for (const auto& [k, val] : live) {
+    EXPECT_EQ(got[i].first, k);
+    EXPECT_EQ(got[i].second, val);
+    ++i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, MvbtPageSizeTest,
+                         ::testing::Values(512, 1024, 2048, 4096));
+
+TEST(MvbtTest, AppendOnlyTiaWorkload) {
+  // The TIA pattern: strictly increasing keys, one version per insert, no
+  // deletes; historical scans must see exact prefixes.
+  PageFile file(512);
+  BufferPool pool(&file, 10);
+  Mvbt tree(&file, &pool, 1);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(i + 1, i * 7, i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (Version v : {1, 10, 123, 999, 1000}) {
+    std::vector<std::pair<Key, Value>> got;
+    ASSERT_TRUE(tree.RangeScan(v, kKeyMin, kKeyMax - 1, &got).ok());
+    EXPECT_EQ(got.size(), static_cast<std::size_t>(v));
+  }
+}
+
+TEST(MvbtTest, ChurnOnASingleKey) {
+  PageFile file(512);
+  BufferPool pool(&file, 10);
+  Mvbt tree(&file, &pool, 1);
+  for (Version v = 1; v <= 200; ++v) {
+    if (v % 2 == 1) {
+      ASSERT_TRUE(tree.Insert(v, 42, v).ok());
+    } else {
+      ASSERT_TRUE(tree.Erase(v, 42).ok());
+    }
+  }
+  for (Version v = 1; v <= 200; ++v) {
+    auto res = tree.Lookup(v, 42);
+    ASSERT_TRUE(res.ok());
+    if (v % 2 == 1) {
+      ASSERT_TRUE(res.ValueOrDie().has_value()) << v;
+      EXPECT_EQ(*res.ValueOrDie(), v);
+    } else {
+      EXPECT_FALSE(res.ValueOrDie().has_value()) << v;
+    }
+  }
+}
+
+TEST(MvbtTest, HistoricalWindowsAfterHeavyChurn) {
+  // Insert waves, delete waves, and verify mid-wave snapshots.
+  PageFile file(512);
+  BufferPool pool(&file, 10);
+  Mvbt tree(&file, &pool, 1);
+  // Wave 1: keys 0..299 at versions 1..300.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert(i + 1, i, i).ok());
+  }
+  // Wave 2: delete the even keys at versions 301..450.
+  int v = 300;
+  for (int i = 0; i < 300; i += 2) {
+    ASSERT_TRUE(tree.Erase(++v, i).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  auto count_at = [&](Version q) {
+    auto res = tree.CountAlive(q);
+    EXPECT_TRUE(res.ok());
+    return res.ok() ? res.ValueOrDie() : 0;
+  };
+  EXPECT_EQ(count_at(150), 150u);
+  EXPECT_EQ(count_at(300), 300u);
+  EXPECT_EQ(count_at(375), 300u - 75u);
+  EXPECT_EQ(count_at(450), 150u);
+
+  // Key-range windows at a historical version.
+  std::vector<std::pair<Key, Value>> got;
+  ASSERT_TRUE(tree.RangeScan(450, 0, 99, &got).ok());
+  EXPECT_EQ(got.size(), 50u);  // only odd keys survive
+  for (const auto& [k, value] : got) EXPECT_EQ(k % 2, 1);
+}
+
+TEST(MvbtTest, ReservedSentinelKeyRejected) {
+  PageFile file(512);
+  BufferPool pool(&file, 10);
+  Mvbt tree(&file, &pool, 1);
+  EXPECT_TRUE(tree.Insert(1, kKeyMax, 0).IsInvalidArgument());
+}
+
+TEST(MvbtTest, InterleavedOwnersShareTheFileButNotTheCache) {
+  // Two trees on one PageFile with separate buffer-pool owners — the TIA
+  // deployment model (thousands of MVBTs on one simulated disk).
+  PageFile file(512);
+  BufferPool pool(&file, 2);
+  Mvbt a(&file, &pool, 1);
+  Mvbt b(&file, &pool, 2);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(a.Insert(i, i * 2, i).ok());
+    ASSERT_TRUE(b.Insert(i, i * 2 + 1, -i).ok());
+  }
+  ASSERT_TRUE(a.CheckInvariants().ok());
+  ASSERT_TRUE(b.CheckInvariants().ok());
+  std::vector<std::pair<Key, Value>> ra, rb;
+  ASSERT_TRUE(a.RangeScan(299, kKeyMin, kKeyMax - 1, &ra).ok());
+  ASSERT_TRUE(b.RangeScan(299, kKeyMin, kKeyMax - 1, &rb).ok());
+  ASSERT_EQ(ra.size(), 300u);
+  ASSERT_EQ(rb.size(), 300u);
+  for (const auto& [k, value] : ra) EXPECT_EQ(k % 2, 0);
+  for (const auto& [k, value] : rb) EXPECT_EQ(k % 2, 1);
+}
+
+}  // namespace
+}  // namespace tar::mvbt

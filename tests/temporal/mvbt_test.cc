@@ -1,0 +1,246 @@
+#include "temporal/mvbt.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tar::mvbt {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t page_size = 512, std::size_t quota = 10)
+      : file(page_size), pool(&file, quota), tree(&file, &pool, /*owner=*/1) {}
+
+  PageFile file;
+  BufferPool pool;
+  Mvbt tree;
+};
+
+TEST(MvbtTest, EmptyTreeQueries) {
+  Fixture fx;
+  auto res = fx.tree.Lookup(5, 42);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res.ValueOrDie().has_value());
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(5, kKeyMin, kKeyMax - 1, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(fx.tree.empty());
+}
+
+TEST(MvbtTest, SingleInsertVisibleFromItsVersionOn) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(3, 100, 7).ok());
+  auto before = fx.tree.Lookup(2, 100);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before.ValueOrDie().has_value());
+  auto at = fx.tree.Lookup(3, 100);
+  ASSERT_TRUE(at.ok());
+  ASSERT_TRUE(at.ValueOrDie().has_value());
+  EXPECT_EQ(*at.ValueOrDie(), 7);
+  auto later = fx.tree.Lookup(1000, 100);
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(later.ValueOrDie().has_value());
+}
+
+TEST(MvbtTest, DeleteEndsVisibilityExactlyAtVersion) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(1, 5, 50).ok());
+  ASSERT_TRUE(fx.tree.Erase(4, 5).ok());
+  EXPECT_TRUE(fx.tree.Lookup(3, 5).ValueOrDie().has_value());
+  EXPECT_FALSE(fx.tree.Lookup(4, 5).ValueOrDie().has_value());
+  EXPECT_FALSE(fx.tree.Lookup(9, 5).ValueOrDie().has_value());
+}
+
+TEST(MvbtTest, DuplicateLiveKeyRejected) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(1, 5, 50).ok());
+  EXPECT_TRUE(fx.tree.Insert(2, 5, 51).IsAlreadyExists());
+  // After deletion the key can be reinserted.
+  ASSERT_TRUE(fx.tree.Erase(3, 5).ok());
+  EXPECT_TRUE(fx.tree.Insert(4, 5, 52).ok());
+  EXPECT_EQ(*fx.tree.Lookup(4, 5).ValueOrDie(), 52);
+  EXPECT_EQ(*fx.tree.Lookup(2, 5).ValueOrDie(), 50);
+}
+
+TEST(MvbtTest, DecreasingVersionRejected) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(5, 1, 1).ok());
+  EXPECT_TRUE(fx.tree.Insert(4, 2, 2).IsInvalidArgument());
+  EXPECT_TRUE(fx.tree.Erase(3, 1).IsInvalidArgument());
+}
+
+TEST(MvbtTest, EraseMissingKeyIsNotFound) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tree.Insert(1, 5, 50).ok());
+  EXPECT_TRUE(fx.tree.Erase(2, 6).IsNotFound());
+  ASSERT_TRUE(fx.tree.Erase(2, 5).ok());
+  EXPECT_TRUE(fx.tree.Erase(3, 5).IsNotFound());
+}
+
+TEST(MvbtTest, VersionSplitPreservesHistory) {
+  // Insert enough keys at version 1 to force splits, then delete them all
+  // at version 2: version 1 must still see everything.
+  Fixture fx;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(fx.tree.Insert(1, i, i * 10).ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(fx.tree.Erase(2, i).ok());
+  }
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(1, kKeyMin, kKeyMax - 1, &out).ok());
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].first, i);
+    EXPECT_EQ(out[i].second, i * 10);
+  }
+  ASSERT_TRUE(fx.tree.RangeScan(2, kKeyMin, kKeyMax - 1, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(fx.tree.CheckInvariants().ok());
+}
+
+TEST(MvbtTest, RangeScanBoundsAreInclusive) {
+  Fixture fx;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fx.tree.Insert(1, i * 2, i).ok());
+  }
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(1, 10, 20, &out).ok());
+  ASSERT_EQ(out.size(), 6u);  // 10, 12, 14, 16, 18, 20
+  EXPECT_EQ(out.front().first, 10);
+  EXPECT_EQ(out.back().first, 20);
+}
+
+TEST(MvbtTest, QueryReadsGoThroughBufferPool) {
+  Fixture fx(512, /*quota=*/10);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fx.tree.Insert(1, i, i).ok());
+  }
+  AccessStats cold, warm;
+  std::vector<std::pair<Key, Value>> out;
+  ASSERT_TRUE(fx.tree.RangeScan(1, 0, 20, &out, &cold).ok());
+  ASSERT_TRUE(fx.tree.RangeScan(1, 0, 20, &out, &warm).ok());
+  EXPECT_GT(cold.tia_page_reads, 0u);
+  EXPECT_GT(warm.tia_buffer_hits, 0u);
+  EXPECT_LT(warm.tia_page_reads, cold.tia_page_reads + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random insert/delete workload vs a snapshot oracle.
+// ---------------------------------------------------------------------------
+
+struct OracleOp {
+  Version v;
+  bool is_insert;
+  Key key;
+  Value value;
+};
+
+std::map<Key, Value> OracleAt(const std::vector<OracleOp>& log, Version v) {
+  std::map<Key, Value> state;
+  for (const OracleOp& op : log) {
+    if (op.v > v) break;
+    if (op.is_insert) {
+      state[op.key] = op.value;
+    } else {
+      state.erase(op.key);
+    }
+  }
+  return state;
+}
+
+class MvbtPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvbtPropertyTest, MatchesOracleAtEveryVersion) {
+  Fixture fx(512, 10);
+  Rng rng(GetParam());
+  std::vector<OracleOp> log;
+  std::map<Key, Value> live;
+
+  Version v = 0;
+  const int kOps = 2500;
+  for (int i = 0; i < kOps; ++i) {
+    if (rng.Uniform() < 0.4) v += rng.UniformInt(1, 3);
+    bool do_insert = live.empty() || rng.Uniform() < 0.6;
+    if (do_insert) {
+      Key k = rng.UniformInt(0, 4000);
+      if (live.count(k)) continue;
+      Value val = rng.UniformInt(0, 1'000'000);
+      ASSERT_TRUE(fx.tree.Insert(v, k, val).ok()) << "op " << i;
+      live[k] = val;
+      log.push_back({v, true, k, val});
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(0, (std::int64_t)live.size() - 1));
+      ASSERT_TRUE(fx.tree.Erase(v, it->first).ok()) << "op " << i;
+      log.push_back({v, false, it->first, 0});
+      live.erase(it);
+    }
+  }
+
+  ASSERT_TRUE(fx.tree.CheckInvariants().ok());
+
+  // Compare full range scans against the oracle at sampled versions.
+  std::vector<Version> sample = {0, 1, v / 4, v / 2, (3 * v) / 4, v - 1, v};
+  for (int i = 0; i < 12; ++i) sample.push_back(rng.UniformInt(0, v));
+  for (Version q : sample) {
+    if (q < 0) continue;
+    std::map<Key, Value> expected = OracleAt(log, q);
+    std::vector<std::pair<Key, Value>> got;
+    ASSERT_TRUE(fx.tree.RangeScan(q, kKeyMin, kKeyMax - 1, &got).ok());
+    ASSERT_EQ(got.size(), expected.size()) << "version " << q;
+    std::size_t i = 0;
+    for (const auto& [k, val] : expected) {
+      EXPECT_EQ(got[i].first, k) << "version " << q;
+      EXPECT_EQ(got[i].second, val) << "version " << q;
+      ++i;
+    }
+    // Spot-check point lookups, present and absent.
+    for (int j = 0; j < 20; ++j) {
+      Key k = rng.UniformInt(0, 4000);
+      auto res = fx.tree.Lookup(q, k);
+      ASSERT_TRUE(res.ok());
+      auto it = expected.find(k);
+      if (it == expected.end()) {
+        EXPECT_FALSE(res.ValueOrDie().has_value()) << "v=" << q << " k=" << k;
+      } else {
+        ASSERT_TRUE(res.ValueOrDie().has_value()) << "v=" << q << " k=" << k;
+        EXPECT_EQ(*res.ValueOrDie(), it->second);
+      }
+    }
+    // Sub-range scans agree with the oracle too.
+    Key lo = rng.UniformInt(0, 2000);
+    Key hi = lo + rng.UniformInt(0, 2000);
+    ASSERT_TRUE(fx.tree.RangeScan(q, lo, hi, &got).ok());
+    std::size_t expected_count = 0;
+    for (const auto& [k, val] : expected) {
+      expected_count += (k >= lo && k <= hi);
+    }
+    EXPECT_EQ(got.size(), expected_count) << "v=" << q << " range scan";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvbtPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 13, 42, 99, 1234));
+
+TEST(MvbtTest, PureInsertWorkloadKeepsInvariants) {
+  Fixture fx(512, 10);
+  Rng rng(4);
+  Version v = 0;
+  for (int i = 0; i < 3000; ++i) {
+    if (i % 5 == 0) ++v;
+    // Unique keys via shuffled dense range.
+    ASSERT_TRUE(fx.tree.Insert(v, (i * 2654435761u) % 100000, i).ok());
+  }
+  EXPECT_TRUE(fx.tree.CheckInvariants().ok());
+  auto count = fx.tree.CountAlive(v);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.ValueOrDie(), 3000u);
+}
+
+}  // namespace
+}  // namespace tar::mvbt

@@ -1,0 +1,146 @@
+// The TIA contract must hold identically on both backends (MVBT and
+// B+-tree); the TAR-tree query results must not depend on the backend.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/scan_baseline.h"
+#include "core/tar_tree.h"
+#include "temporal/tia.h"
+
+namespace tar {
+namespace {
+
+constexpr Timestamp kEpochLen = 7 * kSecondsPerDay;
+
+TimeInterval Epoch(std::int64_t i) {
+  return {i * kEpochLen, (i + 1) * kEpochLen - 1};
+}
+
+class TiaBackendTest : public ::testing::TestWithParam<TiaBackend> {
+ protected:
+  TiaBackendTest() : file_(1024), pool_(&file_, 10) {}
+
+  Tia MakeTia() { return Tia(&file_, &pool_, next_owner_++, GetParam()); }
+
+  PageFile file_;
+  BufferPool pool_;
+  OwnerId next_owner_ = 1;
+};
+
+TEST_P(TiaBackendTest, AppendAggregateContract) {
+  Tia tia = MakeTia();
+  ASSERT_TRUE(tia.Append(Epoch(0), 3).ok());
+  ASSERT_TRUE(tia.Append(Epoch(1), 5).ok());
+  ASSERT_TRUE(tia.Append(Epoch(3), 4).ok());
+  EXPECT_EQ(tia.Aggregate({Epoch(0).start, Epoch(3).end}).ValueOrDie(), 12);
+  EXPECT_EQ(tia.Aggregate(Epoch(1)).ValueOrDie(), 5);
+  EXPECT_EQ(
+      tia.Aggregate({Epoch(1).start + 1, Epoch(3).end}).ValueOrDie(), 4);
+  EXPECT_EQ(tia.total(), 12);
+  EXPECT_EQ(tia.num_records(), 3u);
+  // Duplicate epochs are rejected on both backends.
+  EXPECT_FALSE(tia.Append(Epoch(1), 9).ok());
+}
+
+TEST_P(TiaBackendTest, RaiseToContract) {
+  Tia tia = MakeTia();
+  ASSERT_TRUE(tia.RaiseTo(Epoch(2), 4).ok());
+  ASSERT_TRUE(tia.RaiseTo(Epoch(2), 2).ok());
+  EXPECT_EQ(tia.Aggregate(Epoch(2)).ValueOrDie(), 4);
+  ASSERT_TRUE(tia.RaiseTo(Epoch(2), 9).ok());
+  EXPECT_EQ(tia.Aggregate(Epoch(2)).ValueOrDie(), 9);
+  EXPECT_EQ(tia.total(), 9);
+  EXPECT_EQ(tia.num_records(), 1u);
+}
+
+TEST_P(TiaBackendTest, LongHistoryMatchesNaiveSum) {
+  Tia tia = MakeTia();
+  Rng rng(31);
+  std::vector<std::int64_t> per_epoch(300, 0);
+  for (int i = 0; i < 300; ++i) {
+    if (rng.Uniform() < 0.7) {
+      per_epoch[i] = rng.UniformInt(1, 40);
+      ASSERT_TRUE(tia.Append(Epoch(i), per_epoch[i]).ok());
+    }
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    std::int64_t a = rng.UniformInt(0, 299);
+    std::int64_t b = rng.UniformInt(a, 299);
+    std::int64_t naive = 0;
+    for (std::int64_t i = a; i <= b; ++i) naive += per_epoch[i];
+    EXPECT_EQ(tia.Aggregate({Epoch(a).start, Epoch(b).end}).ValueOrDie(),
+              naive);
+  }
+  std::vector<TiaRecord> records;
+  ASSERT_TRUE(tia.Records(&records).ok());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].extent.start, records[i].extent.start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TiaBackendTest,
+                         ::testing::Values(TiaBackend::kMvbt,
+                                           TiaBackend::kBpTree),
+                         [](const ::testing::TestParamInfo<TiaBackend>& i) {
+                           return i.param == TiaBackend::kMvbt ? "Mvbt"
+                                                               : "BpTree";
+                         });
+
+TEST(TarTreeBackendTest, QueryResultsIndependentOfTiaBackend) {
+  Rng rng(47);
+  const std::size_t kPois = 300;
+  const std::size_t kEpochs = 20;
+
+  TarTreeOptions base;
+  base.strategy = GroupingStrategy::kIntegral3D;
+  base.node_size_bytes = 512;
+  base.grid = EpochGrid(0, kEpochLen);
+  base.space = Box2::Union(Box2::FromPoint({0, 0}),
+                           Box2::FromPoint({100, 100}));
+  TarTreeOptions bp = base;
+  bp.tia_backend = TiaBackend::kBpTree;
+
+  TarTree on_mvbt(base);
+  TarTree on_bp(bp);
+  ScanBaseline scan(base.grid, base.space);
+
+  for (std::size_t i = 0; i < kPois; ++i) {
+    Poi p{static_cast<PoiId>(i),
+          {rng.Uniform(0, 100), rng.Uniform(0, 100)}};
+    std::vector<std::int32_t> hist(kEpochs, 0);
+    std::int64_t total =
+        static_cast<std::int64_t>(std::pow(10.0, rng.Uniform(0.0, 2.0)));
+    for (std::int64_t c = 0; c < total; ++c) {
+      ++hist[rng.UniformInt(0, kEpochs - 1)];
+    }
+    ASSERT_TRUE(on_mvbt.InsertPoi(p, hist).ok());
+    ASSERT_TRUE(on_bp.InsertPoi(p, hist).ok());
+    ASSERT_TRUE(scan.AddPoi(p, hist).ok());
+  }
+  ASSERT_TRUE(on_bp.CheckInvariants().ok());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    KnntaQuery q;
+    q.point = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::int64_t e0 = rng.UniformInt(0, kEpochs - 1);
+    std::int64_t e1 = rng.UniformInt(e0, kEpochs - 1);
+    q.interval = {e0 * kEpochLen, (e1 + 1) * kEpochLen - 1};
+    q.k = 1 + trial % 15;
+    q.alpha0 = rng.Uniform(0.1, 0.9);
+
+    std::vector<KnntaResult> a, b, want;
+    ASSERT_TRUE(on_mvbt.Query(q, &a).ok());
+    ASSERT_TRUE(on_bp.Query(q, &b).ok());
+    ASSERT_TRUE(scan.Query(q, &want).ok());
+    ASSERT_EQ(a.size(), want.size());
+    ASSERT_EQ(b.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(a[i].poi, b[i].poi) << "trial " << trial << " rank " << i;
+      EXPECT_NEAR(a[i].score, want[i].score, 1e-12);
+      EXPECT_NEAR(b[i].score, want[i].score, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tar

@@ -1,0 +1,130 @@
+#include "temporal/tia.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tar {
+namespace {
+
+struct Fixture {
+  Fixture() : file(1024), pool(&file, 10), tia(&file, &pool, /*owner=*/7) {}
+  PageFile file;
+  BufferPool pool;
+  Tia tia;
+};
+
+TimeInterval Epoch(std::int64_t i, std::int64_t len = 7 * kSecondsPerDay) {
+  return {i * len, (i + 1) * len - 1};
+}
+
+TEST(TiaTest, EmptyAggregateIsZero) {
+  Fixture fx;
+  auto res = fx.tia.Aggregate({0, 1000});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.ValueOrDie(), 0);
+  EXPECT_EQ(fx.tia.total(), 0);
+}
+
+TEST(TiaTest, AggregateSumsContainedEpochsOnly) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tia.Append(Epoch(0), 3).ok());
+  ASSERT_TRUE(fx.tia.Append(Epoch(1), 5).ok());
+  ASSERT_TRUE(fx.tia.Append(Epoch(3), 4).ok());  // epoch 2 has no check-ins
+
+  // Whole history.
+  EXPECT_EQ(fx.tia.Aggregate({Epoch(0).start, Epoch(3).end}).ValueOrDie(), 12);
+  // Only epoch 1.
+  EXPECT_EQ(fx.tia.Aggregate(Epoch(1)).ValueOrDie(), 5);
+  // Interval covering epochs 1..2 (2 is empty).
+  EXPECT_EQ(fx.tia.Aggregate({Epoch(1).start, Epoch(2).end}).ValueOrDie(), 5);
+  // Interval that clips epoch 1 (starts mid-epoch): epoch 1 not contained.
+  EXPECT_EQ(
+      fx.tia.Aggregate({Epoch(1).start + 1, Epoch(3).end}).ValueOrDie(), 4);
+  EXPECT_EQ(fx.tia.total(), 12);
+  EXPECT_EQ(fx.tia.num_records(), 3u);
+}
+
+TEST(TiaTest, RejectsNonPositiveAggregatesAndBadExtents) {
+  Fixture fx;
+  EXPECT_TRUE(fx.tia.Append(Epoch(0), 0).IsInvalidArgument());
+  EXPECT_TRUE(fx.tia.Append(Epoch(0), -2).IsInvalidArgument());
+  EXPECT_TRUE(fx.tia.Append({100, 50}, 1).IsInvalidArgument());
+}
+
+TEST(TiaTest, VariedEpochLengths) {
+  // Epochs of one hour, two hours, four hours back to back — the TIA indexes
+  // intervals, unlike a B-tree over fixed timestamps (Section 2).
+  Fixture fx;
+  ASSERT_TRUE(fx.tia.Append({0, 3599}, 2).ok());
+  ASSERT_TRUE(fx.tia.Append({3600, 10799}, 3).ok());
+  ASSERT_TRUE(fx.tia.Append({10800, 25199}, 9).ok());
+  EXPECT_EQ(fx.tia.Aggregate({0, 25199}).ValueOrDie(), 14);
+  EXPECT_EQ(fx.tia.Aggregate({0, 10799}).ValueOrDie(), 5);
+  EXPECT_EQ(fx.tia.Aggregate({3600, 25199}).ValueOrDie(), 12);
+}
+
+TEST(TiaTest, RaiseToKeepsPerEpochMaximum) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tia.RaiseTo(Epoch(0), 4).ok());
+  EXPECT_EQ(fx.tia.Aggregate(Epoch(0)).ValueOrDie(), 4);
+  // Lower value: no-op.
+  ASSERT_TRUE(fx.tia.RaiseTo(Epoch(0), 2).ok());
+  EXPECT_EQ(fx.tia.Aggregate(Epoch(0)).ValueOrDie(), 4);
+  // Higher value: replace.
+  ASSERT_TRUE(fx.tia.RaiseTo(Epoch(0), 9).ok());
+  EXPECT_EQ(fx.tia.Aggregate(Epoch(0)).ValueOrDie(), 9);
+  EXPECT_EQ(fx.tia.total(), 9);
+  EXPECT_EQ(fx.tia.num_records(), 1u);
+}
+
+TEST(TiaTest, RecordsReturnsTimeOrderedHistory) {
+  Fixture fx;
+  ASSERT_TRUE(fx.tia.Append(Epoch(0), 1).ok());
+  ASSERT_TRUE(fx.tia.Append(Epoch(2), 7).ok());
+  ASSERT_TRUE(fx.tia.Append(Epoch(5), 2).ok());
+  std::vector<TiaRecord> records;
+  ASSERT_TRUE(fx.tia.Records(&records).ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (TiaRecord{Epoch(0), 1}));
+  EXPECT_EQ(records[1], (TiaRecord{Epoch(2), 7}));
+  EXPECT_EQ(records[2], (TiaRecord{Epoch(5), 2}));
+}
+
+TEST(TiaTest, AggregateChargesPageReadsThroughBufferPool) {
+  Fixture fx;
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(fx.tia.Append(Epoch(i), 1 + i % 5).ok());
+  }
+  AccessStats cold, warm;
+  ASSERT_TRUE(fx.tia.Aggregate({Epoch(0).start, Epoch(119).end}, &cold).ok());
+  ASSERT_TRUE(fx.tia.Aggregate({Epoch(0).start, Epoch(119).end}, &warm).ok());
+  EXPECT_GT(cold.tia_page_reads, 0u);
+  EXPECT_GT(warm.tia_buffer_hits, 0u);
+  EXPECT_EQ(cold.aggregate_calls, 1u);
+}
+
+TEST(TiaTest, LongHistoryMatchesNaiveSum) {
+  Fixture fx;
+  Rng rng(17);
+  std::vector<std::int64_t> per_epoch(400, 0);
+  for (int i = 0; i < 400; ++i) {
+    if (rng.Uniform() < 0.6) {
+      per_epoch[i] = rng.UniformInt(1, 50);
+      ASSERT_TRUE(fx.tia.Append(Epoch(i), per_epoch[i]).ok());
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int64_t a = rng.UniformInt(0, 399);
+    std::int64_t b = rng.UniformInt(0, 399);
+    if (a > b) std::swap(a, b);
+    std::int64_t naive = 0;
+    for (std::int64_t i = a; i <= b; ++i) naive += per_epoch[i];
+    EXPECT_EQ(fx.tia.Aggregate({Epoch(a).start, Epoch(b).end}).ValueOrDie(),
+              naive)
+        << "epochs [" << a << "," << b << "]";
+  }
+}
+
+}  // namespace
+}  // namespace tar

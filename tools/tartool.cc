@@ -1,0 +1,283 @@
+// tartool — command-line front end for the TAR-tree library.
+//
+//   tartool generate --preset gw --scale 0.05 --out checkins.tsv
+//       Synthesizes a Gowalla-style data set and writes it in the SNAP
+//       check-in format (the same format as the public Gowalla dump).
+//
+//   tartool build --input checkins.tsv --out index.tart
+//           [--strategy tar|spa|agg] [--threshold N] [--epoch-days 7]
+//           [--node-bytes 1024] [--backend mvbt|bptree]
+//       Buckets the check-ins into epochs, selects the effective POIs and
+//       builds a persistent index.
+//
+//   tartool info --index index.tart
+//   tartool query --index index.tart --x LON --y LAT --days 30
+//           [--k 10] [--alpha 0.3] [--mwa]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/mwa.h"
+#include "core/tar_tree.h"
+#include "data/generator.h"
+#include "data/loader.h"
+
+using namespace tar;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string Flag(const std::map<std::string, std::string>& flags,
+                 const std::string& key, const std::string& def) {
+  auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+/// Civil date from days since the Unix epoch (Howard Hinnant's algorithm;
+/// the inverse of the loader's parser).
+void CivilFromDays(std::int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  std::int64_t doe = z - era * 146097;
+  std::int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  std::int64_t year = yoe + era * 400;
+  std::int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  std::int64_t mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(year + (*m <= 2));
+}
+
+int Generate(const std::map<std::string, std::string>& flags) {
+  std::string preset = Flag(flags, "preset", "gw");
+  double scale = std::atof(Flag(flags, "scale", "0.05").c_str());
+  std::string out_path = Flag(flags, "out", "checkins.tsv");
+  std::uint64_t seed = std::atoll(Flag(flags, "seed", "42").c_str());
+
+  GeneratorConfig cfg;
+  if (preset == "nyc") {
+    cfg = NycConfig(scale, seed);
+  } else if (preset == "la") {
+    cfg = LaConfig(scale, seed);
+  } else if (preset == "gs") {
+    cfg = GsConfig(scale, seed);
+  } else {
+    cfg = GwConfig(scale, seed);
+    cfg.tail_fraction = 0.08;
+  }
+  Dataset data = GenerateLbsn(cfg);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  // SNAP format; timestamps anchored at 2009-01-01T00:00:00Z.
+  constexpr std::int64_t kAnchor = 1230768000;
+  for (const CheckIn& c : data.checkins) {
+    std::int64_t t = kAnchor + c.time;
+    int y, m, d;
+    CivilFromDays(t / 86400, &y, &m, &d);
+    std::int64_t s = t % 86400;
+    const Vec2& pos = data.pois[c.poi].pos;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "0\t%04d-%02d-%02dT%02lld:%02lld:%02lldZ\t%.6f\t%.6f\t%u\n",
+                  y, m, d, static_cast<long long>(s / 3600),
+                  static_cast<long long>((s / 60) % 60),
+                  static_cast<long long>(s % 60), pos.y, pos.x, c.poi);
+    out << line;
+  }
+  std::printf("wrote %zu check-ins at %zu venues (%s preset, scale %.3f) "
+              "to %s\n",
+              data.checkins.size(), data.pois.size(), cfg.name.c_str(),
+              scale, out_path.c_str());
+  return 0;
+}
+
+int Build(const std::map<std::string, std::string>& flags) {
+  std::string input = Flag(flags, "input", "checkins.tsv");
+  std::string out_path = Flag(flags, "out", "index.tart");
+  std::string strategy = Flag(flags, "strategy", "tar");
+  std::string backend = Flag(flags, "backend", "mvbt");
+  std::int64_t threshold = std::atoll(Flag(flags, "threshold", "50").c_str());
+  int epoch_days = std::atoi(Flag(flags, "epoch-days", "7").c_str());
+  std::size_t node_bytes =
+      std::atoll(Flag(flags, "node-bytes", "1024").c_str());
+
+  auto loaded = LoadSnapCheckinsFile(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data = std::move(loaded).ValueOrDie();
+  EpochGrid grid(0, epoch_days * kSecondsPerDay);
+  EpochCounts counts = BuildEpochCounts(data, grid);
+  std::vector<PoiId> effective = EffectivePois(counts, threshold);
+
+  TarTreeOptions opt;
+  opt.strategy = strategy == "spa"   ? GroupingStrategy::kSpatial
+                 : strategy == "agg" ? GroupingStrategy::kAggregate
+                                     : GroupingStrategy::kIntegral3D;
+  opt.tia_backend =
+      backend == "bptree" ? TiaBackend::kBpTree : TiaBackend::kMvbt;
+  opt.node_size_bytes = node_bytes;
+  opt.grid = grid;
+  opt.space = data.bounds;
+  TarTree tree(opt);
+  std::int64_t max_total = 0;
+  for (PoiId id : effective) {
+    max_total = std::max(max_total, counts.Total(id));
+  }
+  tree.SeedMaxTotal(max_total);
+  for (PoiId id : effective) {
+    Status st = tree.InsertPoi(data.pois[id], counts.counts[id]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  Status st = tree.SaveToFile(out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu / %zu venues (threshold %lld), %zu nodes, "
+              "height %zu, %s grouping, %s TIAs -> %s\n",
+              effective.size(), data.pois.size(),
+              static_cast<long long>(threshold), tree.num_nodes(),
+              tree.height(), ToString(opt.strategy),
+              ToString(opt.tia_backend), out_path.c_str());
+  return 0;
+}
+
+int Info(const std::map<std::string, std::string>& flags) {
+  auto loaded = TarTree::LoadFromFile(Flag(flags, "index", "index.tart"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const TarTree& tree = *loaded.ValueOrDie();
+  const TarTreeOptions& opt = tree.options();
+  std::printf("POIs:      %zu\n", tree.num_pois());
+  std::printf("nodes:     %zu (height %zu, capacity %zu)\n",
+              tree.num_nodes(), tree.height(), tree.capacity());
+  std::printf("strategy:  %s\n", ToString(opt.strategy));
+  std::printf("backend:   %s\n", ToString(opt.tia_backend));
+  std::printf("epoch:     %lld days\n",
+              static_cast<long long>(opt.grid.epoch_length() /
+                                     kSecondsPerDay));
+  std::printf("max total: %lld check-ins\n",
+              static_cast<long long>(tree.max_total()));
+  Status st = tree.CheckInvariants();
+  std::printf("invariants: %s\n", st.ok() ? "OK" : st.ToString().c_str());
+  return st.ok() ? 0 : 1;
+}
+
+int QueryCmd(const std::map<std::string, std::string>& flags) {
+  auto loaded = TarTree::LoadFromFile(Flag(flags, "index", "index.tart"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const TarTree& tree = *loaded.ValueOrDie();
+
+  KnntaQuery q;
+  q.point = {std::atof(Flag(flags, "x", "0").c_str()),
+             std::atof(Flag(flags, "y", "0").c_str())};
+  std::int64_t days = std::atoll(Flag(flags, "days", "30").c_str());
+  // "The last N days": anchored at the end of the indexed history.
+  Timestamp t_end = (tree.global_tia().num_records() > 0)
+                        ? tree.grid().EpochEnd(10 * 365 / 7)  // fallback
+                        : 0;
+  // Derive the end of history from the global TIA records.
+  std::vector<TiaRecord> records;
+  if (tree.global_tia().Records(&records).ok() && !records.empty()) {
+    t_end = records.back().extent.end;
+  }
+  q.interval = {std::max<Timestamp>(0, t_end - days * kSecondsPerDay),
+                t_end};
+  q.k = std::atoll(Flag(flags, "k", "10").c_str());
+  q.alpha0 = std::atof(Flag(flags, "alpha", "0.3").c_str());
+
+  std::vector<KnntaResult> results;
+  AccessStats stats;
+  Status st = tree.Query(q, &results, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("top %zu near (%.4f, %.4f), last %lld days, alpha0=%.2f:\n",
+              results.size(), q.point.x, q.point.y,
+              static_cast<long long>(days), q.alpha0);
+  for (const KnntaResult& r : results) {
+    std::printf("  venue %-8u dist=%9.4f visits=%6lld score=%.4f\n", r.poi,
+                r.dist, static_cast<long long>(r.aggregate), r.score);
+  }
+  std::printf("(%s)\n", stats.ToString().c_str());
+
+  if (flags.count("mwa") != 0) {
+    MwaResult mwa;
+    st = ComputeMwaPruning(tree, q, &mwa);
+    if (!st.ok()) {
+      std::fprintf(stderr, "MWA failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (mwa.lower) {
+      std::printf("results change below alpha0 = %.4f\n", *mwa.lower);
+    }
+    if (mwa.upper) {
+      std::printf("results change above alpha0 = %.4f\n", *mwa.upper);
+    }
+    if (!mwa.lower && !mwa.upper) {
+      std::printf("no weight adjustment changes the results\n");
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tartool <generate|build|info|query> [--flags]\n"
+               "  generate --preset gw|gs|nyc|la --scale S --out FILE\n"
+               "  build    --input FILE --out INDEX [--strategy tar|spa|agg]"
+               " [--threshold N] [--epoch-days D] [--backend mvbt|bptree]\n"
+               "  info     --index INDEX\n"
+               "  query    --index INDEX --x X --y Y --days D [--k K]"
+               " [--alpha A] [--mwa]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return Generate(flags);
+  if (cmd == "build") return Build(flags);
+  if (cmd == "info") return Info(flags);
+  if (cmd == "query") return QueryCmd(flags);
+  return Usage();
+}
