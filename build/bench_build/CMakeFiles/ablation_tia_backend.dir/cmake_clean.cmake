@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tia_backend"
+  "../bench/ablation_tia_backend.pdb"
+  "CMakeFiles/ablation_tia_backend.dir/ablation_tia_backend.cc.o"
+  "CMakeFiles/ablation_tia_backend.dir/ablation_tia_backend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tia_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

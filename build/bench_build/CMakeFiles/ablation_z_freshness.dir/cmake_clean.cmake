@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_z_freshness"
+  "../bench/ablation_z_freshness.pdb"
+  "CMakeFiles/ablation_z_freshness.dir/ablation_z_freshness.cc.o"
+  "CMakeFiles/ablation_z_freshness.dir/ablation_z_freshness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_z_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_cost_vs_k"
+  "../bench/fig06_cost_vs_k.pdb"
+  "CMakeFiles/fig06_cost_vs_k.dir/fig06_cost_vs_k.cc.o"
+  "CMakeFiles/fig06_cost_vs_k.dir/fig06_cost_vs_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cost_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

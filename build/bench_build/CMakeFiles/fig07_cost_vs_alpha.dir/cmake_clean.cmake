@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_cost_vs_alpha"
+  "../bench/fig07_cost_vs_alpha.pdb"
+  "CMakeFiles/fig07_cost_vs_alpha.dir/fig07_cost_vs_alpha.cc.o"
+  "CMakeFiles/fig07_cost_vs_alpha.dir/fig07_cost_vs_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cost_vs_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_growth"
+  "../bench/fig08_growth.pdb"
+  "CMakeFiles/fig08_growth.dir/fig08_growth.cc.o"
+  "CMakeFiles/fig08_growth.dir/fig08_growth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_vary_k"
+  "../bench/fig09_vary_k.pdb"
+  "CMakeFiles/fig09_vary_k.dir/fig09_vary_k.cc.o"
+  "CMakeFiles/fig09_vary_k.dir/fig09_vary_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vary_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_epoch_length"
+  "../bench/fig11_epoch_length.pdb"
+  "CMakeFiles/fig11_epoch_length.dir/fig11_epoch_length.cc.o"
+  "CMakeFiles/fig11_epoch_length.dir/fig11_epoch_length.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_epoch_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

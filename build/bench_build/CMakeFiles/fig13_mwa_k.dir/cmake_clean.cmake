@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_mwa_k"
+  "../bench/fig13_mwa_k.pdb"
+  "CMakeFiles/fig13_mwa_k.dir/fig13_mwa_k.cc.o"
+  "CMakeFiles/fig13_mwa_k.dir/fig13_mwa_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mwa_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

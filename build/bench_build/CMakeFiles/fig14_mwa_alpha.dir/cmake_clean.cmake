@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_mwa_alpha"
+  "../bench/fig14_mwa_alpha.pdb"
+  "CMakeFiles/fig14_mwa_alpha.dir/fig14_mwa_alpha.cc.o"
+  "CMakeFiles/fig14_mwa_alpha.dir/fig14_mwa_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mwa_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_collective_queries"
+  "../bench/fig15_collective_queries.pdb"
+  "CMakeFiles/fig15_collective_queries.dir/fig15_collective_queries.cc.o"
+  "CMakeFiles/fig15_collective_queries.dir/fig15_collective_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_collective_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_collective_types"
+  "../bench/fig16_collective_types.pdb"
+  "CMakeFiles/fig16_collective_types.dir/fig16_collective_types.cc.o"
+  "CMakeFiles/fig16_collective_types.dir/fig16_collective_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_collective_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_collective_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_powerlaw"
+  "../bench/table2_powerlaw.pdb"
+  "CMakeFiles/table2_powerlaw.dir/table2_powerlaw.cc.o"
+  "CMakeFiles/table2_powerlaw.dir/table2_powerlaw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

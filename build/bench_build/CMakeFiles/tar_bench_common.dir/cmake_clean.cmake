@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tar_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tar_bench_common.dir/bench_common.cc.o.d"
+  "libtar_bench_common.a"
+  "libtar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtar_bench_common.a"
+)

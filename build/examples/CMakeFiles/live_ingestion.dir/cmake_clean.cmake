@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_ingestion.dir/live_ingestion.cpp.o"
+  "CMakeFiles/live_ingestion.dir/live_ingestion.cpp.o.d"
+  "live_ingestion"
+  "live_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

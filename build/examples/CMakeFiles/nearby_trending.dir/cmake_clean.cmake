@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearby_trending.dir/nearby_trending.cpp.o"
+  "CMakeFiles/nearby_trending.dir/nearby_trending.cpp.o.d"
+  "nearby_trending"
+  "nearby_trending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearby_trending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nearby_trending.
+# This may be replaced when dependencies are built.

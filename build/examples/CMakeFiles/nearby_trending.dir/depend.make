@@ -1,0 +1,2 @@
+# Empty dependencies file for nearby_trending.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_explorer.dir/weight_explorer.cpp.o"
+  "CMakeFiles/weight_explorer.dir/weight_explorer.cpp.o.d"
+  "weight_explorer"
+  "weight_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tar_common.dir/common/geometry.cc.o"
+  "CMakeFiles/tar_common.dir/common/geometry.cc.o.d"
+  "CMakeFiles/tar_common.dir/common/powerlaw.cc.o"
+  "CMakeFiles/tar_common.dir/common/powerlaw.cc.o.d"
+  "CMakeFiles/tar_common.dir/common/stats.cc.o"
+  "CMakeFiles/tar_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/tar_common.dir/common/status.cc.o"
+  "CMakeFiles/tar_common.dir/common/status.cc.o.d"
+  "libtar_common.a"
+  "libtar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collective.cc" "src/CMakeFiles/tar_core.dir/core/collective.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/collective.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/tar_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/tar_core.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/grouping.cc" "src/CMakeFiles/tar_core.dir/core/grouping.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/grouping.cc.o.d"
+  "/root/repo/src/core/knnta.cc" "src/CMakeFiles/tar_core.dir/core/knnta.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/knnta.cc.o.d"
+  "/root/repo/src/core/mwa.cc" "src/CMakeFiles/tar_core.dir/core/mwa.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/mwa.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/CMakeFiles/tar_core.dir/core/persistence.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/persistence.cc.o.d"
+  "/root/repo/src/core/scan_baseline.cc" "src/CMakeFiles/tar_core.dir/core/scan_baseline.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/scan_baseline.cc.o.d"
+  "/root/repo/src/core/tar_tree.cc" "src/CMakeFiles/tar_core.dir/core/tar_tree.cc.o" "gcc" "src/CMakeFiles/tar_core.dir/core/tar_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tar_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tar_core.dir/core/collective.cc.o"
+  "CMakeFiles/tar_core.dir/core/collective.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/tar_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/dataset.cc.o"
+  "CMakeFiles/tar_core.dir/core/dataset.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/grouping.cc.o"
+  "CMakeFiles/tar_core.dir/core/grouping.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/knnta.cc.o"
+  "CMakeFiles/tar_core.dir/core/knnta.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/mwa.cc.o"
+  "CMakeFiles/tar_core.dir/core/mwa.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/persistence.cc.o"
+  "CMakeFiles/tar_core.dir/core/persistence.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/scan_baseline.cc.o"
+  "CMakeFiles/tar_core.dir/core/scan_baseline.cc.o.d"
+  "CMakeFiles/tar_core.dir/core/tar_tree.cc.o"
+  "CMakeFiles/tar_core.dir/core/tar_tree.cc.o.d"
+  "libtar_core.a"
+  "libtar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/tar_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/tar_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/CMakeFiles/tar_data.dir/data/loader.cc.o" "gcc" "src/CMakeFiles/tar_data.dir/data/loader.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/tar_data.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/tar_data.dir/data/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tar_data.dir/data/generator.cc.o"
+  "CMakeFiles/tar_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/tar_data.dir/data/loader.cc.o"
+  "CMakeFiles/tar_data.dir/data/loader.cc.o.d"
+  "CMakeFiles/tar_data.dir/data/workload.cc.o"
+  "CMakeFiles/tar_data.dir/data/workload.cc.o.d"
+  "libtar_data.a"
+  "libtar_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tar_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

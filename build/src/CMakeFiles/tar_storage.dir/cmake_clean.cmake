@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tar_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/tar_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/tar_storage.dir/storage/page_file.cc.o"
+  "CMakeFiles/tar_storage.dir/storage/page_file.cc.o.d"
+  "libtar_storage.a"
+  "libtar_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tar_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tar_storage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tar_temporal.dir/temporal/bptree.cc.o"
+  "CMakeFiles/tar_temporal.dir/temporal/bptree.cc.o.d"
+  "CMakeFiles/tar_temporal.dir/temporal/mvbt.cc.o"
+  "CMakeFiles/tar_temporal.dir/temporal/mvbt.cc.o.d"
+  "CMakeFiles/tar_temporal.dir/temporal/tia.cc.o"
+  "CMakeFiles/tar_temporal.dir/temporal/tia.cc.o.d"
+  "libtar_temporal.a"
+  "libtar_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tar_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

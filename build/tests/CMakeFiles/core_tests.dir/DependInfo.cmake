@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/collective_test.cc" "tests/CMakeFiles/core_tests.dir/core/collective_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/collective_test.cc.o.d"
+  "/root/repo/tests/core/cost_model_test.cc" "tests/CMakeFiles/core_tests.dir/core/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cost_model_test.cc.o.d"
+  "/root/repo/tests/core/dataset_test.cc" "tests/CMakeFiles/core_tests.dir/core/dataset_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dataset_test.cc.o.d"
+  "/root/repo/tests/core/knnta_test.cc" "tests/CMakeFiles/core_tests.dir/core/knnta_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/knnta_test.cc.o.d"
+  "/root/repo/tests/core/mwa_test.cc" "tests/CMakeFiles/core_tests.dir/core/mwa_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mwa_test.cc.o.d"
+  "/root/repo/tests/core/persistence_test.cc" "tests/CMakeFiles/core_tests.dir/core/persistence_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/persistence_test.cc.o.d"
+  "/root/repo/tests/core/scan_baseline_test.cc" "tests/CMakeFiles/core_tests.dir/core/scan_baseline_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scan_baseline_test.cc.o.d"
+  "/root/repo/tests/core/tar_tree_test.cc" "tests/CMakeFiles/core_tests.dir/core/tar_tree_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tar_tree_test.cc.o.d"
+  "/root/repo/tests/temporal/tia_backend_test.cc" "tests/CMakeFiles/core_tests.dir/temporal/tia_backend_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/temporal/tia_backend_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/collective_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/collective_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/cost_model_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/cost_model_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/dataset_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/dataset_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/knnta_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/knnta_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mwa_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mwa_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/persistence_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/persistence_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/scan_baseline_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/scan_baseline_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/tar_tree_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/tar_tree_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/temporal/tia_backend_test.cc.o"
+  "CMakeFiles/core_tests.dir/temporal/tia_backend_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/geometry_property_test.cc" "tests/CMakeFiles/foundation_tests.dir/common/geometry_property_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/common/geometry_property_test.cc.o.d"
+  "/root/repo/tests/common/geometry_test.cc" "tests/CMakeFiles/foundation_tests.dir/common/geometry_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/common/geometry_test.cc.o.d"
+  "/root/repo/tests/common/powerlaw_test.cc" "tests/CMakeFiles/foundation_tests.dir/common/powerlaw_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/common/powerlaw_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/foundation_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/storage/storage_test.cc" "tests/CMakeFiles/foundation_tests.dir/storage/storage_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/storage/storage_test.cc.o.d"
+  "/root/repo/tests/temporal/bptree_test.cc" "tests/CMakeFiles/foundation_tests.dir/temporal/bptree_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/temporal/bptree_test.cc.o.d"
+  "/root/repo/tests/temporal/mvbt_extra_test.cc" "tests/CMakeFiles/foundation_tests.dir/temporal/mvbt_extra_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/temporal/mvbt_extra_test.cc.o.d"
+  "/root/repo/tests/temporal/mvbt_test.cc" "tests/CMakeFiles/foundation_tests.dir/temporal/mvbt_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/temporal/mvbt_test.cc.o.d"
+  "/root/repo/tests/temporal/tia_test.cc" "tests/CMakeFiles/foundation_tests.dir/temporal/tia_test.cc.o" "gcc" "tests/CMakeFiles/foundation_tests.dir/temporal/tia_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tar_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foundation_tests.dir/common/geometry_property_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/common/geometry_property_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/common/geometry_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/common/geometry_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/common/powerlaw_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/common/powerlaw_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/storage/storage_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/storage/storage_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/temporal/bptree_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/temporal/bptree_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/temporal/mvbt_extra_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/temporal/mvbt_extra_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/temporal/mvbt_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/temporal/mvbt_test.cc.o.d"
+  "CMakeFiles/foundation_tests.dir/temporal/tia_test.cc.o"
+  "CMakeFiles/foundation_tests.dir/temporal/tia_test.cc.o.d"
+  "foundation_tests"
+  "foundation_tests.pdb"
+  "foundation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foundation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/tartool.cc" "tools/CMakeFiles/tartool.dir/tartool.cc.o" "gcc" "tools/CMakeFiles/tartool.dir/tartool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

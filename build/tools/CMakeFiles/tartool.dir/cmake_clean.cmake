@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tartool.dir/tartool.cc.o"
+  "CMakeFiles/tartool.dir/tartool.cc.o.d"
+  "tartool"
+  "tartool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tartool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
