@@ -1,0 +1,79 @@
+// Assertion macros for invariant enforcement at mutation boundaries.
+//
+// Policy (see docs/internals.md, "Invariants and verification"):
+//   * TAR_CHECK / TAR_CHECK_OK are always on, in every build type. Use them
+//     where continuing past a violated precondition would corrupt an index
+//     or silently produce wrong aggregates (constructor parameter sanity,
+//     serialization framing, unreachable dispatch arms).
+//   * TAR_DCHECK / TAR_DCHECK_OK compile away in NDEBUG builds. Use them on
+//     hot paths for conditions that the structure verifier or the checked
+//     callers already guarantee; they exist so sanitizer/debug CI runs stop
+//     at the first broken invariant instead of at the downstream symptom.
+//
+// Both abort via std::abort so that ASan/UBSan produce a stack trace and a
+// core dump rather than unwinding past the broken state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace tar::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* kind, const char* expr,
+                                     const char* detail = nullptr) {
+  if (detail != nullptr) {
+    std::fprintf(stderr, "%s:%d: %s failed: %s (%s)\n", file, line, kind,
+                 expr, detail);
+  } else {
+    std::fprintf(stderr, "%s:%d: %s failed: %s\n", file, line, kind, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+inline void CheckOkImpl(const Status& st, const char* file, int line,
+                        const char* kind, const char* expr) {
+  if (!st.ok()) {
+    CheckFailed(file, line, kind, expr, st.ToString().c_str());
+  }
+}
+
+}  // namespace tar::internal
+
+/// Always-on assertion: aborts with file:line and the failed expression.
+#define TAR_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::tar::internal::CheckFailed(__FILE__, __LINE__, "TAR_CHECK",      \
+                                   #cond);                               \
+    }                                                                    \
+  } while (false)
+
+/// Always-on assertion that a Status expression evaluates to OK.
+#define TAR_CHECK_OK(expr)                                               \
+  ::tar::internal::CheckOkImpl((expr), __FILE__, __LINE__, "TAR_CHECK_OK", \
+                               #expr)
+
+#ifdef NDEBUG
+#define TAR_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#define TAR_DCHECK_OK(expr)   \
+  do {                        \
+    (void)sizeof((expr).ok()); \
+  } while (false)
+#else
+#define TAR_DCHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::tar::internal::CheckFailed(__FILE__, __LINE__, "TAR_DCHECK",     \
+                                   #cond);                               \
+    }                                                                    \
+  } while (false)
+#define TAR_DCHECK_OK(expr)                                       \
+  ::tar::internal::CheckOkImpl((expr), __FILE__, __LINE__,        \
+                               "TAR_DCHECK_OK", #expr)
+#endif

@@ -1,13 +1,14 @@
 #include "common/powerlaw.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace tar {
 
 double HurwitzZeta(double s, double a) {
-  assert(s > 1.0 && a > 0.0);
+  TAR_DCHECK(s > 1.0 && a > 0.0);
   // Direct sum over the first kTerms terms, Euler-Maclaurin for the tail:
   //   sum_{i>=N} (i+a)^-s ~= (N+a)^(1-s)/(s-1) + (N+a)^-s/2
   //                          + s*(N+a)^-(s+1)/12 - ...
@@ -27,7 +28,7 @@ double HurwitzZeta(double s, double a) {
 PowerLaw::PowerLaw(double beta, std::int64_t xmin)
     : beta_(beta), xmin_(xmin),
       zeta_xmin_(HurwitzZeta(beta, static_cast<double>(xmin))) {
-  assert(xmin >= 1);
+  TAR_CHECK(xmin_ >= 1);
 }
 
 double PowerLaw::Pmf(std::int64_t x) const {

@@ -1,10 +1,10 @@
 // Result<T>: value-or-Status, the Arrow idiom for fallible producers.
 #pragma once
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace tar {
@@ -16,14 +16,14 @@ namespace tar {
 ///   if (!r.ok()) return r.status();
 ///   Page* page = r.ValueOrDie();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
   /// Implicit construction from a non-OK status (failure).
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(repr_).ok());
+    TAR_DCHECK(!std::get<Status>(repr_).ok());
   }
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
@@ -34,15 +34,15 @@ class Result {
   }
 
   const T& ValueOrDie() const& {
-    assert(ok());
+    TAR_DCHECK(ok());
     return std::get<T>(repr_);
   }
   T& ValueOrDie() & {
-    assert(ok());
+    TAR_DCHECK(ok());
     return std::get<T>(repr_);
   }
   T&& ValueOrDie() && {
-    assert(ok());
+    TAR_DCHECK(ok());
     return std::get<T>(std::move(repr_));
   }
 

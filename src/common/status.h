@@ -11,7 +11,11 @@ namespace tar {
 /// Core library code returns Status (or Result<T>) instead of throwing.
 /// A default-constructed Status is OK. The error message is stored only for
 /// non-OK statuses, keeping the OK path allocation free.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how index corruption turns
+/// into plausible-but-wrong aggregates; every caller must consume it
+/// (propagate, branch, or TAR_CHECK_OK).
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

@@ -141,7 +141,8 @@ Status TarTree::Save(std::ostream& out) const {
   return Status::OK();
 }
 
-Result<std::unique_ptr<TarTree>> TarTree::Load(std::istream& in) {
+Result<std::unique_ptr<TarTree>> TarTree::Load(std::istream& in,
+                                               const LoadOptions& load_options) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) {
@@ -243,7 +244,16 @@ Result<std::unique_ptr<TarTree>> TarTree::Load(std::istream& in) {
   if (root_marker != kInvalidNodeId && node_count > 0) {
     tree->root_ = root_marker;
   }
-  TAR_RETURN_NOT_OK(tree->CheckInvariants());
+  // Verify-on-load: a persisted index is untrusted input. The basic check
+  // is the tree's own invariants; the deep pass (when the caller wires one
+  // in, e.g. analysis::DeepVerifyOnLoad) additionally fscks every TIA and
+  // backing index.
+  if (load_options.verify) {
+    TAR_RETURN_NOT_OK(tree->CheckInvariants());
+  }
+  if (load_options.deep_verifier) {
+    TAR_RETURN_NOT_OK(load_options.deep_verifier(*tree));
+  }
   return tree;
 }
 
@@ -254,10 +264,10 @@ Status TarTree::SaveToFile(const std::string& path) const {
 }
 
 Result<std::unique_ptr<TarTree>> TarTree::LoadFromFile(
-    const std::string& path) {
+    const std::string& path, const LoadOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::IoError("cannot open " + path);
-  return Load(in);
+  return Load(in, options);
 }
 
 }  // namespace tar

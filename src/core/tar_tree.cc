@@ -5,6 +5,8 @@
 #include <functional>
 #include <map>
 
+#include "common/check.h"
+
 namespace tar {
 
 namespace {
@@ -165,6 +167,7 @@ Status TarTree::InsertPoi(const Poi& poi,
 }
 
 Status TarTree::InsertEntry(Entry entry, std::int32_t level) {
+  TAR_DCHECK(entry.tia != nullptr);
   std::vector<PendingInsert> pending;
   pending.push_back(PendingInsert{std::move(entry), level});
   std::vector<bool> reinsert_done(64, false);
@@ -176,6 +179,7 @@ Status TarTree::InsertEntry(Entry entry, std::int32_t level) {
     for (std::size_t i = 1; i < pending.size(); ++i) {
       if (pending[i].level > pending[pick].level) pick = i;
     }
+    TAR_DCHECK(pending[pick].level >= 0 && pending[pick].level < 64);
     std::swap(pending[pick], pending.back());
     PendingInsert item = std::move(pending.back());
     pending.pop_back();

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -194,6 +196,21 @@ class TarTree {
 
   /// Buffer pool backing all TIAs (exposed so experiments can vary quotas).
   BufferPool* tia_buffer_pool() { return &pool_; }
+  const BufferPool* tia_buffer_pool() const { return &pool_; }
+
+  /// Registered position and running check-in total of a POI, or nullopt
+  /// if unknown. The leaf TIA of a POI must sum to exactly this total —
+  /// the redundancy the structure verifier exploits to catch corrupted
+  /// leaf aggregates.
+  struct PoiSnapshot {
+    Vec2 pos;
+    std::int64_t total = 0;
+  };
+  std::optional<PoiSnapshot> poi_snapshot(PoiId id) const {
+    auto it = poi_info_.find(id);
+    if (it == poi_info_.end()) return std::nullopt;
+    return PoiSnapshot{it->second.pos, it->second.total};
+  }
 
   /// Largest POI check-in total seen (normalizes the z dimension).
   std::int64_t max_total() const { return max_total_; }
@@ -215,16 +232,39 @@ class TarTree {
   /// degrades).
   Status Rebuild();
 
+  /// \brief Verification policy applied after a persistence load.
+  struct LoadOptions {
+    /// Run CheckInvariants on the loaded tree (cheap, catches structural
+    /// damage: containment, fill, balance, registry counts). On by
+    /// default — a load that skips it will happily return a tree whose
+    /// aggregates are silently wrong.
+    bool verify = true;
+
+    /// Optional deep verification pass run after the basic check. The
+    /// analysis layer supplies a StructureVerifier-backed callable
+    /// (analysis::DeepVerifyOnLoad); keeping it a callback keeps core
+    /// free of a dependency on the analysis subsystem.
+    std::function<Status(const TarTree&)> deep_verifier;
+  };
+
   /// Serializes the index (structure, boxes, TIA records, normalizers) to
   /// a binary stream. Load restores an exact structural copy: same nodes,
   /// same grouping, same query costs.
   Status Save(std::ostream& out) const;
-  static Result<std::unique_ptr<TarTree>> Load(std::istream& in);
+  static Result<std::unique_ptr<TarTree>> Load(std::istream& in,
+                                               const LoadOptions& options);
+  static Result<std::unique_ptr<TarTree>> Load(std::istream& in) {
+    return Load(in, LoadOptions());
+  }
 
   /// File wrappers around Save/Load.
   Status SaveToFile(const std::string& path) const;
   static Result<std::unique_ptr<TarTree>> LoadFromFile(
-      const std::string& path);
+      const std::string& path, const LoadOptions& options);
+  static Result<std::unique_ptr<TarTree>> LoadFromFile(
+      const std::string& path) {
+    return LoadFromFile(path, LoadOptions());
+  }
 
  private:
   friend class TarTreeTestPeer;

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "common/check.h"
+
 namespace tar {
 
 bool BufferPool::Touch(OwnerId owner, PageId id) {
@@ -16,6 +18,8 @@ bool BufferPool::Touch(OwnerId owner, PageId id) {
     cache.where.erase(cache.lru.back());
     cache.lru.pop_back();
   }
+  TAR_DCHECK(cache.lru.size() == cache.where.size());
+  TAR_DCHECK(cache.lru.size() <= quota_);
   return false;
 }
 
@@ -37,6 +41,51 @@ Result<const Page*> BufferPool::Fetch(OwnerId owner, PageId id,
 Result<Page*> BufferPool::FetchForWrite(OwnerId owner, PageId id) {
   Touch(owner, id);  // write-through: cache but always charge the write
   return file_->GetPageForWrite(id);
+}
+
+Status BufferPool::CheckIntegrity() const {
+  for (const auto& [owner, cache] : caches_) {
+    const std::string who = "owner " + std::to_string(owner);
+    if (quota_ == 0 && !cache.lru.empty()) {
+      return Status::Corruption(who + ": cached pages with a zero quota");
+    }
+    if (cache.lru.size() > quota_) {
+      return Status::Corruption(who + ": residency exceeds quota (" +
+                                std::to_string(cache.lru.size()) + " > " +
+                                std::to_string(quota_) + ")");
+    }
+    if (cache.lru.size() != cache.where.size()) {
+      return Status::Corruption(who + ": LRU list and map sizes disagree");
+    }
+    for (auto it = cache.lru.begin(); it != cache.lru.end(); ++it) {
+      auto pos = cache.where.find(*it);
+      if (pos == cache.where.end()) {
+        return Status::Corruption(who + ": LRU frame for page " +
+                                  std::to_string(*it) + " missing from map");
+      }
+      if (pos->second != it) {
+        return Status::Corruption(who + ": map iterator for page " +
+                                  std::to_string(*it) +
+                                  " points at a different frame");
+      }
+      if (*it >= file_->num_pages()) {
+        return Status::Corruption(who + ": cached page " +
+                                  std::to_string(*it) +
+                                  " beyond the end of the file");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::set_quota(std::size_t quota) {
+  quota_ = quota;
+  for (auto& [owner, cache] : caches_) {
+    while (cache.lru.size() > quota_) {
+      cache.where.erase(cache.lru.back());
+      cache.lru.pop_back();
+    }
+  }
 }
 
 void BufferPool::Clear() { caches_.clear(); }

@@ -41,12 +41,20 @@ class BufferPool {
   /// Drops the cached pages of one owner.
   void Evict(OwnerId owner);
 
-  void set_quota(std::size_t quota) { quota_ = quota; }
+  /// Changes the per-owner quota, evicting LRU pages down to the new limit.
+  void set_quota(std::size_t quota);
   std::size_t quota() const { return quota_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   void ResetCounters() { hits_ = misses_ = 0; }
+
+  /// Structural integrity: every owner's residency is within quota, the
+  /// LRU list and the position map describe the same frame set (same
+  /// size, no duplicates, iterators in agreement), and every cached page
+  /// id exists in the backing file. Returns Status::Corruption naming the
+  /// owner of the first inconsistent cache.
+  Status CheckIntegrity() const;
 
   PageFile* file() { return file_; }
 

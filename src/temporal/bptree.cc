@@ -1,7 +1,8 @@
 #include "temporal/bptree.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace tar::bptree {
 
@@ -15,7 +16,7 @@ BpTree::BpTree(PageFile* file, BufferPool* pool, OwnerId owner)
     : file_(file), pool_(pool), owner_(owner),
       capacity_(BpNodeLayout::Capacity(file->page_size())),
       min_fill_(std::max<std::size_t>(1, capacity_ * 2 / 5)) {
-  assert(capacity_ >= 4 && "page size too small for a B+-tree node");
+  TAR_CHECK(capacity_ >= 4 && "page size too small for a B+-tree node");
 }
 
 Status BpTree::Load(PageId id, Node* node) const {
@@ -341,42 +342,46 @@ Result<std::int64_t> BpTree::RangeSum(Key lo, Key hi,
 }
 
 Status BpTree::CheckRec(PageId page_id, Key lo, Key hi, std::size_t depth,
-                        std::size_t* leaf_depth) const {
+                        std::size_t* leaf_depth,
+                        const std::string& path) const {
   Node node;
   TAR_RETURN_NOT_OK(Load(page_id, &node));
   if (node.keys.size() > capacity_) {
-    return Status::Corruption("node over capacity");
+    return Status::Corruption("node over capacity at " + path);
   }
   if (page_id != root_ && node.keys.size() < min_fill_) {
-    return Status::Corruption("node under minimum fill");
+    return Status::Corruption("node under minimum fill at " + path);
   }
   if (node.is_leaf) {
     if (*leaf_depth == SIZE_MAX) {
       *leaf_depth = depth;
     } else if (*leaf_depth != depth) {
-      return Status::Corruption("leaves at different depths");
+      return Status::Corruption("leaves at different depths at " + path);
     }
     for (std::size_t i = 0; i < node.keys.size(); ++i) {
       if (node.keys[i] < lo || node.keys[i] >= hi) {
-        return Status::Corruption("leaf key outside responsibility");
+        return Status::Corruption("leaf key outside responsibility at " +
+                                  path);
       }
       if (i > 0 && node.keys[i - 1] >= node.keys[i]) {
-        return Status::Corruption("leaf keys out of order");
+        return Status::Corruption("leaf keys out of order at " + path);
       }
     }
     return Status::OK();
   }
   if (node.keys.back() != hi) {
-    return Status::Corruption("last child bound != node bound");
+    return Status::Corruption("last child bound != node bound at " + path);
   }
   Key lower = lo;
   for (std::size_t i = 0; i < node.keys.size(); ++i) {
     Key upper = node.keys[i];
     if (upper <= lower) {
-      return Status::Corruption("empty or inverted child range");
+      return Status::Corruption("empty or inverted child range at " + path);
     }
     TAR_RETURN_NOT_OK(CheckRec(static_cast<PageId>(node.values[i]), lower,
-                               upper, depth + 1, leaf_depth));
+                               upper, depth + 1, leaf_depth,
+                               path + "/page:" +
+                                   std::to_string(node.values[i])));
     lower = upper;
   }
   return Status::OK();
@@ -388,7 +393,8 @@ Status BpTree::CheckInvariants() const {
                       : Status::Corruption("empty tree but nonzero size");
   }
   std::size_t leaf_depth = SIZE_MAX;
-  return CheckRec(root_, kKeyMin, kKeyMax, 0, &leaf_depth);
+  return CheckRec(root_, kKeyMin, kKeyMax, 0, &leaf_depth,
+                  "root/page:" + std::to_string(root_));
 }
 
 }  // namespace tar::bptree

@@ -97,7 +97,7 @@ class BpTree {
                  std::int64_t* sum, AccessStats* stats) const;
 
   Status CheckRec(PageId page, Key lo, Key hi, std::size_t depth,
-                  std::size_t* leaf_depth) const;
+                  std::size_t* leaf_depth, const std::string& path) const;
 
   PageFile* file_;
   BufferPool* pool_;

@@ -1,7 +1,8 @@
 #include "temporal/mvbt.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace tar::mvbt {
 
@@ -19,13 +20,14 @@ bool MovesToCopy(const Entry& e, Version v) {
 Mvbt::Mvbt(PageFile* file, BufferPool* pool, OwnerId owner)
     : file_(file), pool_(pool), owner_(owner),
       capacity_(NodeLayout::Capacity(file->page_size())) {
-  assert(capacity_ >= 8 && "page size too small for an MVBT node");
+  TAR_CHECK(capacity_ >= 8 && "page size too small for an MVBT node");
   min_live_ = std::max<std::size_t>(2, capacity_ / 5);
   strong_low_ = min_live_ + std::max<std::size_t>(1, min_live_ / 2);
   strong_high_ = capacity_ - min_live_;
   // A key split of > strong_high_ live entries must leave both halves at or
   // above strong_low_, or splits could cascade forever.
-  assert(strong_high_ + 1 >= 2 * strong_low_ && strong_high_ > strong_low_);
+  TAR_CHECK(strong_high_ + 1 >= 2 * strong_low_ &&
+            strong_high_ > strong_low_);
 }
 
 Status Mvbt::LoadForUpdate(PageId id, Node* node) const {
@@ -453,14 +455,20 @@ Status Mvbt::CheckInvariants() const {
   for (Version v : versions) {
     auto root = RootAt(v);
     if (!root.has_value()) continue;
-    // Iterative DFS with (page, is_root, lo, hi, depth).
+    // Iterative DFS with (page, is_root, lo, hi, depth, path). The path
+    // is the page-id chain from the root, reported on corruption so a
+    // failure names the broken node.
     struct Item {
       PageId page;
       bool is_root;
       Key lo, hi;
       std::size_t depth;
+      std::string path;
     };
-    std::vector<Item> stack{{root->page, true, kKeyMin, kKeyMax, 0}};
+    const std::string at_version = "@v" + std::to_string(v);
+    std::vector<Item> stack{{root->page, true, kKeyMin, kKeyMax, 0,
+                             "root" + at_version + "/page:" +
+                                 std::to_string(root->page)}};
     std::optional<std::size_t> leaf_depth;
     while (!stack.empty()) {
       Item item = stack.back();
@@ -468,22 +476,25 @@ Status Mvbt::CheckInvariants() const {
       Node node;
       TAR_RETURN_NOT_OK(LoadForUpdate(item.page, &node));
       if (node.entries.size() > capacity_) {
-        return Status::Corruption("node over capacity");
+        return Status::Corruption("node over capacity at " + item.path);
       }
       std::size_t live = 0;
       for (const Entry& e : node.entries) live += e.AliveAt(v);
       if (!item.is_root && live < min_live_) {
-        return Status::Corruption("weak version condition violated");
+        return Status::Corruption("weak version condition violated at " +
+                                  item.path);
       }
       if (node.is_leaf) {
         if (leaf_depth.has_value() && *leaf_depth != item.depth) {
-          return Status::Corruption("leaves at different depths");
+          return Status::Corruption("leaves at different depths at " +
+                                    item.path);
         }
         leaf_depth = item.depth;
         for (const Entry& e : node.entries) {
           if (e.AliveAt(v) &&
               (e.key_lo < item.lo || e.key_lo >= item.hi)) {
-            return Status::Corruption("leaf key outside responsibility");
+            return Status::Corruption("leaf key outside responsibility at " +
+                                      item.path);
           }
         }
         continue;
@@ -499,14 +510,18 @@ Status Mvbt::CheckInvariants() const {
       Key cursor = item.lo;
       for (const Entry& e : kids) {
         if (e.key_lo != cursor) {
-          return Status::Corruption("router ranges do not partition");
+          return Status::Corruption("router ranges do not partition at " +
+                                    item.path);
         }
         cursor = e.key_hi;
         stack.push_back(Item{static_cast<PageId>(e.value), false, e.key_lo,
-                             e.key_hi, item.depth + 1});
+                             e.key_hi, item.depth + 1,
+                             item.path + "/page:" +
+                                 std::to_string(e.value)});
       }
       if (live > 0 && cursor != item.hi) {
-        return Status::Corruption("router ranges do not cover the range");
+        return Status::Corruption("router ranges do not cover the range at " +
+                                  item.path);
       }
     }
   }

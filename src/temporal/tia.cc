@@ -121,6 +121,25 @@ Result<std::int64_t> Tia::Aggregate(const TimeInterval& iq,
   return sum;
 }
 
+Status Tia::CheckBackend() const {
+  if (backend_ == TiaBackend::kMvbt) {
+    TAR_RETURN_NOT_OK(mvbt_->CheckInvariants());
+    auto live = mvbt_->CountAlive(mvbt_->last_version());
+    if (!live.ok()) return live.status();
+    if (live.ValueOrDie() != num_records_) {
+      return Status::Corruption(
+          "MVBT live record count disagrees with TIA num_records");
+    }
+    return Status::OK();
+  }
+  TAR_RETURN_NOT_OK(bptree_->CheckInvariants());
+  if (bptree_->size() != num_records_) {
+    return Status::Corruption(
+        "B+-tree size disagrees with TIA num_records");
+  }
+  return Status::OK();
+}
+
 Status Tia::Records(std::vector<TiaRecord>* out, AccessStats* stats) const {
   out->clear();
   std::vector<std::pair<std::int64_t, std::int64_t>> hits;

@@ -82,6 +82,11 @@ class Tia {
   OwnerId owner() const { return owner_; }
   TiaBackend backend() const { return backend_; }
 
+  /// Structural invariants of the backing index (MVBT version conditions
+  /// or B+-tree order/fill), plus consistency between the backend's live
+  /// record count and num_records(). Used by analysis::StructureVerifier.
+  Status CheckBackend() const;
+
  private:
   static std::int64_t Pack(const TimeInterval& extent, std::int64_t agg);
   static TiaRecord Unpack(std::int64_t ts, std::int64_t value);

@@ -22,7 +22,9 @@ TEST(GeneratorTest, BasicShape) {
   for (std::size_t i = 0; i < data.checkins.size(); ++i) {
     EXPECT_GE(data.checkins[i].time, 0);
     EXPECT_LT(data.checkins[i].time, data.t_end);
-    if (i > 0) EXPECT_LE(data.checkins[i - 1].time, data.checkins[i].time);
+    if (i > 0) {
+      EXPECT_LE(data.checkins[i - 1].time, data.checkins[i].time);
+    }
   }
   // Bounds hold every POI.
   for (const Poi& p : data.pois) {

@@ -11,6 +11,10 @@
 //       builds a persistent index.
 //
 //   tartool info --index index.tart
+//   tartool check index.tart [--samples N] [--shallow]
+//       fsck for a persisted index: loads it with verify-on-load and runs
+//       the full structure verifier (MVBT/B+-tree invariants, MBR and
+//       aggregate-bound containment, TIA cross-checks, buffer pool).
 //   tartool query --index index.tart --x LON --y LAT --days 30
 //           [--k 10] [--alpha 0.3] [--mwa]
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/structure_verifier.h"
 #include "core/mwa.h"
 #include "core/tar_tree.h"
 #include "data/generator.h"
@@ -194,6 +199,41 @@ int Info(const std::map<std::string, std::string>& flags) {
   return st.ok() ? 0 : 1;
 }
 
+int Check(const std::map<std::string, std::string>& flags,
+          const std::string& positional) {
+  std::string path = positional.empty()
+                         ? Flag(flags, "index", "index.tart")
+                         : positional;
+
+  analysis::VerifyOptions vopt;
+  vopt.tia_sample_intervals =
+      std::atoll(Flag(flags, "samples", "4").c_str());
+  vopt.deep_tia = flags.count("shallow") == 0;
+
+  // Load with basic verify-on-load; the deep pass runs explicitly below so
+  // its coverage report can be printed.
+  TarTree::LoadOptions load_options;
+  load_options.verify = true;
+  auto loaded = TarTree::LoadFromFile(path, load_options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: FAILED (load): %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const TarTree& tree = *loaded.ValueOrDie();
+  analysis::StructureVerifier verifier(vopt);
+  analysis::VerifyReport report;
+  Status st = verifier.VerifyTarTree(tree, &report);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: FAILED: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu POIs; checked %s)\n", path.c_str(),
+              tree.num_pois(), report.ToString().c_str());
+  return 0;
+}
+
 int QueryCmd(const std::map<std::string, std::string>& flags) {
   auto loaded = TarTree::LoadFromFile(Flag(flags, "index", "index.tart"));
   if (!loaded.ok()) {
@@ -259,11 +299,12 @@ int QueryCmd(const std::map<std::string, std::string>& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tartool <generate|build|info|query> [--flags]\n"
+               "usage: tartool <generate|build|info|check|query> [--flags]\n"
                "  generate --preset gw|gs|nyc|la --scale S --out FILE\n"
                "  build    --input FILE --out INDEX [--strategy tar|spa|agg]"
                " [--threshold N] [--epoch-days D] [--backend mvbt|bptree]\n"
                "  info     --index INDEX\n"
+               "  check    INDEX [--samples N] [--shallow]\n"
                "  query    --index INDEX --x X --y Y --days D [--k K]"
                " [--alpha A] [--mwa]\n");
   return 2;
@@ -278,6 +319,11 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return Generate(flags);
   if (cmd == "build") return Build(flags);
   if (cmd == "info") return Info(flags);
+  if (cmd == "check") {
+    std::string positional;
+    if (argc > 2 && std::strncmp(argv[2], "--", 2) != 0) positional = argv[2];
+    return Check(flags, positional);
+  }
   if (cmd == "query") return QueryCmd(flags);
   return Usage();
 }
