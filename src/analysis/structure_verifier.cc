@@ -62,8 +62,8 @@ Status StructureVerifier::VerifyMvbt(const mvbt::Mvbt& tree) const {
   for (std::size_t i = 0; i < all.size(); i += step) {
     auto got = tree.Lookup(tree.last_version(), all[i].first);
     if (!got.ok()) return got.status();
-    if (!got.ValueOrDie().has_value() ||
-        *got.ValueOrDie() != all[i].second) {
+    const auto stored = got.ValueOrDie();
+    if (!stored.has_value() || *stored != all[i].second) {
       return Status::Corruption(
           "lookup disagrees with range scan for key " +
           std::to_string(all[i].first));
@@ -189,6 +189,27 @@ Status StructureVerifier::VerifyTia(const Tia& tia,
 
 Status StructureVerifier::VerifyBufferPool(const BufferPool& pool) const {
   return pool.CheckIntegrity();
+}
+
+Status StructureVerifier::VerifyBufferPoolConcurrency(
+    const BufferPool& pool, std::uint64_t expected_fetches) const {
+  TAR_RETURN_NOT_OK(pool.CheckIntegrity());
+  const std::uint64_t hits = pool.hits();
+  const std::uint64_t misses = pool.misses();
+  if (hits + misses != expected_fetches) {
+    return Status::Corruption(
+        "buffer pool lost fetch accounting: hits " + std::to_string(hits) +
+        " + misses " + std::to_string(misses) + " != " +
+        std::to_string(expected_fetches) + " fetches");
+  }
+  const std::uint64_t physical_reads = pool.file()->physical_reads();
+  if (misses > physical_reads) {
+    return Status::Corruption(
+        "buffer pool misses (" + std::to_string(misses) +
+        ") exceed the file's physical reads (" +
+        std::to_string(physical_reads) + "); a miss was not charged");
+  }
+  return Status::OK();
 }
 
 Status StructureVerifier::VerifyTarNode(const TarTree& tree,

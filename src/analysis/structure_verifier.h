@@ -85,6 +85,15 @@ class StructureVerifier {
   /// consistency, no duplicate frames, no dangling page ids.
   Status VerifyBufferPool(const BufferPool& pool) const;
 
+  /// Concurrent-consistency check for a pool that N threads just hammered
+  /// (call after the threads have joined): structural integrity per
+  /// VerifyBufferPool, plus counter coherence — hits + misses must equal
+  /// the number of Fetch calls the caller issued, no counter may have been
+  /// lost to a race, and every miss must have been charged to the backing
+  /// file (misses <= the file's physical reads).
+  Status VerifyBufferPoolConcurrency(const BufferPool& pool,
+                                     std::uint64_t expected_fetches) const;
+
   /// TAR-tree: MBR and z-interval containment child -> parent, aggregate
   /// summary dominance (every parent TIA bounds its child node's
   /// per-epoch max), leaf TIA totals matching the POI registry, fill and

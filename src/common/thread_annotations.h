@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis annotations (Abseil/LevelDB style).
+//
+// These macros make the locking discipline a compile-time property: a
+// shared member is declared `TAR_GUARDED_BY(mu_)`, an internal helper that
+// assumes the latch is held is declared `TAR_REQUIRES(mu_)`, and under
+// Clang `-Wthread-safety -Werror` (the `werror` preset in CI) any access
+// that cannot prove the capability is held is a build error, not a code
+// review comment. Under compilers without the attributes (GCC) every macro
+// expands to nothing, so the annotations are documentation there and the
+// runtime behavior is identical everywhere.
+//
+// Conventions (see docs/internals.md, "Threading model"):
+//   * Latches are leaf-level and never held across calls into another
+//     module, except that a BufferPool shard latch may be held while
+//     acquiring the PageFile latch (that order, never the reverse).
+//   * Multi-latch paths acquire shard latches in ascending index order and
+//     are marked TAR_NO_THREAD_SAFETY_ANALYSIS with a comment, since the
+//     analysis cannot follow loops that accumulate locks.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TAR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TAR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a capability (a lockable resource), e.g.
+/// `class TAR_CAPABILITY("mutex") Mutex { ... };`
+#define TAR_CAPABILITY(x) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define TAR_SCOPED_CAPABILITY \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define TAR_GUARDED_BY(x) TAR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected.
+#define TAR_PT_GUARDED_BY(x) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The calling thread must hold the capability exclusively.
+#define TAR_REQUIRES(...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The calling thread must hold the capability at least shared.
+#define TAR_REQUIRES_SHARED(...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively and does not release it.
+#define TAR_ACQUIRE(...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the capability shared and does not release it.
+#define TAR_ACQUIRE_SHARED(...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (exclusive or shared).
+#define TAR_RELEASE(...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define TAR_RELEASE_SHARED(...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// The function may not be called while holding the capability
+/// (non-reentrancy / deadlock prevention).
+#define TAR_EXCLUDES(...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held, teaching the analysis
+/// it is held from here on.
+#define TAR_ASSERT_CAPABILITY(x) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define TAR_RETURN_CAPABILITY(x) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Opts one function out of the analysis. Every use must carry a comment
+/// explaining why the discipline cannot be expressed (typically a loop
+/// acquiring the full shard array in ascending order).
+#define TAR_NO_THREAD_SAFETY_ANALYSIS \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

@@ -1,0 +1,65 @@
+// Parallel kNNTA query execution: a fixed-size worker pool over one shared,
+// read-only TAR-tree.
+//
+// TarTree::Query is const but not pure: every query mutates the shared
+// buffer pool (LRU state, hit/miss counters) and the PageFile read
+// counters. The latched storage layer (see docs/internals.md, "Threading
+// model") makes those mutations thread-safe, which is what allows N
+// workers to drain one query batch against a single tree. Everything else
+// a worker touches — its result vectors, its per-worker AccessStats, its
+// latency slots — is thread-private until the final merge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+
+/// \brief Knobs for a parallel batch run.
+struct ParallelQueryOptions {
+  /// Worker threads. 1 runs the batch inline on the calling thread (the
+  /// determinism baseline); must be >= 1.
+  std::size_t num_threads = 4;
+};
+
+/// \brief Per-query and aggregate outcome of a parallel batch.
+struct ParallelQueryReport {
+  /// results[i] / statuses[i] / query_micros[i] belong to queries[i].
+  std::vector<std::vector<KnntaResult>> results;
+  std::vector<Status> statuses;
+  std::vector<double> query_micros;
+
+  /// Sum of every worker's access counters (the paper's cost measure,
+  /// aggregated over the batch).
+  AccessStats total_stats;
+
+  std::size_t queries_ok = 0;
+  std::size_t queries_failed = 0;
+  double wall_micros = 0.0;  ///< batch wall-clock time
+  double max_query_micros = 0.0;
+  double mean_query_micros = 0.0;
+
+  /// Queries per second over the batch wall time.
+  double Throughput() const {
+    return wall_micros > 0.0
+               ? 1e6 * static_cast<double>(results.size()) / wall_micros
+               : 0.0;
+  }
+};
+
+/// Executes `queries` against `tree` with a pool of
+/// `options.num_threads` workers. Work is claimed from a shared atomic
+/// cursor, so the assignment of queries to threads is load-balanced (and
+/// deliberately unspecified). Individual query failures are recorded in
+/// `report->statuses` without aborting the batch; the returned Status is
+/// non-OK only for invalid options.
+Status RunParallelQueries(const TarTree& tree,
+                          const std::vector<KnntaQuery>& queries,
+                          const ParallelQueryOptions& options,
+                          ParallelQueryReport* report);
+
+}  // namespace tar

@@ -89,6 +89,11 @@ struct KnntaResult {
 };
 
 /// \brief The TAR-tree.
+///
+/// Thread safety: const query methods may run concurrently from any
+/// number of threads (shared-state mutation funnels through the latched
+/// BufferPool/PageFile; see docs/internals.md, "Threading model");
+/// mutations (InsertPoi, AppendEpoch, ...) require external exclusion.
 class TarTree {
  public:
   using NodeId = std::uint32_t;

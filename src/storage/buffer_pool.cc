@@ -4,9 +4,10 @@
 
 namespace tar {
 
-bool BufferPool::Touch(OwnerId owner, PageId id) {
-  if (quota_ == 0) return false;
-  OwnerCache& cache = caches_[owner];
+bool BufferPool::TouchLocked(Shard& shard, OwnerId owner, PageId id) {
+  const std::size_t quota = quota_.load(std::memory_order_relaxed);
+  if (quota == 0) return false;
+  OwnerCache& cache = shard.caches[owner];
   auto it = cache.where.find(id);
   if (it != cache.where.end()) {
     cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
@@ -14,82 +15,118 @@ bool BufferPool::Touch(OwnerId owner, PageId id) {
   }
   cache.lru.push_front(id);
   cache.where[id] = cache.lru.begin();
-  if (cache.lru.size() > quota_) {
+  while (cache.lru.size() > quota) {
     cache.where.erase(cache.lru.back());
     cache.lru.pop_back();
   }
   TAR_DCHECK(cache.lru.size() == cache.where.size());
-  TAR_DCHECK(cache.lru.size() <= quota_);
+  TAR_DCHECK(cache.lru.size() <= quota);
   return false;
 }
 
 Result<const Page*> BufferPool::Fetch(OwnerId owner, PageId id,
                                       bool* was_hit) {
-  bool hit = Touch(owner, id);
+  bool hit;
+  {
+    Shard& shard = ShardFor(owner);
+    MutexLock lock(&shard.mu);
+    hit = TouchLocked(shard, owner, id);
+  }
   if (hit) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     if (was_hit) *was_hit = true;
     const Page* page = file_->UnaccountedPage(id);
     if (page == nullptr) return Status::OutOfRange("page id out of range");
     return page;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (was_hit) *was_hit = false;
   return file_->ReadPage(id);
 }
 
 Result<Page*> BufferPool::FetchForWrite(OwnerId owner, PageId id) {
-  Touch(owner, id);  // write-through: cache but always charge the write
+  {
+    // Write-through: cache but always charge the write.
+    Shard& shard = ShardFor(owner);
+    MutexLock lock(&shard.mu);
+    TouchLocked(shard, owner, id);
+  }
   return file_->GetPageForWrite(id);
 }
 
 Status BufferPool::CheckIntegrity() const {
-  for (const auto& [owner, cache] : caches_) {
-    const std::string who = "owner " + std::to_string(owner);
-    if (quota_ == 0 && !cache.lru.empty()) {
-      return Status::Corruption(who + ": cached pages with a zero quota");
-    }
-    if (cache.lru.size() > quota_) {
-      return Status::Corruption(who + ": residency exceeds quota (" +
-                                std::to_string(cache.lru.size()) + " > " +
-                                std::to_string(quota_) + ")");
-    }
-    if (cache.lru.size() != cache.where.size()) {
-      return Status::Corruption(who + ": LRU list and map sizes disagree");
-    }
-    for (auto it = cache.lru.begin(); it != cache.lru.end(); ++it) {
-      auto pos = cache.where.find(*it);
-      if (pos == cache.where.end()) {
-        return Status::Corruption(who + ": LRU frame for page " +
-                                  std::to_string(*it) + " missing from map");
+  const std::size_t num_pages = file_->num_pages();
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    // Stable while any shard latch is held: writers hold all of them.
+    const std::size_t quota = quota_.load(std::memory_order_relaxed);
+    for (const auto& [owner, cache] : shard.caches) {
+      const std::string who = "owner " + std::to_string(owner);
+      if (quota == 0 && !cache.lru.empty()) {
+        return Status::Corruption(who + ": cached pages with a zero quota");
       }
-      if (pos->second != it) {
-        return Status::Corruption(who + ": map iterator for page " +
-                                  std::to_string(*it) +
-                                  " points at a different frame");
+      if (cache.lru.size() > quota) {
+        return Status::Corruption(who + ": residency exceeds quota (" +
+                                  std::to_string(cache.lru.size()) + " > " +
+                                  std::to_string(quota) + ")");
       }
-      if (*it >= file_->num_pages()) {
-        return Status::Corruption(who + ": cached page " +
-                                  std::to_string(*it) +
-                                  " beyond the end of the file");
+      if (cache.lru.size() != cache.where.size()) {
+        return Status::Corruption(who + ": LRU list and map sizes disagree");
+      }
+      for (auto it = cache.lru.begin(); it != cache.lru.end(); ++it) {
+        auto pos = cache.where.find(*it);
+        if (pos == cache.where.end()) {
+          return Status::Corruption(who + ": LRU frame for page " +
+                                    std::to_string(*it) +
+                                    " missing from map");
+        }
+        if (pos->second != it) {
+          return Status::Corruption(who + ": map iterator for page " +
+                                    std::to_string(*it) +
+                                    " points at a different frame");
+        }
+        if (*it >= num_pages) {
+          return Status::Corruption(who + ": cached page " +
+                                    std::to_string(*it) +
+                                    " beyond the end of the file");
+        }
       }
     }
   }
   return Status::OK();
 }
 
-void BufferPool::set_quota(std::size_t quota) {
-  quota_ = quota;
-  for (auto& [owner, cache] : caches_) {
-    while (cache.lru.size() > quota_) {
-      cache.where.erase(cache.lru.back());
-      cache.lru.pop_back();
+// Holds every shard latch (ascending index order per the documented latch
+// hierarchy) so the quota store and the eviction sweep are one atomic step:
+// once set_quota returns, no owner is resident above the new quota. The
+// analysis cannot follow a loop that accumulates locks, hence the opt-out.
+void BufferPool::set_quota(std::size_t quota) TAR_NO_THREAD_SAFETY_ANALYSIS {
+  for (Shard& shard : shards_) shard.mu.Lock();
+  quota_.store(quota, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    for (auto& [owner, cache] : shard.caches) {
+      while (cache.lru.size() > quota) {
+        cache.where.erase(cache.lru.back());
+        cache.lru.pop_back();
+      }
     }
+  }
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    it->mu.Unlock();
   }
 }
 
-void BufferPool::Clear() { caches_.clear(); }
+void BufferPool::Clear() {
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    shard.caches.clear();
+  }
+}
 
-void BufferPool::Evict(OwnerId owner) { caches_.erase(owner); }
+void BufferPool::Evict(OwnerId owner) {
+  Shard& shard = ShardFor(owner);
+  MutexLock lock(&shard.mu);
+  shard.caches.erase(owner);
+}
 
 }  // namespace tar

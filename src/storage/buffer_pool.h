@@ -1,11 +1,15 @@
 // LRU buffer pool with per-owner quotas.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/page_file.h"
 
 namespace tar {
@@ -19,6 +23,13 @@ using OwnerId = std::uint32_t;
 /// processing experiments additionally compare against a zero-buffer
 /// configuration. A fetch that hits the pool is free; a miss costs one
 /// simulated disk read, which is what the node-access metric charges.
+///
+/// Thread safety: fully thread-safe. Owner caches are partitioned into
+/// shards, each guarded by its own latch; the hit/miss counters are
+/// atomic. The latch hierarchy is documented in docs/internals.md
+/// ("Threading model"): a shard latch may be held while acquiring the
+/// PageFile latch, never the reverse, and the only multi-latch path
+/// (set_quota) takes shard latches in ascending index order.
 class BufferPool {
  public:
   /// \param quota_per_owner max cached pages per owner; 0 disables caching.
@@ -42,21 +53,34 @@ class BufferPool {
   void Evict(OwnerId owner);
 
   /// Changes the per-owner quota, evicting LRU pages down to the new limit.
+  /// The only multi-latch operation: it holds every shard latch so that no
+  /// owner can be observed over-quota once it returns.
   void set_quota(std::size_t quota);
-  std::size_t quota() const { return quota_; }
+  std::size_t quota() const {
+    return quota_.load(std::memory_order_relaxed);
+  }
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  void ResetCounters() { hits_ = misses_ = 0; }
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
 
   /// Structural integrity: every owner's residency is within quota, the
   /// LRU list and the position map describe the same frame set (same
   /// size, no duplicates, iterators in agreement), and every cached page
   /// id exists in the backing file. Returns Status::Corruption naming the
-  /// owner of the first inconsistent cache.
+  /// owner of the first inconsistent cache. Safe to call concurrently
+  /// with fetches (each shard is checked under its latch).
   Status CheckIntegrity() const;
 
   PageFile* file() { return file_; }
+  const PageFile* file() const { return file_; }
 
  private:
   struct OwnerCache {
@@ -65,15 +89,29 @@ class BufferPool {
     std::unordered_map<PageId, std::list<PageId>::iterator> where;
   };
 
-  /// Marks (owner, id) resident, evicting the owner's LRU page when over
-  /// quota. Returns true if the page was already resident.
-  bool Touch(OwnerId owner, PageId id);
+  /// One latch-sharded slice of the owner map. Owners hash to a fixed
+  /// shard, so one owner's LRU state is only ever touched under one latch.
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<OwnerId, OwnerCache> caches TAR_GUARDED_BY(mu);
+  };
+
+  static constexpr std::size_t kNumShards = 16;
+
+  Shard& ShardFor(OwnerId owner) const {
+    return shards_[owner % kNumShards];
+  }
+
+  /// Marks (owner, id) resident in `shard`, evicting the owner's LRU pages
+  /// while over quota. Returns true if the page was already resident.
+  bool TouchLocked(Shard& shard, OwnerId owner, PageId id)
+      TAR_REQUIRES(shard.mu);
 
   PageFile* file_;
-  std::size_t quota_;
-  std::unordered_map<OwnerId, OwnerCache> caches_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::size_t> quota_;  ///< written only under all shard latches
+  mutable std::array<Shard, kNumShards> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace tar

@@ -3,29 +3,41 @@
 namespace tar {
 
 PageId PageFile::Allocate() {
-  pages_.emplace_back(page_size_);
+  MutexLock lock(&mu_);
+  pages_.push_back(std::make_unique<Page>(page_size_));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
+Page* PageFile::PageOrNull(PageId id) {
+  if (id >= pages_.size()) return nullptr;
+  return pages_[id].get();
+}
+
 Result<Page*> PageFile::GetPageForWrite(PageId id) {
-  if (id >= pages_.size()) {
-    return Status::OutOfRange("page id out of range");
+  Page* page = nullptr;
+  {
+    MutexLock lock(&mu_);
+    page = PageOrNull(id);
   }
-  ++physical_writes_;
-  return &pages_[id];
+  if (page == nullptr) return Status::OutOfRange("page id out of range");
+  physical_writes_.fetch_add(1, std::memory_order_relaxed);
+  return page;
 }
 
 Result<const Page*> PageFile::ReadPage(PageId id) {
-  if (id >= pages_.size()) {
-    return Status::OutOfRange("page id out of range");
+  Page* page = nullptr;
+  {
+    MutexLock lock(&mu_);
+    page = PageOrNull(id);
   }
-  ++physical_reads_;
-  return const_cast<const Page*>(&pages_[id]);
+  if (page == nullptr) return Status::OutOfRange("page id out of range");
+  physical_reads_.fetch_add(1, std::memory_order_relaxed);
+  return const_cast<const Page*>(page);
 }
 
 Page* PageFile::UnaccountedPage(PageId id) {
-  if (id >= pages_.size()) return nullptr;
-  return &pages_[id];
+  MutexLock lock(&mu_);
+  return PageOrNull(id);
 }
 
 }  // namespace tar

@@ -1,11 +1,15 @@
 // Simulated disk: a growable array of fixed-size pages with I/O counters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace tar {
@@ -16,6 +20,13 @@ namespace tar {
 /// disk latency, so the "disk" here is RAM plus exact access accounting.
 /// All reads and writes go through ReadPage/GetPage so the physical access
 /// counters are trustworthy.
+///
+/// Thread safety: the page directory is latched and the counters are
+/// atomic, so Allocate and the page accessors may be called concurrently.
+/// Pages are heap-allocated, so a Page* stays valid across later
+/// Allocate calls. Page *payloads* are not latched: concurrent readers are
+/// fine, but a writer of a page's bytes must be the only thread touching
+/// that page (the query path is read-only; builds are single-threaded).
 class PageFile {
  public:
   explicit PageFile(std::size_t page_size) : page_size_(page_size) {}
@@ -24,30 +35,45 @@ class PageFile {
   PageFile& operator=(const PageFile&) = delete;
 
   std::size_t page_size() const { return page_size_; }
-  std::size_t num_pages() const { return pages_.size(); }
+  std::size_t num_pages() const TAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pages_.size();
+  }
 
   /// Allocates a zeroed page and returns its id.
-  PageId Allocate();
+  PageId Allocate() TAR_EXCLUDES(mu_);
 
   /// Direct access for mutation; counts one physical write.
-  Result<Page*> GetPageForWrite(PageId id);
+  Result<Page*> GetPageForWrite(PageId id) TAR_EXCLUDES(mu_);
 
   /// Direct access for reading; counts one physical read.
-  Result<const Page*> ReadPage(PageId id);
+  Result<const Page*> ReadPage(PageId id) TAR_EXCLUDES(mu_);
 
   /// Access without touching the counters (used by the buffer pool after it
   /// has already accounted for the miss, and by tests).
-  Page* UnaccountedPage(PageId id);
+  Page* UnaccountedPage(PageId id) TAR_EXCLUDES(mu_);
 
-  std::uint64_t physical_reads() const { return physical_reads_; }
-  std::uint64_t physical_writes() const { return physical_writes_; }
-  void ResetCounters() { physical_reads_ = physical_writes_ = 0; }
+  std::uint64_t physical_reads() const {
+    return physical_reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t physical_writes() const {
+    return physical_writes_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    physical_reads_.store(0, std::memory_order_relaxed);
+    physical_writes_.store(0, std::memory_order_relaxed);
+  }
 
  private:
+  /// Bounds-checked page lookup; nullptr when id is out of range.
+  Page* PageOrNull(PageId id) TAR_REQUIRES(mu_);
+
   std::size_t page_size_;
-  std::vector<Page> pages_;
-  std::uint64_t physical_reads_ = 0;
-  std::uint64_t physical_writes_ = 0;
+  mutable Mutex mu_;
+  /// Heap-allocated so handed-out Page* survive directory growth.
+  std::vector<std::unique_ptr<Page>> pages_ TAR_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> physical_reads_{0};
+  std::atomic<std::uint64_t> physical_writes_{0};
 };
 
 }  // namespace tar

@@ -41,6 +41,10 @@ struct BpNodeLayout {
 };
 
 /// \brief A single-version disk-paged B+-tree.
+///
+/// Thread safety: const query methods (Get, RangeScan, RangeSum) are safe
+/// concurrently — page access goes through the latched buffer pool;
+/// Put/Erase require external exclusion.
 class BpTree {
  public:
   BpTree(PageFile* file, BufferPool* pool, OwnerId owner);

@@ -60,6 +60,10 @@ struct NodeLayout {
 };
 
 /// \brief The multiversion B-tree.
+///
+/// Thread safety: const query methods (Lookup, RangeScan*) are safe
+/// concurrently — page access goes through the latched buffer pool;
+/// Insert/Erase require external exclusion.
 class Mvbt {
  public:
   /// \param pool buffer pool over `file`; query reads go through it using

@@ -17,9 +17,9 @@ const char* ToString(TiaBackend backend) {
 Tia::Tia(PageFile* file, BufferPool* pool, OwnerId owner, TiaBackend backend)
     : owner_(owner), backend_(backend) {
   if (backend_ == TiaBackend::kMvbt) {
-    mvbt_.emplace(file, pool, owner);
+    mvbt_ = std::make_unique<mvbt::Mvbt>(file, pool, owner);
   } else {
-    bptree_.emplace(file, pool, owner);
+    bptree_ = std::make_unique<bptree::BpTree>(file, pool, owner);
   }
 }
 
@@ -41,7 +41,8 @@ Status Tia::InsertRecord(std::int64_t key, std::int64_t value) {
   }
   auto existing = bptree_->Get(key);
   if (!existing.ok()) return existing.status();
-  if (existing.ValueOrDie().has_value()) {
+  const std::optional<std::int64_t> stored = existing.ValueOrDie();
+  if (stored.has_value()) {
     return Status::AlreadyExists("record for this epoch already stored");
   }
   return bptree_->Put(key, value);
@@ -94,8 +95,9 @@ Status Tia::RaiseTo(const TimeInterval& extent, std::int64_t aggregate) {
   if (aggregate <= 0) return Status::OK();
   auto existing = LookupRecord(extent.start);
   if (!existing.ok()) return existing.status();
-  if (existing.ValueOrDie().has_value()) {
-    TiaRecord old = Unpack(extent.start, *existing.ValueOrDie());
+  const std::optional<std::int64_t> stored = existing.ValueOrDie();
+  if (stored.has_value()) {
+    TiaRecord old = Unpack(extent.start, *stored);
     if (old.aggregate >= aggregate) return Status::OK();
     TAR_RETURN_NOT_OK(
         OverwriteRecord(extent.start, Pack(extent, aggregate)));

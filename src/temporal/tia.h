@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -44,6 +45,10 @@ enum class TiaBackend {
 const char* ToString(TiaBackend backend);
 
 /// \brief Temporal index on the aggregate of one TAR-tree entry.
+///
+/// Thread safety: const reads (Aggregate, Records) are safe concurrently
+/// — they only mutate the latched buffer pool; Append/RaiseTo require
+/// external exclusion.
 class Tia {
  public:
   /// \param owner buffer-pool owner id; the paper gives each TIA its own
@@ -100,8 +105,11 @@ class Tia {
 
   OwnerId owner_;
   TiaBackend backend_;
-  std::optional<mvbt::Mvbt> mvbt_;
-  std::optional<bptree::BpTree> bptree_;
+  // Exactly one is non-null, selected by backend_ (unique_ptr rather than
+  // optional: only the active backend occupies memory, and no
+  // optional-access pattern for static analysis to second-guess).
+  std::unique_ptr<mvbt::Mvbt> mvbt_;
+  std::unique_ptr<bptree::BpTree> bptree_;
   mvbt::Version op_counter_ = 0;
   std::int64_t total_ = 0;
   std::size_t num_records_ = 0;

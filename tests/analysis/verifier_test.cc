@@ -2,6 +2,7 @@
 // subsystems, randomized mutation fuzzing with periodic deep verification,
 // and corruption injection against the persistence format.
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +10,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -147,6 +149,35 @@ TEST(StructureVerifierTest, BufferPoolPassesAfterUse) {
   EXPECT_TRUE(verifier.VerifyBufferPool(pool).ok());
   pool.set_quota(0);
   EXPECT_TRUE(verifier.VerifyBufferPool(pool).ok());
+}
+
+TEST(StructureVerifierTest, BufferPoolConcurrencyCheckAfterThreadedRun) {
+  PageFile file(512);
+  BufferPool pool(&file, 4);
+  for (int i = 0; i < 24; ++i) (void)file.Allocate();
+
+  std::atomic<std::uint64_t> fetches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      Rng rng(100 + t);
+      for (int i = 0; i < 1500; ++i) {
+        OwnerId owner = static_cast<OwnerId>(rng.UniformInt(0, 7));
+        PageId id = static_cast<PageId>(rng.UniformInt(0, 23));
+        if (pool.Fetch(owner, id).ok()) {
+          fetches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  analysis::StructureVerifier verifier;
+  EXPECT_TRUE(
+      verifier.VerifyBufferPoolConcurrency(pool, fetches.load()).ok());
+  // Lost or double-counted accounting must be reported as corruption.
+  Status st = verifier.VerifyBufferPoolConcurrency(pool, fetches.load() + 1);
+  EXPECT_TRUE(st.IsCorruption());
 }
 
 class TarTreeVerifyTest : public ::testing::TestWithParam<GroupingStrategy> {};

@@ -1,0 +1,112 @@
+// Determinism guard: the node-access counters — the paper's cost measure —
+// on a fixed, hand-built dataset must be bit-identical across refactors.
+// The latched storage layer in particular is required to be a pure
+// concurrency change: single-threaded queries take exactly the same LRU
+// decisions and charge exactly the same page reads as the unlatched code
+// did. If a storage or query refactor changes any number below, that is a
+// cost-model regression, not a test to update casually (see
+// docs/internals.md, "Threading model").
+//
+// The dataset is built from integer hashes rather than <random>
+// distributions so the pinned values are identical across standard
+// libraries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tar_tree.h"
+
+namespace tar {
+namespace {
+
+// Deterministic 32-bit mix (Knuth multiplicative hashing).
+std::uint32_t Mix(std::uint32_t x) { return x * 2654435761u; }
+
+/// 240 POIs on a jittered grid; each has a hash-derived per-epoch history
+/// over up to 24 weekly epochs.
+void BuildFixture(TarTree* tree) {
+  constexpr int kPois = 240;
+  constexpr int kEpochs = 24;
+  for (int i = 0; i < kPois; ++i) {
+    Poi poi;
+    poi.id = static_cast<PoiId>(i);
+    std::uint32_t hx = Mix(static_cast<std::uint32_t>(i) * 2 + 1);
+    std::uint32_t hy = Mix(static_cast<std::uint32_t>(i) * 2 + 2);
+    poi.pos = {(i % 16) * 6.0 + (hx % 1000) / 250.0,
+               (i / 16) * 6.0 + (hy % 1000) / 250.0};
+    std::vector<std::int32_t> history(kEpochs, 0);
+    for (int e = 0; e < kEpochs; ++e) {
+      std::uint32_t h = Mix(static_cast<std::uint32_t>(i * kEpochs + e));
+      // ~1/3 of (poi, epoch) cells are zero; the rest are in [1, 40].
+      history[e] = (h % 3 == 0) ? 0 : static_cast<std::int32_t>(h % 40 + 1);
+    }
+    ASSERT_TRUE(tree->InsertPoi(poi, history).ok());
+  }
+}
+
+TarTreeOptions FixtureOptions() {
+  TarTreeOptions opt;
+  opt.strategy = GroupingStrategy::kIntegral3D;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  opt.space.lo = {0.0, 0.0};
+  opt.space.hi = {100.0, 94.0};
+  return opt;
+}
+
+TEST(DeterminismTest, SingleThreadedNodeAccessCountsArePinned) {
+  TarTreeOptions opt = FixtureOptions();
+  TarTree tree(opt);
+  BuildFixture(&tree);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // Start from a cold pool with a tight quota so the pinned numbers
+  // exercise misses and LRU evictions, not just a fully resident cache.
+  tree.tia_buffer_pool()->set_quota(4);
+  tree.tia_buffer_pool()->Clear();
+  tree.tia_buffer_pool()->ResetCounters();
+
+  struct Pinned {
+    KnntaQuery query;
+    std::uint64_t node_accesses;
+    std::uint64_t rtree_node_reads;
+    std::uint64_t tia_page_reads;
+    std::uint64_t tia_buffer_hits;
+    std::uint64_t entries_scanned;
+    std::uint64_t aggregate_calls;
+    std::size_t num_results;
+  };
+  const TimeInterval last8 = {16 * 7 * kSecondsPerDay,
+                              24 * 7 * kSecondsPerDay - 1};
+  const TimeInterval mid4 = {8 * 7 * kSecondsPerDay,
+                             12 * 7 * kSecondsPerDay - 1};
+  const std::vector<Pinned> pinned = {
+      // Query 0 runs against the cold pool (mostly misses); 1 and 2 run
+      // against the residency query 0 left behind (mostly hits).
+      {{{50.0, 47.0}, last8, 10, 0.3}, 278, 25, 253, 239, 490, 490, 10},
+      {{{10.0, 80.0}, mid4, 5, 0.7}, 18, 17, 1, 327, 326, 326, 5},
+      {{{95.0, 5.0}, last8, 20, 0.5}, 19, 19, 0, 371, 369, 369, 20},
+  };
+
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    std::vector<KnntaResult> results;
+    AccessStats stats;
+    ASSERT_TRUE(tree.Query(pinned[i].query, &results, &stats).ok());
+    EXPECT_EQ(results.size(), pinned[i].num_results);
+    EXPECT_EQ(stats.NodeAccesses(), pinned[i].node_accesses);
+    EXPECT_EQ(stats.rtree_node_reads, pinned[i].rtree_node_reads);
+    EXPECT_EQ(stats.tia_page_reads, pinned[i].tia_page_reads);
+    EXPECT_EQ(stats.tia_buffer_hits, pinned[i].tia_buffer_hits);
+    EXPECT_EQ(stats.entries_scanned, pinned[i].entries_scanned);
+    EXPECT_EQ(stats.aggregate_calls, pinned[i].aggregate_calls);
+  }
+
+  // The pool's own counters are part of the contract: the LRU decisions
+  // (hence hit/miss split) must not drift either.
+  EXPECT_EQ(tree.tia_buffer_pool()->hits(), 937u);
+  EXPECT_EQ(tree.tia_buffer_pool()->misses(), 254u);
+}
+
+}  // namespace
+}  // namespace tar

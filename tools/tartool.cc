@@ -17,6 +17,12 @@
 //       aggregate-bound containment, TIA cross-checks, buffer pool).
 //   tartool query --index index.tart --x LON --y LAT --days 30
 //           [--k 10] [--alpha 0.3] [--mwa]
+//
+//   tartool stress --index index.tart --threads 8 --queries 10000
+//           [--k 10] [--days 30] [--alpha 0.3] [--seed 42]
+//       Drives a batch of random kNNTA queries through the parallel query
+//       driver against one shared tree and reports throughput, latency and
+//       aggregate node-access cost, then checks buffer-pool integrity.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,8 +30,12 @@
 #include <map>
 #include <string>
 
+#include <vector>
+
 #include "analysis/structure_verifier.h"
+#include "common/random.h"
 #include "core/mwa.h"
+#include "core/parallel_query.h"
 #include "core/tar_tree.h"
 #include "data/generator.h"
 #include "data/loader.h"
@@ -297,6 +307,80 @@ int QueryCmd(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int Stress(const std::map<std::string, std::string>& flags) {
+  auto loaded = TarTree::LoadFromFile(Flag(flags, "index", "index.tart"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const TarTree& tree = *loaded.ValueOrDie();
+
+  ParallelQueryOptions opt;
+  opt.num_threads = std::atoll(Flag(flags, "threads", "4").c_str());
+  std::size_t num_queries =
+      std::atoll(Flag(flags, "queries", "1000").c_str());
+  std::size_t k = std::atoll(Flag(flags, "k", "10").c_str());
+  std::int64_t days = std::atoll(Flag(flags, "days", "30").c_str());
+  double alpha0 = std::atof(Flag(flags, "alpha", "0.3").c_str());
+  Rng rng(std::atoll(Flag(flags, "seed", "42").c_str()));
+
+  // Query points are uniform over the data space; intervals are windows of
+  // `days` days with uniform starts over the indexed history.
+  Timestamp t_end = 0;
+  std::vector<TiaRecord> records;
+  if (tree.global_tia().Records(&records).ok() && !records.empty()) {
+    t_end = records.back().extent.end;
+  }
+  const Box2& space = tree.options().space;
+  const Timestamp window = days * kSecondsPerDay;
+  std::vector<KnntaQuery> queries;
+  queries.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    KnntaQuery q;
+    q.point = {rng.Uniform(space.lo[0], space.hi[0]),
+               rng.Uniform(space.lo[1], space.hi[1])};
+    Timestamp latest_start = std::max<Timestamp>(0, t_end - window);
+    Timestamp start = rng.UniformInt(0, latest_start);
+    q.interval = {start, std::min(t_end, start + window - 1)};
+    q.k = k;
+    q.alpha0 = alpha0;
+    queries.push_back(q);
+  }
+
+  ParallelQueryReport report;
+  Status st = RunParallelQueries(tree, queries, opt, &report);
+  if (!st.ok()) {
+    std::fprintf(stderr, "stress failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu queries, %zu threads: %zu ok, %zu failed\n",
+              num_queries, opt.num_threads, report.queries_ok,
+              report.queries_failed);
+  std::printf("wall %.1f ms, %.0f queries/s, latency mean %.1f us, "
+              "max %.1f us\n",
+              report.wall_micros / 1000.0, report.Throughput(),
+              report.mean_query_micros, report.max_query_micros);
+  std::printf("aggregate cost: %s\n", report.total_stats.ToString().c_str());
+
+  // Post-run concurrent-consistency check of the shared buffer pool; the
+  // fetch accounting is internal to the tree, so only structural integrity
+  // and the miss/physical-read relation are checkable here.
+  analysis::StructureVerifier verifier;
+  st = verifier.VerifyBufferPool(*tree.tia_buffer_pool());
+  if (!st.ok()) {
+    std::fprintf(stderr, "buffer pool corrupted by concurrent run: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("buffer pool integrity after run: OK (%llu hits, %llu "
+              "misses)\n",
+              static_cast<unsigned long long>(tree.tia_buffer_pool()->hits()),
+              static_cast<unsigned long long>(
+                  tree.tia_buffer_pool()->misses()));
+  return report.queries_failed == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: tartool <generate|build|info|check|query> [--flags]\n"
@@ -306,7 +390,9 @@ int Usage() {
                "  info     --index INDEX\n"
                "  check    INDEX [--samples N] [--shallow]\n"
                "  query    --index INDEX --x X --y Y --days D [--k K]"
-               " [--alpha A] [--mwa]\n");
+               " [--alpha A] [--mwa]\n"
+               "  stress   --index INDEX --threads N --queries M [--k K]"
+               " [--days D] [--alpha A] [--seed S]\n");
   return 2;
 }
 
@@ -325,5 +411,6 @@ int main(int argc, char** argv) {
     return Check(flags, positional);
   }
   if (cmd == "query") return QueryCmd(flags);
+  if (cmd == "stress") return Stress(flags);
   return Usage();
 }
