@@ -28,6 +28,8 @@ const char* CodeName(Status::Code code) {
 }
 }  // namespace
 
+const char* StatusCodeName(Status::Code code) { return CodeName(code); }
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(code_);

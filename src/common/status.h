@@ -72,6 +72,14 @@ class [[nodiscard]] Status {
 
   const std::string& message() const { return msg_; }
 
+  /// Same code with `context` prefixed onto the message — for adding
+  /// structural context (a node path, a section name) while propagating.
+  /// OK statuses pass through untouched.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + msg_);
+  }
+
   /// Human-readable "<code>: <message>" string.
   std::string ToString() const;
 
@@ -81,6 +89,10 @@ class [[nodiscard]] Status {
   Code code_ = Code::kOk;
   std::string msg_;
 };
+
+/// Name of a status code ("Corruption", "IoError", ...), for reports that
+/// bucket failures by code.
+const char* StatusCodeName(Status::Code code);
 
 /// Propagate a non-OK status to the caller.
 #define TAR_RETURN_NOT_OK(expr)            \

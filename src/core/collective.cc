@@ -77,7 +77,9 @@ Status ProcessCollectively(const TarTree& tree,
         std::make_pair(aligned.start, aligned.end), group_ctx.size());
     if (inserted) {
       // One context (and one charged gmax lookup) per interval group.
-      group_ctx.push_back(tree.MakeContext(queries[i], stats));
+      TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
+                           tree.MakeContext(queries[i], stats));
+      group_ctx.push_back(std::move(ctx));
     }
     QueryState& qs = states[i];
     qs.group = it->second;
@@ -92,7 +94,7 @@ Status ProcessCollectively(const TarTree& tree,
   // Fetches a node once and feeds its entries to every query in `members`,
   // computing each entry's aggregate once per interval group.
   auto expand_node = [&](TarTree::NodeId node_id,
-                         const std::vector<std::size_t>& members) {
+                         const std::vector<std::size_t>& members) -> Status {
     const TarTree::Node& node = tree.node(node_id);
     if (stats != nullptr) ++stats->rtree_node_reads;
     // group id -> per-entry normalized aggregate complement s1.
@@ -103,10 +105,16 @@ Status ProcessCollectively(const TarTree& tree,
       std::vector<double>& s1s = it->second;
       if (inserted) {
         s1s.reserve(node.entries.size());
-        for (const auto& e : node.entries) {
+        for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
+          const auto& e = node.entries[ei];
           if (stats != nullptr) ++stats->entries_scanned;
           auto agg = e.tia->Aggregate(qs.ctx.interval, stats);
-          double g = agg.ok() ? static_cast<double>(agg.ValueOrDie()) : 0.0;
+          if (!agg.ok()) {
+            return agg.status().WithContext(
+                "node:" + std::to_string(node_id) + "/entry[" +
+                std::to_string(ei) + "]");
+          }
+          double g = static_cast<double>(agg.ValueOrDie());
           s1s.push_back(1.0 - std::min(1.0, g / qs.ctx.gmax));
         }
       }
@@ -125,12 +133,13 @@ Status ProcessCollectively(const TarTree& tree,
         }
       }
     }
+    return Status::OK();
   };
 
   // All searches start at the root: one shared access.
   std::vector<std::size_t> everyone(queries.size());
   for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
-  expand_node(tree.root(), everyone);
+  TAR_RETURN_NOT_OK(expand_node(tree.root(), everyone));
 
   for (;;) {
     // Eject POIs (no node accesses) until each front is an internal entry.
@@ -161,7 +170,7 @@ Status ProcessCollectively(const TarTree& tree,
       }
     }
     for (std::size_t qi : best->second) states[qi].queue.pop();
-    expand_node(best->first, best->second);
+    TAR_RETURN_NOT_OK(expand_node(best->first, best->second));
   }
   return Status::OK();
 }

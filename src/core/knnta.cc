@@ -2,6 +2,11 @@
 // 4.3). The priority of an entry is its ranking score f(e); Property 1
 // guarantees f(e) <= f(e_c) for every child, so the first k POIs ejected
 // from the queue are exactly the query answer.
+//
+// Error handling: a TIA read failure (real or injected) aborts the query
+// with the underlying Status, annotated with the path of the failing
+// entry from the root ("node:3/entry[2]"). Scores are never silently
+// zeroed — a fault must surface as a non-OK Status, not a wrong answer.
 #include <cmath>
 #include <queue>
 
@@ -9,8 +14,16 @@
 
 namespace tar {
 
-TarTree::QueryContext TarTree::MakeContext(const KnntaQuery& query,
-                                           AccessStats* stats) const {
+namespace {
+
+std::string EntryPath(const std::string& node_path, std::size_t index) {
+  return node_path + "/entry[" + std::to_string(index) + "]";
+}
+
+}  // namespace
+
+Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
+                                                   AccessStats* stats) const {
   QueryContext ctx;
   ctx.q = query.point;
   ctx.interval = options_.grid.AlignOutward(query.interval);
@@ -26,14 +39,14 @@ TarTree::QueryContext TarTree::MakeContext(const KnntaQuery& query,
   ctx.dmax = std::hypot(space.Extent(0), space.Extent(1));
   if (ctx.dmax <= 0.0) ctx.dmax = 1.0;
 
-  std::int64_t gmax = MaxAggregate(ctx.interval, stats);
+  TAR_ASSIGN_OR_RETURN(std::int64_t gmax, MaxAggregate(ctx.interval, stats));
   ctx.gmax = gmax > 0 ? static_cast<double>(gmax) : 1.0;
   return ctx;
 }
 
-std::int64_t TarTree::MaxAggregate(const TimeInterval& iq,
-                                   AccessStats* stats) const {
-  if (root_ == kInvalidNodeId) return 0;
+Result<std::int64_t> TarTree::MaxAggregate(const TimeInterval& iq,
+                                           AccessStats* stats) const {
+  if (root_ == kInvalidNodeId) return std::int64_t{0};
   // Best-first on the aggregate upper bound: a leaf entry's aggregate is
   // exact, so the first POI popped is the maximum.
   struct AggItem {
@@ -48,43 +61,49 @@ std::int64_t TarTree::MaxAggregate(const TimeInterval& iq,
     }
   };
   std::priority_queue<AggItem> queue;
-  auto push_entries = [&](NodeId node_id) {
+  auto push_entries = [&](NodeId node_id) -> Status {
     const Node& node = *nodes_[node_id];
     if (stats != nullptr) {
       ++stats->rtree_node_reads;
       if (node.is_leaf()) ++stats->rtree_leaf_reads;
     }
-    for (const Entry& e : node.entries) {
+    const std::string node_path = "node:" + std::to_string(node_id);
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const Entry& e = node.entries[i];
       if (stats != nullptr) ++stats->entries_scanned;
       auto agg = e.tia->Aggregate(iq, stats);
-      std::int64_t bound = agg.ok() ? agg.ValueOrDie() : 0;
-      queue.push(AggItem{bound, node.is_leaf(), e.child});
+      if (!agg.ok()) {
+        return agg.status().WithContext(EntryPath(node_path, i));
+      }
+      queue.push(AggItem{agg.ValueOrDie(), node.is_leaf(), e.child});
     }
+    return Status::OK();
   };
-  push_entries(root_);
+  TAR_RETURN_NOT_OK(push_entries(root_));
   while (!queue.empty()) {
     AggItem item = queue.top();
     queue.pop();
     if (item.is_poi || item.bound == 0) return item.bound;
-    push_entries(item.node);
+    TAR_RETURN_NOT_OK(push_entries(item.node));
   }
-  return 0;
+  return std::int64_t{0};
 }
 
-void TarTree::EntryComponents(const Entry& entry, const QueryContext& ctx,
-                              double* s0, double* s1,
-                              AccessStats* stats) const {
+Status TarTree::EntryComponents(const Entry& entry, const QueryContext& ctx,
+                                double* s0, double* s1,
+                                AccessStats* stats) const {
   *s0 = MinDistToBox(ctx.q, entry.box) / ctx.dmax;
-  auto agg = entry.tia->Aggregate(ctx.interval, stats);
-  double g = agg.ok() ? static_cast<double>(agg.ValueOrDie()) : 0.0;
-  *s1 = 1.0 - std::min(1.0, g / ctx.gmax);
+  TAR_ASSIGN_OR_RETURN(std::int64_t agg,
+                       entry.tia->Aggregate(ctx.interval, stats));
+  *s1 = 1.0 - std::min(1.0, static_cast<double>(agg) / ctx.gmax);
+  return Status::OK();
 }
 
-double TarTree::EntryScore(const Entry& entry, const QueryContext& ctx,
-                           AccessStats* stats) const {
+Result<double> TarTree::EntryScore(const Entry& entry, const QueryContext& ctx,
+                                   AccessStats* stats) const {
   double s0 = 0.0;
   double s1 = 0.0;
-  EntryComponents(entry, ctx, &s0, &s1, stats);
+  TAR_RETURN_NOT_OK(EntryComponents(entry, ctx, &s0, &s1, stats));
   return ctx.alpha0 * s0 + ctx.alpha1 * s1;
 }
 
@@ -123,23 +142,26 @@ Status TarTree::Query(const KnntaQuery& query,
   }
   if (root_ == kInvalidNodeId) return Status::OK();
 
-  QueryContext ctx = MakeContext(query, stats);
+  TAR_ASSIGN_OR_RETURN(QueryContext ctx, MakeContext(query, stats));
 
   std::priority_queue<QueueItem, std::vector<QueueItem>,
                       std::greater<QueueItem>>
       queue;
 
-  auto push_node_entries = [&](NodeId node_id) {
+  auto push_node_entries = [&](NodeId node_id) -> Status {
     const Node& node = *nodes_[node_id];
     if (stats != nullptr) {
       ++stats->rtree_node_reads;
       if (node.is_leaf()) ++stats->rtree_leaf_reads;
     }
-    for (const Entry& e : node.entries) {
+    const std::string node_path = "node:" + std::to_string(node_id);
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const Entry& e = node.entries[i];
       if (stats != nullptr) ++stats->entries_scanned;
       double s0 = 0.0;
       double s1 = 0.0;
-      EntryComponents(e, ctx, &s0, &s1, stats);
+      Status st = EntryComponents(e, ctx, &s0, &s1, stats);
+      if (!st.ok()) return st.WithContext(EntryPath(node_path, i));
       double score = ctx.alpha0 * s0 + ctx.alpha1 * s1;
       if (node.is_leaf()) {
         queue.push(QueueItem{score, true, e.poi, kInvalidNodeId,
@@ -150,9 +172,10 @@ Status TarTree::Query(const KnntaQuery& query,
         queue.push(QueueItem{score, false, kInvalidPoiId, e.child, 0.0, 0});
       }
     }
+    return Status::OK();
   };
 
-  push_node_entries(root_);
+  TAR_RETURN_NOT_OK(push_node_entries(root_));
   while (!queue.empty() && results->size() < query.k) {
     QueueItem item = queue.top();
     queue.pop();
@@ -160,7 +183,7 @@ Status TarTree::Query(const KnntaQuery& query,
       results->push_back(
           KnntaResult{item.poi, item.score, item.dist, item.aggregate});
     } else {
-      push_node_entries(item.node);
+      TAR_RETURN_NOT_OK(push_node_entries(item.node));
     }
   }
   return Status::OK();

@@ -121,14 +121,14 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
 
   std::priority_queue<BbsItem, std::vector<BbsItem>, std::greater<BbsItem>>
       queue;
-  auto push_entries = [&](TarTree::NodeId node_id) {
+  auto push_entries = [&](TarTree::NodeId node_id) -> Status {
     const TarTree::Node& node = tree.node(node_id);
     if (stats != nullptr) ++stats->rtree_node_reads;
     for (const auto& e : node.entries) {
       if (stats != nullptr) ++stats->entries_scanned;
       double s0 = 0.0;
       double s1 = 0.0;
-      tree.EntryComponents(e, ctx, &s0, &s1, stats);
+      TAR_RETURN_NOT_OK(tree.EntryComponents(e, ctx, &s0, &s1, stats));
       if (node.is_leaf()) {
         if (std::binary_search(exclude.begin(), exclude.end(), e.poi)) {
           continue;
@@ -139,9 +139,10 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
         queue.push(BbsItem{s0 + s1, false, kInvalidPoiId, e.child, s0, s1});
       }
     }
+    return Status::OK();
   };
 
-  push_entries(tree.root());
+  TAR_RETURN_NOT_OK(push_entries(tree.root()));
   while (!queue.empty()) {
     BbsItem item = queue.top();
     queue.pop();
@@ -149,7 +150,7 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
     if (item.is_poi) {
       out->push_back(ScoredPoi{item.poi, item.s0, item.s1});
     } else {
-      push_entries(item.node);
+      TAR_RETURN_NOT_OK(push_entries(item.node));
     }
   }
   std::sort(out->begin(), out->end(),
@@ -162,7 +163,8 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
 Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
                              MwaResult* out, AccessStats* stats) {
   *out = MwaResult{};
-  TarTree::QueryContext ctx = tree.MakeContext(query, stats);
+  TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
+                       tree.MakeContext(query, stats));
   std::vector<ScoredPoi> top;
   TAR_RETURN_NOT_OK(TopKComponents(tree, query, ctx, &top, stats));
   if (top.empty()) return Status::OK();
@@ -183,7 +185,7 @@ Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
         if (stats != nullptr) ++stats->entries_scanned;
         double s0 = 0.0;
         double s1 = 0.0;
-        tree.EntryComponents(e, ctx, &s0, &s1, stats);
+        TAR_RETURN_NOT_OK(tree.EntryComponents(e, ctx, &s0, &s1, stats));
         // p dominates the (lower bounds of the) entry: no child can flip
         // with p.
         if (p.s0 <= s0 && p.s1 <= s1) continue;
@@ -226,7 +228,8 @@ Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
 Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
                          MwaResult* out, AccessStats* stats) {
   *out = MwaResult{};
-  TarTree::QueryContext ctx = tree.MakeContext(query, stats);
+  TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
+                       tree.MakeContext(query, stats));
   std::vector<ScoredPoi> top;
   TAR_RETURN_NOT_OK(TopKComponents(tree, query, ctx, &top, stats));
   if (top.empty()) return Status::OK();

@@ -77,6 +77,7 @@ Status RunParallelQueries(const TarTree& tree,
       ++report->queries_ok;
     } else {
       ++report->queries_failed;
+      ++report->failures_by_code[report->statuses[i].code()];
     }
     sum_micros += report->query_micros[i];
     report->max_query_micros =

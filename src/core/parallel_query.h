@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/stats.h"
@@ -39,9 +40,21 @@ struct ParallelQueryReport {
 
   std::size_t queries_ok = 0;
   std::size_t queries_failed = 0;
+  /// Failed queries bucketed by status code (e.g. how many hit IoError vs
+  /// Corruption), for degradation reporting.
+  std::map<Status::Code, std::size_t> failures_by_code;
   double wall_micros = 0.0;  ///< batch wall-clock time
   double max_query_micros = 0.0;
   double mean_query_micros = 0.0;
+
+  /// Indices into the query batch whose statuses are non-OK.
+  std::vector<std::size_t> FailedQueries() const {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].ok()) failed.push_back(i);
+    }
+    return failed;
+  }
 
   /// Queries per second over the batch wall time.
   double Throughput() const {

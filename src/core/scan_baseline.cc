@@ -112,4 +112,54 @@ Status ScanBaseline::Query(const KnntaQuery& query,
   return Status::OK();
 }
 
+Result<std::unique_ptr<ScanBaseline>> BuildScanBaselineFromTree(
+    const TarTree& tree) {
+  Box2 space = tree.options().space;
+  if (space.empty() && !tree.empty()) {
+    // Mirror TarTree::MakeContext: fall back to the root's spatial extent
+    // so scan scores stay bit-comparable with index scores.
+    for (const auto& e : tree.node(tree.root()).entries) {
+      Box2 b = Box2::Union(Box2::FromPoint({e.box.lo[0], e.box.lo[1]}),
+                           Box2::FromPoint({e.box.hi[0], e.box.hi[1]}));
+      space = space.empty() ? b : Box2::Union(space, b);
+    }
+  }
+  auto baseline = std::make_unique<ScanBaseline>(tree.grid(), space);
+  if (tree.empty()) return baseline;
+
+  std::vector<TarTree::NodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    TarTree::NodeId node_id = stack.back();
+    stack.pop_back();
+    const TarTree::Node& node = tree.node(node_id);
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const auto& e = node.entries[i];
+      if (!e.is_leaf_entry()) {
+        stack.push_back(e.child);
+        continue;
+      }
+      const std::string at = "node:" + std::to_string(node_id) + "/entry[" +
+                             std::to_string(i) + "]";
+      auto snapshot = tree.poi_snapshot(e.poi);
+      if (!snapshot.has_value()) {
+        return Status::Corruption(at + ": leaf entry for unregistered POI " +
+                                  std::to_string(e.poi));
+      }
+      std::vector<TiaRecord> records;
+      TAR_RETURN_NOT_OK(e.tia->Records(&records).WithContext(at));
+      TAR_RETURN_NOT_OK(
+          baseline->AddPoi({e.poi, snapshot->pos}, {}).WithContext(at));
+      for (const TiaRecord& r : records) {
+        if (r.aggregate <= 0) continue;
+        TAR_RETURN_NOT_OK(
+            baseline
+                ->AddCheckIns(e.poi, tree.grid().EpochOf(r.extent.start),
+                              static_cast<std::int32_t>(r.aggregate))
+                .WithContext(at));
+      }
+    }
+  }
+  return baseline;
+}
+
 }  // namespace tar

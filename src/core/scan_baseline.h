@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "core/tar_tree.h"
 
@@ -53,5 +55,15 @@ class ScanBaseline {
   std::vector<Item> pois_;
   std::vector<std::int64_t> poi_index_;  // PoiId -> slot in pois_
 };
+
+/// Builds a scan baseline over exactly the POIs of `tree`, with per-epoch
+/// counts read back from the tree's leaf TIAs. This is the graceful-
+/// degradation path: when index queries fail mid-traversal (corrupted or
+/// unreadable TIA pages), the flat copy answers them by sequential scan
+/// with the same normalization, at scan cost. Reading the leaf TIAs goes
+/// through the same storage layer, so the build itself can fail; the
+/// Status then carries the failing entry's node path.
+Result<std::unique_ptr<ScanBaseline>> BuildScanBaselineFromTree(
+    const TarTree& tree);
 
 }  // namespace tar

@@ -165,25 +165,29 @@ class TarTree {
   /// maximum single-POI aggregate over the interval (the range of the
   /// aggregate, as the ranking function requires), found by a best-first
   /// search on the TIA bounds; its accesses are charged to `stats`.
-  QueryContext MakeContext(const KnntaQuery& query,
-                           AccessStats* stats = nullptr) const;
+  /// Fails (propagating the underlying Status, e.g. an injected or real
+  /// I/O error from the TIA layer) rather than degrading the normalizer.
+  Result<QueryContext> MakeContext(const KnntaQuery& query,
+                                   AccessStats* stats = nullptr) const;
 
   /// Maximum aggregate of any single POI over `iq` (0 on an empty tree or
   /// an interval with no check-ins). Exact; runs a best-first search
-  /// guided by the internal TIA upper bounds.
-  std::int64_t MaxAggregate(const TimeInterval& iq,
-                            AccessStats* stats = nullptr) const;
+  /// guided by the internal TIA upper bounds. A TIA read failure aborts
+  /// the search with the failing entry's node path in the Status.
+  Result<std::int64_t> MaxAggregate(const TimeInterval& iq,
+                                    AccessStats* stats = nullptr) const;
 
   /// Ranking score f(e) of an entry: exact for leaf entries, a consistent
   /// lower bound for internal entries (Property 1).
-  double EntryScore(const Entry& entry, const QueryContext& ctx,
-                    AccessStats* stats = nullptr) const;
+  Result<double> EntryScore(const Entry& entry, const QueryContext& ctx,
+                            AccessStats* stats = nullptr) const;
 
   /// Both normalized components of an entry's score: the normalized spatial
   /// distance s0 and normalized aggregate complement s1 (f = a0*s0 + a1*s1).
-  void EntryComponents(const Entry& entry, const QueryContext& ctx,
-                       double* s0, double* s1,
-                       AccessStats* stats = nullptr) const;
+  /// On failure s0/s1 are unspecified and the TIA error is propagated.
+  Status EntryComponents(const Entry& entry, const QueryContext& ctx,
+                         double* s0, double* s1,
+                         AccessStats* stats = nullptr) const;
 
   const Node& node(NodeId id) const { return *nodes_[id]; }
   NodeId root() const { return root_; }
@@ -253,16 +257,26 @@ class TarTree {
   };
 
   /// Serializes the index (structure, boxes, TIA records, normalizers) to
-  /// a binary stream. Load restores an exact structural copy: same nodes,
-  /// same grouping, same query costs.
+  /// a binary stream in format v2: sectioned, with a CRC-32C per section
+  /// and a trailing whole-file checksum (see docs/internals.md, "Failure
+  /// model"). Load restores an exact structural copy: same nodes, same
+  /// grouping, same query costs. Load also accepts legacy v1 files.
   Status Save(std::ostream& out) const;
+
+  /// Legacy format v1 writer (no checksums). Kept so backward
+  /// compatibility of the v1 loader stays testable; new code saves v2.
+  Status SaveV1(std::ostream& out) const;
+
   static Result<std::unique_ptr<TarTree>> Load(std::istream& in,
                                                const LoadOptions& options);
   static Result<std::unique_ptr<TarTree>> Load(std::istream& in) {
     return Load(in, LoadOptions());
   }
 
-  /// File wrappers around Save/Load.
+  /// File wrappers around Save/Load. SaveToFile is atomic: it writes
+  /// `path + ".tmp"` and renames over `path` only after a fully flushed,
+  /// error-free save, so a crash or injected fault mid-save never
+  /// clobbers an existing good file.
   Status SaveToFile(const std::string& path) const;
   static Result<std::unique_ptr<TarTree>> LoadFromFile(
       const std::string& path, const LoadOptions& options);
@@ -273,6 +287,13 @@ class TarTree {
 
  private:
   friend class TarTreeTestPeer;
+
+  /// Per-version load paths behind Load's magic/version dispatch. Both
+  /// receive the stream positioned just past the 8-byte preamble.
+  static Result<std::unique_ptr<TarTree>> LoadV1(std::istream& in,
+                                                 const LoadOptions& options);
+  static Result<std::unique_ptr<TarTree>> LoadV2(std::istream& in,
+                                                 const LoadOptions& options);
 
   /// What an in-flight insertion contributes to the entries on its path.
   struct InsertionInfo {

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace tar {
 
@@ -26,6 +27,9 @@ bool BufferPool::TouchLocked(Shard& shard, OwnerId owner, PageId id) {
 
 Result<const Page*> BufferPool::Fetch(OwnerId owner, PageId id,
                                       bool* was_hit) {
+  // Injected before the LRU is touched, so a failed fetch leaves the pool
+  // state exactly as it was (CheckIntegrity holds across injected faults).
+  TAR_INJECT_FAULT("buffer_pool.fetch");
   bool hit;
   {
     Shard& shard = ShardFor(owner);
@@ -45,6 +49,7 @@ Result<const Page*> BufferPool::Fetch(OwnerId owner, PageId id,
 }
 
 Result<Page*> BufferPool::FetchForWrite(OwnerId owner, PageId id) {
+  TAR_INJECT_FAULT("buffer_pool.fetch");
   {
     // Write-through: cache but always charge the write.
     Shard& shard = ShardFor(owner);

@@ -1,8 +1,11 @@
 #include "storage/page_file.h"
 
+#include "common/failpoint.h"
+
 namespace tar {
 
-PageId PageFile::Allocate() {
+Result<PageId> PageFile::Allocate() {
+  TAR_INJECT_FAULT("page_file.alloc");
   MutexLock lock(&mu_);
   pages_.push_back(std::make_unique<Page>(page_size_));
   return static_cast<PageId>(pages_.size() - 1);
@@ -14,6 +17,7 @@ Page* PageFile::PageOrNull(PageId id) {
 }
 
 Result<Page*> PageFile::GetPageForWrite(PageId id) {
+  TAR_INJECT_FAULT("page_file.write");
   Page* page = nullptr;
   {
     MutexLock lock(&mu_);
@@ -25,6 +29,7 @@ Result<Page*> PageFile::GetPageForWrite(PageId id) {
 }
 
 Result<const Page*> PageFile::ReadPage(PageId id) {
+  TAR_INJECT_FAULT("page_file.read");
   Page* page = nullptr;
   {
     MutexLock lock(&mu_);

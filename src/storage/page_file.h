@@ -27,6 +27,12 @@ namespace tar {
 /// Allocate calls. Page *payloads* are not latched: concurrent readers are
 /// fine, but a writer of a page's bytes must be the only thread touching
 /// that page (the query path is read-only; builds are single-threaded).
+///
+/// Failure model: every accessor evaluates a failpoint site
+/// (`page_file.read`, `page_file.write`, `page_file.alloc`; see
+/// docs/internals.md "Failure model") so tests can inject I/O errors and
+/// allocation failures deterministically. Unarmed sites cost one relaxed
+/// atomic load.
 class PageFile {
  public:
   explicit PageFile(std::size_t page_size) : page_size_(page_size) {}
@@ -40,8 +46,9 @@ class PageFile {
     return pages_.size();
   }
 
-  /// Allocates a zeroed page and returns its id.
-  PageId Allocate() TAR_EXCLUDES(mu_);
+  /// Allocates a zeroed page and returns its id. Fails only under an
+  /// injected `page_file.alloc` fault (a real std::bad_alloc aborts).
+  Result<PageId> Allocate() TAR_EXCLUDES(mu_);
 
   /// Direct access for mutation; counts one physical write.
   Result<Page*> GetPageForWrite(PageId id) TAR_EXCLUDES(mu_);

@@ -66,10 +66,14 @@ Status BpTree::Store(PageId id, const Node& node) {
 }
 
 PageId BpTree::AllocateNode(const Node& node, Status* st) {
-  PageId id = file_->Allocate();
-  Status s = Store(id, node);
+  Result<PageId> id = file_->Allocate();
+  if (!id.ok()) {
+    if (st != nullptr) *st = id.status();
+    return kInvalidPageId;
+  }
+  Status s = Store(id.ValueOrDie(), node);
   if (!s.ok() && st != nullptr) *st = s;
-  return id;
+  return id.ValueOrDie();
 }
 
 Status BpTree::Put(Key key, Value value) {

@@ -94,10 +94,14 @@ Status Mvbt::Store(PageId id, const Node& node) {
 }
 
 PageId Mvbt::AllocateNode(const Node& node, Status* st) {
-  PageId id = file_->Allocate();
-  Status s = Store(id, node);
+  Result<PageId> id = file_->Allocate();
+  if (!id.ok()) {
+    if (st != nullptr) *st = id.status();
+    return kInvalidPageId;
+  }
+  Status s = Store(id.ValueOrDie(), node);
   if (!s.ok() && st != nullptr) *st = s;
-  return id;
+  return id.ValueOrDie();
 }
 
 std::optional<Mvbt::RootEntry> Mvbt::RootAt(Version v) const {

@@ -365,8 +365,11 @@ TEST(CorruptionInjectionTest, FlippedTiaRecordByteIsCaughtByDeepVerify) {
   hist[0] = kDistinctive;
   ASSERT_TRUE(tree->InsertPoi({900, {50, 50}}, hist).ok());
 
+  // Use the legacy unchecksummed v1 format: the deep verifier is the only
+  // line of defense there (in v2 the section CRC would catch the flip
+  // before the tree even parses; see the v2 assertion at the end).
   std::stringstream buffer;
-  ASSERT_TRUE(tree->Save(buffer).ok());
+  ASSERT_TRUE(tree->SaveV1(buffer).ok());
   std::string bytes = buffer.str();
 
   std::string pattern(sizeof(std::int64_t), '\0');
@@ -379,7 +382,7 @@ TEST(CorruptionInjectionTest, FlippedTiaRecordByteIsCaughtByDeepVerify) {
   std::string corrupted_bytes = bytes;
   corrupted_bytes[pos] ^= 0x01;  // 77777 -> 77776: still positive
 
-  // A shallow load accepts the flipped file: the tree parses and its
+  // A shallow load accepts the flipped v1 file: the tree parses and its
   // R-tree-level invariants still hold.
   {
     std::stringstream corrupted(corrupted_bytes);
@@ -404,6 +407,23 @@ TEST(CorruptionInjectionTest, FlippedTiaRecordByteIsCaughtByDeepVerify) {
     load_options.deep_verifier = analysis::DeepVerifyOnLoad();
     auto loaded = TarTree::Load(clean, load_options);
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  }
+
+  // In format v2 the same flip never reaches the verifier: the section
+  // checksum rejects it at load, naming the damaged section.
+  {
+    std::stringstream v2buf;
+    ASSERT_TRUE(tree->Save(v2buf).ok());
+    std::string v2bytes = v2buf.str();
+    std::size_t v2pos = v2bytes.rfind(pattern);
+    ASSERT_NE(v2pos, std::string::npos);
+    v2bytes[v2pos] ^= 0x01;
+    std::stringstream corrupted(v2bytes);
+    auto res = TarTree::Load(corrupted);
+    ASSERT_FALSE(res.ok());
+    EXPECT_TRUE(res.status().IsCorruption()) << res.status().ToString();
+    EXPECT_NE(res.status().ToString().find("checksum"), std::string::npos)
+        << res.status().ToString();
   }
 }
 

@@ -1,0 +1,178 @@
+// Unit tests for the failpoint subsystem: spec parsing, firing semantics
+// (always / nth hit / probabilistic), determinism in the seed, counters,
+// and the hot-path guard.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tar::fail {
+namespace {
+
+/// Disarms the global injector on both sides of each test so armed sites
+/// never leak between tests (the injector is process-wide).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Clear(); }
+  void TearDown() override { FaultInjector::Global().Clear(); }
+};
+
+TEST_F(FailpointTest, DisarmedByDefault) {
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  EXPECT_EQ(FaultInjector::Global().Hit("page_file.read").action, Action::kOff);
+  EXPECT_TRUE(InjectedFault("page_file.read").ok());
+}
+
+TEST_F(FailpointTest, RejectsUnknownSite) {
+  Status st = FaultInjector::Global().Configure("no.such.site=err");
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST_F(FailpointTest, RejectsUnknownAction) {
+  EXPECT_TRUE(FaultInjector::Global()
+                  .Configure("page_file.read=explode")
+                  .IsInvalidArgument());
+}
+
+TEST_F(FailpointTest, RejectsMalformedEntriesAndParameters) {
+  auto& inj = FaultInjector::Global();
+  EXPECT_TRUE(inj.Configure("page_file.read").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("=err").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("page_file.read=").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("page_file.read=err@zero").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("page_file.read=err@0").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("page_file.read=err@-1").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("seed=notanumber").IsInvalidArgument());
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST_F(FailpointTest, ErrorsOnNothingArmed) {
+  // A failed Configure must not leave a partial set armed.
+  auto& inj = FaultInjector::Global();
+  Status st = inj.Configure("page_file.read=err;bogus.site=err");
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);
+}
+
+TEST_F(FailpointTest, AlwaysFiresWithoutParam) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("page_file.read=err").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kError);
+  }
+  EXPECT_EQ(inj.fires("page_file.read"), 5u);
+  Status st = InjectedFault("page_file.read");
+  EXPECT_TRUE(st.IsIoError());
+  EXPECT_NE(st.message().find("page_file.read"), std::string::npos);
+}
+
+TEST_F(FailpointTest, NthHitFiresExactlyOnce) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("buffer_pool.fetch=err@3").ok());
+  EXPECT_EQ(inj.Hit("buffer_pool.fetch").action, Action::kOff);
+  EXPECT_EQ(inj.Hit("buffer_pool.fetch").action, Action::kOff);
+  EXPECT_EQ(inj.Hit("buffer_pool.fetch").action, Action::kError);
+  EXPECT_EQ(inj.Hit("buffer_pool.fetch").action, Action::kOff);
+  EXPECT_EQ(inj.fires("buffer_pool.fetch"), 1u);
+}
+
+TEST_F(FailpointTest, AllocActionMapsToResourceExhausted) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("page_file.alloc=alloc")
+                  .ok());
+  EXPECT_TRUE(InjectedFault("page_file.alloc").IsResourceExhausted());
+}
+
+TEST_F(FailpointTest, OffActionDisarmsTheSite) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("page_file.read=off").ok());
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST_F(FailpointTest, ProbabilisticFiresAreDeterministicInSeed) {
+  auto& inj = FaultInjector::Global();
+  auto pattern = [&](const std::string& spec) {
+    EXPECT_TRUE(inj.Configure(spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(inj.Hit("persist.read").action != Action::kOff);
+    }
+    return fired;
+  };
+  auto a = pattern("persist.read=err@0.25;seed=7");
+  auto b = pattern("persist.read=err@0.25;seed=7");
+  auto c = pattern("persist.read=err@0.25;seed=8");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // ~25% fire rate, with generous slack for 200 samples.
+  int fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 20);
+  EXPECT_LT(fires, 90);
+}
+
+TEST_F(FailpointTest, TornAndFlipCarryPerFireSeeds) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("persist.write=torn;seed=11").ok());
+  FireResult f1 = inj.Hit("persist.write");
+  FireResult f2 = inj.Hit("persist.write");
+  EXPECT_EQ(f1.action, Action::kTornWrite);
+  EXPECT_EQ(f2.action, Action::kTornWrite);
+  EXPECT_NE(f1.seed, f2.seed);  // distinct hits tear at distinct offsets
+
+  ASSERT_TRUE(inj.Configure("persist.write=flip;seed=11").ok());
+  EXPECT_EQ(inj.Hit("persist.write").action, Action::kBitFlip);
+  // Outside a payload site both degrade to a plain I/O error.
+  ASSERT_TRUE(inj.Configure("page_file.read=flip").ok());
+  EXPECT_TRUE(InjectedFault("page_file.read").IsIoError());
+}
+
+TEST_F(FailpointTest, SnapshotReportsCounters) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("page_file.read=err@2;persist.open=err").ok());
+  (void)inj.Hit("page_file.read");
+  (void)inj.Hit("page_file.read");
+  (void)inj.Hit("page_file.read");
+  (void)inj.Hit("persist.open");
+  auto snap = inj.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].site, "page_file.read");
+  EXPECT_EQ(snap[0].hits, 3u);
+  EXPECT_EQ(snap[0].fires, 1u);
+  EXPECT_EQ(snap[1].site, "persist.open");
+  EXPECT_EQ(snap[1].fires, 1u);
+}
+
+TEST_F(FailpointTest, KnownSitesCatalogIsClosed) {
+  auto sites = FaultInjector::KnownSites();
+  EXPECT_GE(sites.size(), 9u);
+  for (const std::string& s : sites) {
+    EXPECT_TRUE(FaultInjector::IsKnownSite(s)) << s;
+  }
+  EXPECT_FALSE(FaultInjector::IsKnownSite("not.a.site"));
+}
+
+TEST_F(FailpointTest, ClearResetsEverything) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("page_file.read=err").ok());
+  (void)inj.Hit("page_file.read");
+  inj.Clear();
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_EQ(inj.fires("page_file.read"), 0u);
+  EXPECT_TRUE(inj.Snapshot().empty());
+}
+
+TEST_F(FailpointTest, SpecAllowsCommasAndWhitespace) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(
+      inj.Configure(" page_file.read=err , persist.open=err@2 ;; ").ok());
+  auto snap = inj.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tar::fail

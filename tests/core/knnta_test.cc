@@ -54,7 +54,7 @@ TEST(MaxAggregateTest, MatchesBruteForceOverRandomIntervals) {
       brute = std::max(brute, agg);
     }
     AccessStats stats;
-    EXPECT_EQ(fx.tree->MaxAggregate(iq, &stats), brute)
+    EXPECT_EQ(fx.tree->MaxAggregate(iq, &stats).ValueOrDie(), brute)
         << "epochs [" << e0 << "," << e1 << "]";
     EXPECT_GT(stats.rtree_node_reads, 0u);
   }
@@ -64,18 +64,18 @@ TEST(MaxAggregateTest, EmptyTreeAndEmptyInterval) {
   TarTreeOptions opt;
   opt.grid = EpochGrid(0, kEpochLen);
   TarTree empty(opt);
-  EXPECT_EQ(empty.MaxAggregate({0, 100}), 0);
+  EXPECT_EQ(empty.MaxAggregate({0, 100}).ValueOrDie(), 0);
 
   Fixture fx(5, /*n=*/50, /*epochs=*/10);
   // An interval beyond every check-in: no POI has a non-zero aggregate.
   TimeInterval beyond{100 * kEpochLen, 200 * kEpochLen};
-  EXPECT_EQ(fx.tree->MaxAggregate(beyond), 0);
+  EXPECT_EQ(fx.tree->MaxAggregate(beyond).ValueOrDie(), 0);
 }
 
 TEST(MakeContextTest, NormalizersAreExact) {
   Fixture fx(7);
   KnntaQuery q{{50, 50}, {0, fx.num_epochs * kEpochLen - 1}, 10, 0.3};
-  TarTree::QueryContext ctx = fx.tree->MakeContext(q);
+  TarTree::QueryContext ctx = fx.tree->MakeContext(q).ValueOrDie();
   // dmax = diagonal of the 100x100 space.
   EXPECT_NEAR(ctx.dmax, std::sqrt(2.0) * 100.0, 1e-9);
   // gmax over the whole history = the largest total.
@@ -90,7 +90,7 @@ TEST(MakeContextTest, NormalizersAreExact) {
   // The interval is aligned outward to epoch boundaries.
   KnntaQuery mid = q;
   mid.interval = {kEpochLen + 5, 2 * kEpochLen + 5};
-  ctx = fx.tree->MakeContext(mid);
+  ctx = fx.tree->MakeContext(mid).ValueOrDie();
   EXPECT_EQ(ctx.interval.start, kEpochLen);
   EXPECT_EQ(ctx.interval.end, 3 * kEpochLen - 1);
 }

@@ -121,7 +121,7 @@ struct MwaFixture {
 
   /// Ground truth by scoring every POI and considering every pair.
   MwaResult BruteForce(const KnntaQuery& q) {
-    TarTree::QueryContext ctx = tree->MakeContext(q);
+    TarTree::QueryContext ctx = tree->MakeContext(q).ValueOrDie();
     KnntaQuery all = q;
     all.k = tree->num_pois();
     std::vector<KnntaResult> results;
@@ -299,7 +299,7 @@ TEST(MwaSequenceTest, BoundariesAreMonotoneAndEachChangesResults) {
 TEST(TreeSkylineTest, MatchesBruteForceSkyline) {
   MwaFixture fx(13, 200, 10);
   KnntaQuery q = fx.RandomQuery();
-  TarTree::QueryContext ctx = fx.tree->MakeContext(q);
+  TarTree::QueryContext ctx = fx.tree->MakeContext(q).ValueOrDie();
   KnntaQuery all = q;
   all.k = fx.tree->num_pois();
   std::vector<KnntaResult> results;

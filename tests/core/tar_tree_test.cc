@@ -240,18 +240,18 @@ TEST(TarTreeConsistencyTest, Property1HoldsOnEveryEdge) {
   }
   for (int trial = 0; trial < 10; ++trial) {
     KnntaQuery q = RandomQuery(20, rng);
-    TarTree::QueryContext ctx = tree.MakeContext(q);
+    TarTree::QueryContext ctx = tree.MakeContext(q).ValueOrDie();
     // BFS over all nodes comparing parent entry scores to child entries.
     std::vector<TarTree::NodeId> stack{tree.root()};
     while (!stack.empty()) {
       const TarTree::Node& node = tree.node(stack.back());
       stack.pop_back();
       for (const auto& e : node.entries) {
-        double fe = tree.EntryScore(e, ctx);
+        double fe = tree.EntryScore(e, ctx).ValueOrDie();
         if (node.is_leaf()) continue;
         stack.push_back(e.child);
         for (const auto& child : tree.node(e.child).entries) {
-          double fc = tree.EntryScore(child, ctx);
+          double fc = tree.EntryScore(child, ctx).ValueOrDie();
           EXPECT_LE(fe, fc + 1e-12)
               << "parent bound above child score (trial " << trial << ")";
         }

@@ -31,7 +31,9 @@ constexpr std::size_t kOpsPerThread = 2000;  // 16k ops total, >= 10k
 TEST(ConcurrentBufferPoolTest, ParallelFetchAccountingIsExact) {
   PageFile file(128);
   constexpr std::size_t kPages = 64;
-  for (std::size_t i = 0; i < kPages; ++i) file.Allocate();
+  for (std::size_t i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(file.Allocate().ok());
+  }
   BufferPool pool(&file, /*quota_per_owner=*/8);
 
   std::atomic<std::uint64_t> fetches{0};
@@ -63,7 +65,9 @@ TEST(ConcurrentBufferPoolTest, ParallelFetchAccountingIsExact) {
 TEST(ConcurrentBufferPoolTest, MixedChurnKeepsIntegrity) {
   PageFile file(128);
   constexpr std::size_t kPages = 48;
-  for (std::size_t i = 0; i < kPages; ++i) file.Allocate();
+  for (std::size_t i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(file.Allocate().ok());
+  }
   BufferPool pool(&file, 6);
 
   std::atomic<std::uint64_t> fetches{0};
@@ -115,7 +119,9 @@ TEST(ConcurrentPageFileTest, ParallelAllocateReadWrite) {
   for (std::size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&]() {
       for (std::size_t i = 0; i < kAllocsPerThread; ++i) {
-        PageId id = file.Allocate();
+        auto alloc = file.Allocate();
+        ASSERT_TRUE(alloc.ok());
+        PageId id = alloc.ValueOrDie();
         // Each thread writes and reads back only pages it allocated, so
         // page payload access needs no extra synchronization.
         auto w = file.GetPageForWrite(id);
@@ -140,7 +146,9 @@ TEST(ConcurrentPageFileTest, ParallelAllocateReadWrite) {
 TEST(ConcurrentBufferPoolTest, SetQuotaIsAtomicAcrossShards) {
   PageFile file(128);
   constexpr std::size_t kPages = 32;
-  for (std::size_t i = 0; i < kPages; ++i) file.Allocate();
+  for (std::size_t i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(file.Allocate().ok());
+  }
   BufferPool pool(&file, 10);
 
   // Fill several owners to the initial quota, then shrink it from one

@@ -8,7 +8,7 @@ namespace {
 
 TEST(PageFileTest, AllocateReadWriteRoundTrip) {
   PageFile file(256);
-  PageId id = file.Allocate();
+  PageId id = file.Allocate().ValueOrDie();
   EXPECT_EQ(id, 0u);
   EXPECT_EQ(file.num_pages(), 1u);
 
@@ -26,7 +26,7 @@ TEST(PageFileTest, AllocateReadWriteRoundTrip) {
 
 TEST(PageFileTest, FreshPagesAreZeroed) {
   PageFile file(128);
-  PageId id = file.Allocate();
+  PageId id = file.Allocate().ValueOrDie();
   auto res = file.ReadPage(id);
   ASSERT_TRUE(res.ok());
   for (std::size_t i = 0; i < 128; ++i) {
@@ -43,7 +43,7 @@ TEST(PageFileTest, OutOfRangeAccessFails) {
 
 TEST(BufferPoolTest, HitsAreFreeMissesCostAPhysicalRead) {
   PageFile file(128);
-  PageId a = file.Allocate();
+  PageId a = file.Allocate().ValueOrDie();
   BufferPool pool(&file, /*quota_per_owner=*/2);
 
   bool hit = true;
@@ -60,9 +60,9 @@ TEST(BufferPoolTest, HitsAreFreeMissesCostAPhysicalRead) {
 
 TEST(BufferPoolTest, LruEvictionWithinQuota) {
   PageFile file(128);
-  PageId a = file.Allocate();
-  PageId b = file.Allocate();
-  PageId c = file.Allocate();
+  PageId a = file.Allocate().ValueOrDie();
+  PageId b = file.Allocate().ValueOrDie();
+  PageId c = file.Allocate().ValueOrDie();
   BufferPool pool(&file, 2);
 
   bool hit;
@@ -80,7 +80,7 @@ TEST(BufferPoolTest, LruEvictionWithinQuota) {
 
 TEST(BufferPoolTest, QuotasAreIndependentPerOwner) {
   PageFile file(128);
-  PageId a = file.Allocate();
+  PageId a = file.Allocate().ValueOrDie();
   BufferPool pool(&file, 1);
 
   bool hit;
@@ -95,7 +95,7 @@ TEST(BufferPoolTest, QuotasAreIndependentPerOwner) {
 
 TEST(BufferPoolTest, ZeroQuotaDisablesCaching) {
   PageFile file(128);
-  PageId a = file.Allocate();
+  PageId a = file.Allocate().ValueOrDie();
   BufferPool pool(&file, 0);
   bool hit;
   ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
@@ -108,7 +108,7 @@ TEST(BufferPoolTest, ZeroQuotaDisablesCaching) {
 
 TEST(BufferPoolTest, EvictAndClear) {
   PageFile file(128);
-  PageId a = file.Allocate();
+  PageId a = file.Allocate().ValueOrDie();
   BufferPool pool(&file, 4);
   bool hit;
   ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());
@@ -122,7 +122,7 @@ TEST(BufferPoolTest, EvictAndClear) {
 
 TEST(BufferPoolTest, WritesAreVisibleThroughThePool) {
   PageFile file(128);
-  PageId a = file.Allocate();
+  PageId a = file.Allocate().ValueOrDie();
   BufferPool pool(&file, 2);
   bool hit;
   ASSERT_TRUE(pool.Fetch(1, a, &hit).ok());  // cache the page
