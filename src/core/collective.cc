@@ -1,12 +1,24 @@
 #include "core/collective.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <queue>
 #include <unordered_map>
 
 namespace tar {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 Status ProcessIndividually(const TarTree& tree,
                            const std::vector<KnntaQuery>& queries,
@@ -53,7 +65,7 @@ struct QueryState {
 Status ProcessCollectively(const TarTree& tree,
                            const std::vector<KnntaQuery>& queries,
                            std::vector<std::vector<KnntaResult>>* results,
-                           AccessStats* stats) {
+                           AccessStats* stats, QueryTrace* trace) {
   results->assign(queries.size(), {});
   for (const KnntaQuery& q : queries) {
     if (q.k == 0) return Status::InvalidArgument("k must be positive");
@@ -66,113 +78,163 @@ Status ProcessCollectively(const TarTree& tree,
   }
   if (tree.empty() || queries.empty()) return Status::OK();
 
+  Clock::time_point total_start;
+  if (trace != nullptr) total_start = Clock::now();
+
+  // Each phase collects into phase-local stats and folds them into the
+  // caller's stats at phase end, so trace.Totals() equals what this call
+  // added to *stats. `phase`/`phase_stats` always name the active phase.
+  QueryTrace::Phase* phase = nullptr;
+  AccessStats* phase_stats = stats;
+  Clock::time_point phase_start;
+  auto begin_phase = [&](const char* name) {
+    if (trace == nullptr) return;
+    phase = trace->AddPhase(name);
+    phase_stats = &phase->stats;
+    phase_start = Clock::now();
+  };
+  auto end_phase = [&] {
+    if (phase == nullptr) return;
+    phase->micros = MicrosSince(phase_start);
+    if (stats != nullptr) *stats += phase->stats;
+  };
+
   // Group the queries by their aligned time interval; the normalizer gmax
   // and all TIA aggregates are shared within a group.
   std::map<std::pair<Timestamp, Timestamp>, std::size_t> group_ids;
   std::vector<TarTree::QueryContext> group_ctx;
   std::vector<QueryState> states(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    TimeInterval aligned = tree.grid().AlignOutward(queries[i].interval);
-    auto [it, inserted] = group_ids.emplace(
-        std::make_pair(aligned.start, aligned.end), group_ctx.size());
-    if (inserted) {
-      // One context (and one charged gmax lookup) per interval group.
-      TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
-                           tree.MakeContext(queries[i], stats));
-      group_ctx.push_back(std::move(ctx));
-    }
-    QueryState& qs = states[i];
-    qs.group = it->second;
-    qs.ctx = group_ctx[it->second];
-    qs.ctx.q = queries[i].point;
-    qs.ctx.alpha0 = queries[i].alpha0;
-    qs.ctx.alpha1 = 1.0 - queries[i].alpha0;
-    qs.k = queries[i].k;
-    qs.out = &(*results)[i];
-  }
-
-  // Fetches a node once and feeds its entries to every query in `members`,
-  // computing each entry's aggregate once per interval group.
-  auto expand_node = [&](TarTree::NodeId node_id,
-                         const std::vector<std::size_t>& members) -> Status {
-    const TarTree::Node& node = tree.node(node_id);
-    if (stats != nullptr) ++stats->rtree_node_reads;
-    // group id -> per-entry normalized aggregate complement s1.
-    std::unordered_map<std::size_t, std::vector<double>> s1_cache;
-    for (std::size_t qi : members) {
-      QueryState& qs = states[qi];
-      auto [it, inserted] = s1_cache.try_emplace(qs.group);
-      std::vector<double>& s1s = it->second;
+  begin_phase("context/gmax");
+  Status ctx_st = [&]() -> Status {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      TimeInterval aligned = tree.grid().AlignOutward(queries[i].interval);
+      auto [it, inserted] = group_ids.emplace(
+          std::make_pair(aligned.start, aligned.end), group_ctx.size());
       if (inserted) {
-        s1s.reserve(node.entries.size());
-        for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
-          const auto& e = node.entries[ei];
-          if (stats != nullptr) ++stats->entries_scanned;
-          auto agg = e.tia->Aggregate(qs.ctx.interval, stats);
-          if (!agg.ok()) {
-            return agg.status().WithContext(
-                "node:" + std::to_string(node_id) + "/entry[" +
-                std::to_string(ei) + "]");
-          }
-          double g = static_cast<double>(agg.ValueOrDie());
-          s1s.push_back(1.0 - std::min(1.0, g / qs.ctx.gmax));
-        }
+        // One context (and one charged gmax lookup) per interval group.
+        TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
+                             tree.MakeContext(queries[i], phase_stats));
+        group_ctx.push_back(std::move(ctx));
       }
-      for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
-        const auto& e = node.entries[ei];
-        double s0 = MinDistToBox(qs.ctx.q, e.box) / qs.ctx.dmax;
-        double s1 = s1s[ei];
-        double score = qs.ctx.alpha0 * s0 + qs.ctx.alpha1 * s1;
-        if (node.is_leaf()) {
-          qs.queue.push(Item{score, true, e.poi, TarTree::kInvalidNodeId,
-                             s0 * qs.ctx.dmax,
-                             static_cast<std::int64_t>(std::llround(
-                                 (1.0 - s1) * qs.ctx.gmax))});
-        } else {
-          qs.queue.push(Item{score, false, kInvalidPoiId, e.child, 0.0, 0});
-        }
-      }
+      QueryState& qs = states[i];
+      qs.group = it->second;
+      qs.ctx = group_ctx[it->second];
+      qs.ctx.q = queries[i].point;
+      qs.ctx.alpha0 = queries[i].alpha0;
+      qs.ctx.alpha1 = 1.0 - queries[i].alpha0;
+      qs.k = queries[i].k;
+      qs.out = &(*results)[i];
     }
     return Status::OK();
-  };
-
-  // All searches start at the root: one shared access.
-  std::vector<std::size_t> everyone(queries.size());
-  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
-  TAR_RETURN_NOT_OK(expand_node(tree.root(), everyone));
-
-  for (;;) {
-    // Eject POIs (no node accesses) until each front is an internal entry.
-    for (QueryState& qs : states) {
-      if (qs.done) continue;
-      while (!qs.queue.empty() && qs.out->size() < qs.k &&
-             qs.queue.top().is_poi) {
-        const Item& item = qs.queue.top();
-        qs.out->push_back(
-            KnntaResult{item.poi, item.score, item.dist, item.aggregate});
-        qs.queue.pop();
-      }
-      if (qs.out->size() >= qs.k || qs.queue.empty()) qs.done = true;
-    }
-
-    // Greedy sharing: fetch the node that is the front of the most queues.
-    std::unordered_map<TarTree::NodeId, std::vector<std::size_t>> fronts;
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      if (!states[i].done) fronts[states[i].queue.top().node].push_back(i);
-    }
-    if (fronts.empty()) break;
-    auto best = fronts.begin();
-    for (auto it = fronts.begin(); it != fronts.end(); ++it) {
-      if (it->second.size() > best->second.size() ||
-          (it->second.size() == best->second.size() &&
-           it->first < best->first)) {
-        best = it;
-      }
-    }
-    for (std::size_t qi : best->second) states[qi].queue.pop();
-    TAR_RETURN_NOT_OK(expand_node(best->first, best->second));
+  }();
+  end_phase();
+  if (!ctx_st.ok()) {
+    if (trace != nullptr) trace->total_micros = MicrosSince(total_start);
+    return ctx_st;
   }
-  return Status::OK();
+
+  begin_phase("collective search");
+  Status search_st = [&]() -> Status {
+    // Fetches a node once and feeds its entries to every query in
+    // `members`, computing each entry's aggregate once per interval group.
+    auto expand_node = [&](TarTree::NodeId node_id,
+                           const std::vector<std::size_t>& members)
+        -> Status {
+      const TarTree::Node& node = tree.node(node_id);
+      if (phase_stats != nullptr) ++phase_stats->rtree_node_reads;
+      // group id -> per-entry normalized aggregate complement s1.
+      std::unordered_map<std::size_t, std::vector<double>> s1_cache;
+      for (std::size_t qi : members) {
+        QueryState& qs = states[qi];
+        auto [it, inserted] = s1_cache.try_emplace(qs.group);
+        std::vector<double>& s1s = it->second;
+        if (inserted) {
+          s1s.reserve(node.entries.size());
+          for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
+            const auto& e = node.entries[ei];
+            if (phase_stats != nullptr) ++phase_stats->entries_scanned;
+            auto agg = e.tia->Aggregate(qs.ctx.interval, phase_stats);
+            if (!agg.ok()) {
+              return agg.status().WithContext(
+                  "node:" + std::to_string(node_id) + "/entry[" +
+                  std::to_string(ei) + "]");
+            }
+            double g = static_cast<double>(agg.ValueOrDie());
+            s1s.push_back(1.0 - std::min(1.0, g / qs.ctx.gmax));
+          }
+        }
+        for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
+          const auto& e = node.entries[ei];
+          double s0 = MinDistToBox(qs.ctx.q, e.box) / qs.ctx.dmax;
+          double s1 = s1s[ei];
+          double score = qs.ctx.alpha0 * s0 + qs.ctx.alpha1 * s1;
+          if (node.is_leaf()) {
+            qs.queue.push(Item{score, true, e.poi, TarTree::kInvalidNodeId,
+                               s0 * qs.ctx.dmax,
+                               static_cast<std::int64_t>(std::llround(
+                                   (1.0 - s1) * qs.ctx.gmax))});
+          } else {
+            qs.queue.push(Item{score, false, kInvalidPoiId, e.child, 0.0, 0});
+          }
+          if (phase != nullptr) ++phase->heap_pushes;
+        }
+      }
+      return Status::OK();
+    };
+
+    // All searches start at the root: one shared access.
+    std::vector<std::size_t> everyone(queries.size());
+    for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+    TAR_RETURN_NOT_OK(expand_node(tree.root(), everyone));
+
+    for (;;) {
+      // Eject POIs (no node accesses) until each front is an internal
+      // entry.
+      for (QueryState& qs : states) {
+        if (qs.done) continue;
+        while (!qs.queue.empty() && qs.out->size() < qs.k &&
+               qs.queue.top().is_poi) {
+          const Item& item = qs.queue.top();
+          qs.out->push_back(
+              KnntaResult{item.poi, item.score, item.dist, item.aggregate});
+          qs.queue.pop();
+          if (phase != nullptr) ++phase->heap_pops;
+        }
+        if (qs.out->size() >= qs.k || qs.queue.empty()) qs.done = true;
+      }
+
+      // Greedy sharing: fetch the node that is the front of the most
+      // queues.
+      std::unordered_map<TarTree::NodeId, std::vector<std::size_t>> fronts;
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (!states[i].done) fronts[states[i].queue.top().node].push_back(i);
+      }
+      if (fronts.empty()) break;
+      auto best = fronts.begin();
+      for (auto it = fronts.begin(); it != fronts.end(); ++it) {
+        if (it->second.size() > best->second.size() ||
+            (it->second.size() == best->second.size() &&
+             it->first < best->first)) {
+          best = it;
+        }
+      }
+      for (std::size_t qi : best->second) {
+        states[qi].queue.pop();
+        if (phase != nullptr) ++phase->heap_pops;
+      }
+      TAR_RETURN_NOT_OK(expand_node(best->first, best->second));
+    }
+    return Status::OK();
+  }();
+  end_phase();
+
+  if (trace != nullptr) {
+    trace->total_micros = MicrosSince(total_start);
+    std::size_t num_results = 0;
+    for (const auto& r : *results) num_results += r.size();
+    trace->num_results = num_results;
+  }
+  return search_st;
 }
 
 }  // namespace tar

@@ -24,9 +24,14 @@ Status ProcessIndividually(const TarTree& tree,
 /// \brief Processes the batch collectively, sharing node accesses and
 /// aggregate computations. Produces exactly the same per-query results as
 /// individual processing.
+///
+/// An optional trace records two phases — "context/gmax" (one context per
+/// interval group) and "collective search" — whose stats sum to exactly
+/// what the call adds to `stats` (see QueryTrace in common/metrics.h).
 Status ProcessCollectively(const TarTree& tree,
                            const std::vector<KnntaQuery>& queries,
                            std::vector<std::vector<KnntaResult>>* results,
-                           AccessStats* stats = nullptr);
+                           AccessStats* stats = nullptr,
+                           QueryTrace* trace = nullptr);
 
 }  // namespace tar

@@ -7,6 +7,13 @@
 // with the underlying Status, annotated with the path of the failing
 // entry from the root ("node:3/entry[2]"). Scores are never silently
 // zeroed — a fault must surface as a non-OK Status, not a wrong answer.
+//
+// Observability: an optional QueryTrace records per-phase wall time,
+// heap traffic and access breakdowns (see common/metrics.h). All trace
+// accounting is gated on `trace != nullptr` / the phase pointer, and the
+// global registry is consulted behind MetricsEnabled(), so the untraced,
+// metrics-disabled query is bit-identical to the uninstrumented code.
+#include <chrono>
 #include <cmath>
 #include <queue>
 
@@ -20,10 +27,48 @@ std::string EntryPath(const std::string& node_path, std::size_t index) {
   return node_path + "/entry[" + std::to_string(index) + "]";
 }
 
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Times one TIA-dominated scoring call into `phase->tia_micros`. The
+/// clock is only read when a phase is attached.
+class TiaTimer {
+ public:
+  explicit TiaTimer(QueryTrace::Phase* phase) : phase_(phase) {
+    if (phase_ != nullptr) start_ = Clock::now();
+  }
+  ~TiaTimer() {
+    if (phase_ != nullptr) phase_->tia_micros += MicrosSince(start_);
+  }
+
+  TiaTimer(const TiaTimer&) = delete;
+  TiaTimer& operator=(const TiaTimer&) = delete;
+
+ private:
+  QueryTrace::Phase* phase_;
+  Clock::time_point start_;
+};
+
 }  // namespace
 
 Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
-                                                   AccessStats* stats) const {
+                                                   AccessStats* stats,
+                                                   QueryTrace* trace) const {
+  // With a trace, the phase collects its own stats; they are folded into
+  // the caller's stats on exit so the caller-visible totals are unchanged.
+  QueryTrace::Phase* phase = nullptr;
+  AccessStats* phase_stats = stats;
+  Clock::time_point start;
+  if (trace != nullptr) {
+    phase = trace->AddPhase("context/gmax");
+    phase_stats = &phase->stats;
+    start = Clock::now();
+  }
+
   QueryContext ctx;
   ctx.q = query.point;
   ctx.interval = options_.grid.AlignOutward(query.interval);
@@ -39,13 +84,26 @@ Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
   ctx.dmax = std::hypot(space.Extent(0), space.Extent(1));
   if (ctx.dmax <= 0.0) ctx.dmax = 1.0;
 
-  TAR_ASSIGN_OR_RETURN(std::int64_t gmax, MaxAggregate(ctx.interval, stats));
-  ctx.gmax = gmax > 0 ? static_cast<double>(gmax) : 1.0;
+  auto gmax = MaxAggregateTraced(ctx.interval, phase_stats, phase);
+  if (phase != nullptr) {
+    phase->micros = MicrosSince(start);
+    if (stats != nullptr) *stats += phase->stats;
+  }
+  TAR_RETURN_NOT_OK(gmax.status());
+  ctx.gmax = gmax.ValueOrDie() > 0
+                 ? static_cast<double>(gmax.ValueOrDie())
+                 : 1.0;
   return ctx;
 }
 
 Result<std::int64_t> TarTree::MaxAggregate(const TimeInterval& iq,
                                            AccessStats* stats) const {
+  return MaxAggregateTraced(iq, stats, nullptr);
+}
+
+Result<std::int64_t> TarTree::MaxAggregateTraced(
+    const TimeInterval& iq, AccessStats* stats,
+    QueryTrace::Phase* phase) const {
   if (root_ == kInvalidNodeId) return std::int64_t{0};
   // Best-first on the aggregate upper bound: a leaf entry's aggregate is
   // exact, so the first POI popped is the maximum.
@@ -71,11 +129,15 @@ Result<std::int64_t> TarTree::MaxAggregate(const TimeInterval& iq,
     for (std::size_t i = 0; i < node.entries.size(); ++i) {
       const Entry& e = node.entries[i];
       if (stats != nullptr) ++stats->entries_scanned;
-      auto agg = e.tia->Aggregate(iq, stats);
+      Result<std::int64_t> agg = [&] {
+        TiaTimer timer(phase);
+        return e.tia->Aggregate(iq, stats);
+      }();
       if (!agg.ok()) {
         return agg.status().WithContext(EntryPath(node_path, i));
       }
       queue.push(AggItem{agg.ValueOrDie(), node.is_leaf(), e.child});
+      if (phase != nullptr) ++phase->heap_pushes;
     }
     return Status::OK();
   };
@@ -83,6 +145,7 @@ Result<std::int64_t> TarTree::MaxAggregate(const TimeInterval& iq,
   while (!queue.empty()) {
     AggItem item = queue.top();
     queue.pop();
+    if (phase != nullptr) ++phase->heap_pops;
     if (item.is_poi || item.bound == 0) return item.bound;
     TAR_RETURN_NOT_OK(push_entries(item.node));
   }
@@ -131,7 +194,7 @@ struct QueueItem {
 
 Status TarTree::Query(const KnntaQuery& query,
                       std::vector<KnntaResult>* results,
-                      AccessStats* stats) const {
+                      AccessStats* stats, QueryTrace* trace) const {
   results->clear();
   if (query.k == 0) return Status::InvalidArgument("k must be positive");
   if (query.alpha0 <= 0.0 || query.alpha0 >= 1.0) {
@@ -142,51 +205,103 @@ Status TarTree::Query(const KnntaQuery& query,
   }
   if (root_ == kInvalidNodeId) return Status::OK();
 
-  TAR_ASSIGN_OR_RETURN(QueryContext ctx, MakeContext(query, stats));
+  // One branch when idle: the clock is only read when a trace was
+  // requested or the registry is collecting.
+  const bool metrics = MetricsEnabled();
+  const bool timed = trace != nullptr || metrics;
+  Clock::time_point query_start;
+  if (timed) query_start = Clock::now();
 
-  std::priority_queue<QueueItem, std::vector<QueueItem>,
-                      std::greater<QueueItem>>
-      queue;
+  Status st = [&]() -> Status {
+    TAR_ASSIGN_OR_RETURN(QueryContext ctx,
+                         MakeContext(query, stats, trace));
 
-  auto push_node_entries = [&](NodeId node_id) -> Status {
-    const Node& node = *nodes_[node_id];
-    if (stats != nullptr) {
-      ++stats->rtree_node_reads;
-      if (node.is_leaf()) ++stats->rtree_leaf_reads;
+    QueryTrace::Phase* phase = nullptr;
+    AccessStats* phase_stats = stats;
+    Clock::time_point search_start;
+    if (trace != nullptr) {
+      phase = trace->AddPhase("best-first");
+      phase_stats = &phase->stats;
+      search_start = Clock::now();
     }
-    const std::string node_path = "node:" + std::to_string(node_id);
-    for (std::size_t i = 0; i < node.entries.size(); ++i) {
-      const Entry& e = node.entries[i];
-      if (stats != nullptr) ++stats->entries_scanned;
-      double s0 = 0.0;
-      double s1 = 0.0;
-      Status st = EntryComponents(e, ctx, &s0, &s1, stats);
-      if (!st.ok()) return st.WithContext(EntryPath(node_path, i));
-      double score = ctx.alpha0 * s0 + ctx.alpha1 * s1;
-      if (node.is_leaf()) {
-        queue.push(QueueItem{score, true, e.poi, kInvalidNodeId,
-                             s0 * ctx.dmax,
-                             static_cast<std::int64_t>(
-                                 std::llround((1.0 - s1) * ctx.gmax))});
+
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>
+        queue;
+
+    auto push_node_entries = [&](NodeId node_id) -> Status {
+      const Node& node = *nodes_[node_id];
+      if (phase_stats != nullptr) {
+        ++phase_stats->rtree_node_reads;
+        if (node.is_leaf()) ++phase_stats->rtree_leaf_reads;
+      }
+      const std::string node_path = "node:" + std::to_string(node_id);
+      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        const Entry& e = node.entries[i];
+        if (phase_stats != nullptr) ++phase_stats->entries_scanned;
+        double s0 = 0.0;
+        double s1 = 0.0;
+        Status entry_st = [&] {
+          TiaTimer timer(phase);
+          return EntryComponents(e, ctx, &s0, &s1, phase_stats);
+        }();
+        if (!entry_st.ok()) {
+          return entry_st.WithContext(EntryPath(node_path, i));
+        }
+        double score = ctx.alpha0 * s0 + ctx.alpha1 * s1;
+        if (node.is_leaf()) {
+          queue.push(QueueItem{score, true, e.poi, kInvalidNodeId,
+                               s0 * ctx.dmax,
+                               static_cast<std::int64_t>(
+                                   std::llround((1.0 - s1) * ctx.gmax))});
+        } else {
+          queue.push(QueueItem{score, false, kInvalidPoiId, e.child, 0.0, 0});
+        }
+        if (phase != nullptr) ++phase->heap_pushes;
+      }
+      return Status::OK();
+    };
+
+    Status search_st = push_node_entries(root_);
+    while (search_st.ok() && !queue.empty() &&
+           results->size() < query.k) {
+      QueueItem item = queue.top();
+      queue.pop();
+      if (phase != nullptr) ++phase->heap_pops;
+      if (item.is_poi) {
+        results->push_back(
+            KnntaResult{item.poi, item.score, item.dist, item.aggregate});
       } else {
-        queue.push(QueueItem{score, false, kInvalidPoiId, e.child, 0.0, 0});
+        search_st = push_node_entries(item.node);
       }
     }
-    return Status::OK();
-  };
+    if (phase != nullptr) {
+      phase->micros = MicrosSince(search_start);
+      if (stats != nullptr) *stats += phase->stats;
+    }
+    return search_st;
+  }();
 
-  TAR_RETURN_NOT_OK(push_node_entries(root_));
-  while (!queue.empty() && results->size() < query.k) {
-    QueueItem item = queue.top();
-    queue.pop();
-    if (item.is_poi) {
-      results->push_back(
-          KnntaResult{item.poi, item.score, item.dist, item.aggregate});
+  if (trace != nullptr) {
+    trace->total_micros = MicrosSince(query_start);
+    trace->num_results = results->size();
+  }
+  if (metrics) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter* const queries_metric =
+        registry.GetCounter("query.knnta.count");
+    static Counter* const failures_metric =
+        registry.GetCounter("query.knnta.failures");
+    static LatencyHistogram* const latency_metric =
+        registry.GetHistogram("query.knnta.latency_us");
+    queries_metric->Increment();
+    if (st.ok()) {
+      latency_metric->Record(MicrosSince(query_start));
     } else {
-      TAR_RETURN_NOT_OK(push_node_entries(item.node));
+      failures_metric->Increment();
     }
   }
-  return Status::OK();
+  return st;
 }
 
 }  // namespace tar

@@ -1,10 +1,22 @@
 #include "core/mwa.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <queue>
 
 namespace tar {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 std::optional<double> CrossoverWeight(const ScoredPoi& i,
                                       const ScoredPoi& j) {
@@ -226,26 +238,66 @@ Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
 }
 
 Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
-                         MwaResult* out, AccessStats* stats) {
+                         MwaResult* out, AccessStats* stats,
+                         QueryTrace* trace) {
   *out = MwaResult{};
-  TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
-                       tree.MakeContext(query, stats));
-  std::vector<ScoredPoi> top;
-  TAR_RETURN_NOT_OK(TopKComponents(tree, query, ctx, &top, stats));
-  if (top.empty()) return Status::OK();
+  Clock::time_point total_start;
+  if (trace != nullptr) total_start = Clock::now();
 
-  std::vector<PoiId> top_ids;
-  for (const ScoredPoi& p : top) top_ids.push_back(p.poi);
-  std::sort(top_ids.begin(), top_ids.end());
+  Status st = [&]() -> Status {
+    // MakeContext contributes the "context/gmax" phase when tracing.
+    TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
+                         tree.MakeContext(query, stats, trace));
 
-  // (i) the reversed-dominance skyline of the top-k results (no node
-  // accesses: the components are already known), (ii) the skyline of the
-  // lower-ranked POIs via BBS on the tree, (iii) the pairwise crossovers.
-  std::vector<ScoredPoi> top_sky = ReversedSkyline(top);
-  std::vector<ScoredPoi> rest_sky;
-  TAR_RETURN_NOT_OK(TreeSkyline(tree, ctx, top_ids, &rest_sky, stats));
-  AccumulateMwa(top_sky, rest_sky, query.alpha0, out);
-  return Status::OK();
+    // Each subsequent phase collects into phase-local stats and folds
+    // them into the caller's stats at phase end, so trace.Totals()
+    // equals what this call added to *stats.
+    QueryTrace::Phase* phase = nullptr;
+    AccessStats* phase_stats = stats;
+    Clock::time_point start;
+    if (trace != nullptr) {
+      phase = trace->AddPhase("top-k query");
+      phase_stats = &phase->stats;
+      start = Clock::now();
+    }
+    std::vector<ScoredPoi> top;
+    Status topk_st = TopKComponents(tree, query, ctx, &top, phase_stats);
+    if (phase != nullptr) {
+      phase->micros = MicrosSince(start);
+      if (stats != nullptr) *stats += phase->stats;
+    }
+    TAR_RETURN_NOT_OK(topk_st);
+    if (top.empty()) return Status::OK();
+
+    std::vector<PoiId> top_ids;
+    for (const ScoredPoi& p : top) top_ids.push_back(p.poi);
+    std::sort(top_ids.begin(), top_ids.end());
+
+    if (trace != nullptr) {
+      phase = trace->AddPhase("skyline");
+      phase_stats = &phase->stats;
+      start = Clock::now();
+    }
+    // (i) the reversed-dominance skyline of the top-k results (no node
+    // accesses: the components are already known), (ii) the skyline of the
+    // lower-ranked POIs via BBS on the tree, (iii) the pairwise crossovers.
+    std::vector<ScoredPoi> top_sky = ReversedSkyline(top);
+    std::vector<ScoredPoi> rest_sky;
+    Status sky_st = TreeSkyline(tree, ctx, top_ids, &rest_sky, phase_stats);
+    if (sky_st.ok()) AccumulateMwa(top_sky, rest_sky, query.alpha0, out);
+    if (phase != nullptr) {
+      phase->micros = MicrosSince(start);
+      if (stats != nullptr) *stats += phase->stats;
+    }
+    return sky_st;
+  }();
+
+  if (trace != nullptr) {
+    trace->total_micros = MicrosSince(total_start);
+    trace->num_results = (out->lower.has_value() ? 1 : 0) +
+                         (out->upper.has_value() ? 1 : 0);
+  }
+  return st;
 }
 
 }  // namespace tar

@@ -65,8 +65,13 @@ Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
                              MwaResult* out, AccessStats* stats = nullptr);
 
 /// \brief MWA by the pruning algorithm (two skylines).
+///
+/// An optional trace records three phases — "context/gmax", "top-k
+/// query" and "skyline" — whose stats sum to exactly what the call adds
+/// to `stats` (see QueryTrace in common/metrics.h).
 Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
-                         MwaResult* out, AccessStats* stats = nullptr);
+                         MwaResult* out, AccessStats* stats = nullptr,
+                         QueryTrace* trace = nullptr);
 
 /// \brief Successive weight boundaries in one direction (the extension the
 /// paper sketches: adjustments that change multiple top-k POIs).

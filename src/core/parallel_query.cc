@@ -36,10 +36,13 @@ Status RunParallelQueries(const TarTree& tree,
   Mutex merge_mu;
   AccessStats total;  // guarded by merge_mu (locals can't carry the
                       // attribute through lambda captures)
+  LatencySnapshot latency;  // guarded by merge_mu, same as `total`
 
+  report->pool_before = tree.tia_buffer_pool()->Snapshot();
   const auto batch_start = std::chrono::steady_clock::now();
   auto worker = [&]() {
     AccessStats local;
+    LatencySnapshot local_latency;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < queries.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
@@ -47,9 +50,11 @@ Status RunParallelQueries(const TarTree& tree,
       report->statuses[i] =
           tree.Query(queries[i], &report->results[i], &local);
       report->query_micros[i] = MicrosSince(start);
+      local_latency.Record(report->query_micros[i]);
     }
     MutexLock lock(&merge_mu);
     total += local;
+    latency += local_latency;
   };
 
   const std::size_t num_workers =
@@ -66,10 +71,13 @@ Status RunParallelQueries(const TarTree& tree,
     for (std::thread& t : threads) t.join();
   }
   report->wall_micros = MicrosSince(batch_start);
+  report->pool_delta =
+      tree.tia_buffer_pool()->Snapshot().DeltaSince(report->pool_before);
 
   {
     MutexLock lock(&merge_mu);
     report->total_stats = total;
+    report->latency = latency;
   }
   double sum_micros = 0.0;
   for (std::size_t i = 0; i < queries.size(); ++i) {

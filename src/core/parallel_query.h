@@ -14,9 +14,11 @@
 #include <map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/tar_tree.h"
+#include "storage/buffer_pool.h"
 
 namespace tar {
 
@@ -46,6 +48,20 @@ struct ParallelQueryReport {
   double wall_micros = 0.0;  ///< batch wall-clock time
   double max_query_micros = 0.0;
   double mean_query_micros = 0.0;
+
+  /// Per-query latency distribution over the batch (every query, OK or
+  /// not). Workers accumulate thread-private snapshots that are merged
+  /// under the same lock as total_stats; percentiles (P50/P95/P99) come
+  /// from the merged histogram.
+  LatencySnapshot latency;
+
+  /// TIA buffer-pool counters at batch start, and their advance across
+  /// the batch. The pool counters are cumulative over the tree's lifetime
+  /// (index load included), so a correct per-batch hit rate must use
+  /// `pool_delta`, never the raw totals: pool_delta.HitRate() is the
+  /// batch hit rate, pool_delta.Fetches() the batch fetch count.
+  BufferPool::CounterSnapshot pool_before;
+  BufferPool::CounterSnapshot pool_delta;
 
   /// Indices into the query batch whose statuses are non-OK.
   std::vector<std::size_t> FailedQueries() const {

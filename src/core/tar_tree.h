@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/geometry.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -145,9 +146,16 @@ class TarTree {
                      const std::unordered_map<PoiId, std::int64_t>& aggs);
 
   /// Answers a kNNTA query with best-first search. Access counts are added
-  /// to `stats` when provided.
+  /// to `stats` when provided. When `trace` is provided the query
+  /// additionally records a per-phase breakdown (context/gmax, best-first
+  /// search) with timings, heap traffic and per-phase access stats; the
+  /// phase stats sum to exactly what the query adds to `stats`. Tracing is
+  /// independent of the global metrics flag — the caller asked for this
+  /// query — and costs two clock reads per scored entry, so it is meant
+  /// for diagnostics, not for every production query.
   Status Query(const KnntaQuery& query, std::vector<KnntaResult>* results,
-               AccessStats* stats = nullptr) const;
+               AccessStats* stats = nullptr,
+               QueryTrace* trace = nullptr) const;
 
   // --- Introspection (cost analysis, MWA, collective processing, tests) ---
 
@@ -167,8 +175,11 @@ class TarTree {
   /// search on the TIA bounds; its accesses are charged to `stats`.
   /// Fails (propagating the underlying Status, e.g. an injected or real
   /// I/O error from the TIA layer) rather than degrading the normalizer.
+  /// With `trace`, appends a "context/gmax" phase carrying the timing,
+  /// gmax heap traffic and access breakdown of the normalizer search.
   Result<QueryContext> MakeContext(const KnntaQuery& query,
-                                   AccessStats* stats = nullptr) const;
+                                   AccessStats* stats = nullptr,
+                                   QueryTrace* trace = nullptr) const;
 
   /// Maximum aggregate of any single POI over `iq` (0 on an empty tree or
   /// an interval with no check-ins). Exact; runs a best-first search
@@ -287,6 +298,12 @@ class TarTree {
 
  private:
   friend class TarTreeTestPeer;
+
+  /// MaxAggregate with per-phase trace accounting: heap traffic and TIA
+  /// time go to `phase` when non-null (stats go to `stats` as usual).
+  Result<std::int64_t> MaxAggregateTraced(const TimeInterval& iq,
+                                          AccessStats* stats,
+                                          QueryTrace::Phase* phase) const;
 
   /// Per-version load paths behind Load's magic/version dispatch. Both
   /// receive the stream positioned just past the 8-byte preamble.

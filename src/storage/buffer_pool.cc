@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace tar {
 
@@ -38,12 +39,23 @@ Result<const Page*> BufferPool::Fetch(OwnerId owner, PageId id,
   }
   if (hit) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsEnabled()) {
+      // Resolved once and cached; the hot path pays one relaxed add.
+      static Counter* const hits_metric =
+          MetricsRegistry::Global().GetCounter("buffer_pool.hits");
+      hits_metric->Increment();
+    }
     if (was_hit) *was_hit = true;
     const Page* page = file_->UnaccountedPage(id);
     if (page == nullptr) return Status::OutOfRange("page id out of range");
     return page;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) {
+    static Counter* const misses_metric =
+        MetricsRegistry::Global().GetCounter("buffer_pool.misses");
+    misses_metric->Increment();
+  }
   if (was_hit) *was_hit = false;
   return file_->ReadPage(id);
 }

@@ -71,6 +71,33 @@ class BufferPool {
     misses_.store(0, std::memory_order_relaxed);
   }
 
+  /// \brief A point-in-time reading of the cumulative hit/miss counters.
+  ///
+  /// The counters themselves are cumulative over the pool's lifetime
+  /// (index load, builds and every query batch all advance them), so any
+  /// rate derived from the raw totals drifts as unrelated work accrues.
+  /// Correct per-batch reporting takes a snapshot before and after the
+  /// batch and works on the delta.
+  struct CounterSnapshot {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t Fetches() const { return hits + misses; }
+    double HitRate() const {
+      const std::uint64_t n = Fetches();
+      return n > 0 ? static_cast<double>(hits) / static_cast<double>(n)
+                   : 0.0;
+    }
+    /// Counter advance since `earlier` (earlier must not be newer).
+    CounterSnapshot DeltaSince(const CounterSnapshot& earlier) const {
+      return CounterSnapshot{hits - earlier.hits, misses - earlier.misses};
+    }
+  };
+
+  CounterSnapshot Snapshot() const {
+    return CounterSnapshot{hits(), misses()};
+  }
+
   /// Structural integrity: every owner's residency is within quota, the
   /// LRU list and the position map describe the same frame set (same
   /// size, no duplicates, iterators in agreement), and every cached page

@@ -1,8 +1,10 @@
 #include "storage/page_file.h"
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace tar {
+
 
 Result<PageId> PageFile::Allocate() {
   TAR_INJECT_FAULT("page_file.alloc");
@@ -25,6 +27,12 @@ Result<Page*> PageFile::GetPageForWrite(PageId id) {
   }
   if (page == nullptr) return Status::OutOfRange("page id out of range");
   physical_writes_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) {
+    // Resolved once and cached; the hot path pays one relaxed add.
+    static Counter* const writes_metric =
+        MetricsRegistry::Global().GetCounter("page_file.writes");
+    writes_metric->Increment();
+  }
   return page;
 }
 
@@ -37,6 +45,11 @@ Result<const Page*> PageFile::ReadPage(PageId id) {
   }
   if (page == nullptr) return Status::OutOfRange("page id out of range");
   physical_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) {
+    static Counter* const reads_metric =
+        MetricsRegistry::Global().GetCounter("page_file.reads");
+    reads_metric->Increment();
+  }
   return const_cast<const Page*>(page);
 }
 

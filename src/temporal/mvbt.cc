@@ -446,7 +446,9 @@ Status Mvbt::RangeScan(Version v, Key lo, Key hi,
 
 Result<std::size_t> Mvbt::CountAlive(Version v) const {
   std::vector<std::pair<Key, Value>> all;
-  TAR_RETURN_NOT_OK(RangeScan(v, kKeyMin, kKeyMax - 1, &all));
+  // [kKeyMin, kKeyMax] is closed on both ends, matching RangeScan's
+  // inclusive bounds (kKeyMax - 1 would drop a record at the top key).
+  TAR_RETURN_NOT_OK(RangeScan(v, kKeyMin, kKeyMax, &all));
   return all.size();
 }
 

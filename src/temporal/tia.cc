@@ -74,10 +74,8 @@ Status Tia::ScanRecords(
   return bptree_->RangeScan(lo, hi, out, stats);
 }
 
-Status Tia::Append(const TimeInterval& extent, std::int64_t aggregate) {
-  if (aggregate <= 0) {
-    return Status::InvalidArgument("TIA stores only non-zero aggregates");
-  }
+Status Tia::CheckPackable(const TimeInterval& extent,
+                          std::int64_t aggregate) {
   if (!extent.Valid()) {
     return Status::InvalidArgument("invalid epoch extent");
   }
@@ -85,6 +83,14 @@ Status Tia::Append(const TimeInterval& extent, std::int64_t aggregate) {
       extent.end - extent.start + 1 >= (1ll << 31)) {
     return Status::InvalidArgument("aggregate or epoch length out of range");
   }
+  return Status::OK();
+}
+
+Status Tia::Append(const TimeInterval& extent, std::int64_t aggregate) {
+  if (aggregate <= 0) {
+    return Status::InvalidArgument("TIA stores only non-zero aggregates");
+  }
+  TAR_RETURN_NOT_OK(CheckPackable(extent, aggregate));
   TAR_RETURN_NOT_OK(InsertRecord(extent.start, Pack(extent, aggregate)));
   total_ += aggregate;
   ++num_records_;
@@ -92,7 +98,10 @@ Status Tia::Append(const TimeInterval& extent, std::int64_t aggregate) {
 }
 
 Status Tia::RaiseTo(const TimeInterval& extent, std::int64_t aggregate) {
-  if (aggregate <= 0) return Status::OK();
+  // Same validation as Append: without it, an aggregate >= 2^32 or an
+  // over-long extent would silently corrupt the duration bits in Pack.
+  TAR_RETURN_NOT_OK(CheckPackable(extent, aggregate));
+  if (aggregate <= 0) return Status::OK();  // nothing to raise
   auto existing = LookupRecord(extent.start);
   if (!existing.ok()) return existing.status();
   const std::optional<std::int64_t> stored = existing.ValueOrDie();
@@ -145,8 +154,10 @@ Status Tia::CheckBackend() const {
 Status Tia::Records(std::vector<TiaRecord>* out, AccessStats* stats) const {
   out->clear();
   std::vector<std::pair<std::int64_t, std::int64_t>> hits;
-  TAR_RETURN_NOT_OK(
-      ScanRecords(INT64_MIN, INT64_MAX - 1, &hits, stats));
+  // Inclusive full-key-range scan: both backends treat [lo, hi] as closed,
+  // so hi must be INT64_MAX (the old INT64_MAX - 1 bound dropped a record
+  // keyed at the maximum representable timestamp).
+  TAR_RETURN_NOT_OK(ScanRecords(INT64_MIN, INT64_MAX, &hits, stats));
   out->reserve(hits.size());
   for (const auto& [ts, value] : hits) out->push_back(Unpack(ts, value));
   return Status::OK();

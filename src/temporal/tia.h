@@ -93,6 +93,12 @@ class Tia {
   Status CheckBackend() const;
 
  private:
+  /// Shared Append/RaiseTo validation: the extent must be a valid interval
+  /// whose duration fits the 31 duration bits, and the aggregate must fit
+  /// the 32 value bits of the packed representation.
+  static Status CheckPackable(const TimeInterval& extent,
+                              std::int64_t aggregate);
+
   static std::int64_t Pack(const TimeInterval& extent, std::int64_t agg);
   static TiaRecord Unpack(std::int64_t ts, std::int64_t value);
 

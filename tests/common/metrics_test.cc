@@ -1,0 +1,197 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace tar {
+namespace {
+
+TEST(MetricsEnabledTest, DisabledByDefaultAndRestorable) {
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(LatencyBucketTest, BucketBoundsPartitionTheAxis) {
+  // Bucket 0 = [0, 1), bucket i = [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyBucketOf(0.0), 0u);
+  EXPECT_EQ(LatencyBucketOf(0.99), 0u);
+  EXPECT_EQ(LatencyBucketOf(1.0), 1u);
+  EXPECT_EQ(LatencyBucketOf(1.5), 1u);
+  EXPECT_EQ(LatencyBucketOf(2.0), 2u);
+  EXPECT_EQ(LatencyBucketOf(1000.0), 10u);  // [512, 1024)
+  for (std::size_t b = 0; b + 1 < kLatencyBuckets; ++b) {
+    EXPECT_EQ(LatencyBucketUpper(b), LatencyBucketLower(b + 1));
+    // A value inside the bucket maps back to it.
+    EXPECT_EQ(LatencyBucketOf(LatencyBucketLower(b)), b);
+  }
+  // Far past the last finite bound: clamps into the open-ended bucket.
+  EXPECT_EQ(LatencyBucketOf(1e30), kLatencyBuckets - 1);
+}
+
+TEST(LatencySnapshotTest, CountsMinMaxMean) {
+  LatencySnapshot s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.P50(), 0.0);
+  s.Record(10.0);
+  s.Record(20.0);
+  s.Record(90.0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min_micros, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_micros, 90.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 40.0);
+}
+
+TEST(LatencySnapshotTest, PercentilesAreOrderedAndWithinRange) {
+  LatencySnapshot s;
+  for (int i = 1; i <= 1000; ++i) s.Record(static_cast<double>(i));
+  const double p50 = s.P50();
+  const double p95 = s.P95();
+  const double p99 = s.P99();
+  EXPECT_LE(s.min_micros, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, s.max_micros);
+  // With the exponential buckets the p50 of uniform 1..1000 lands in
+  // [256, 1024); it must at least separate clearly from the tail.
+  EXPECT_GT(p50, 100.0);
+  EXPECT_GT(p99, p50);
+}
+
+TEST(LatencySnapshotTest, MergeEqualsRecordingEverythingInOne) {
+  LatencySnapshot a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    double v = 3.0 * i + 1.0;
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a += b;
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_EQ(a.buckets, all.buckets);
+  EXPECT_DOUBLE_EQ(a.sum_micros, all.sum_micros);
+  EXPECT_DOUBLE_EQ(a.min_micros, all.min_micros);
+  EXPECT_DOUBLE_EQ(a.max_micros, all.max_micros);
+  EXPECT_DOUBLE_EQ(a.P95(), all.P95());
+}
+
+TEST(LatencySnapshotTest, MergeWithEmptyKeepsMin) {
+  LatencySnapshot a, empty;
+  a.Record(5.0);
+  a += empty;
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_DOUBLE_EQ(a.min_micros, 5.0);
+  LatencySnapshot b;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.min_micros, 5.0);
+  EXPECT_DOUBLE_EQ(b.max_micros, 5.0);
+}
+
+TEST(LatencyHistogramTest, SnapshotMatchesConcurrentRecords) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(1 + (t * kPerThread + i) % 500));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const LatencySnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, snap.count);
+  EXPECT_DOUBLE_EQ(snap.min_micros, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max_micros, 500.0);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(MetricsRegistryTest, ResolutionIsStableAndTyped) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c1 = reg.GetCounter("test.registry.counter");
+  Counter* c2 = reg.GetCounter("test.registry.counter");
+  EXPECT_EQ(c1, c2);  // same name -> same metric
+  Gauge* g = reg.GetGauge("test.registry.gauge");
+  LatencyHistogram* h = reg.GetHistogram("test.registry.hist");
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(h, nullptr);
+  c1->Increment(3);
+  g->Set(-5);
+  h->Record(12.0);
+  EXPECT_EQ(reg.GetCounter("test.registry.counter")->value(), 3u);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"test.registry.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.registry.gauge\":-5"), std::string::npos);
+  EXPECT_NE(json.find("test.registry.hist"), std::string::npos);
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("test.registry.counter"), std::string::npos);
+
+  reg.ResetAll();
+  EXPECT_EQ(c1->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+}
+
+TEST(QueryTraceTest, TotalsSumPhases) {
+  QueryTrace trace;
+  QueryTrace::Phase* p1 = trace.AddPhase("one");
+  p1->micros = 10.0;
+  p1->tia_micros = 4.0;
+  p1->heap_pushes = 7;
+  p1->stats.rtree_node_reads = 2;
+  p1->stats.tia_page_reads = 3;
+  QueryTrace::Phase* p2 = trace.AddPhase("two");
+  p2->micros = 30.0;
+  p2->tia_micros = 5.0;
+  p2->stats.rtree_node_reads = 1;
+  p2->stats.tia_buffer_hits = 9;
+
+  ASSERT_EQ(trace.phases.size(), 2u);
+  const AccessStats totals = trace.Totals();
+  EXPECT_EQ(totals.rtree_node_reads, 3u);
+  EXPECT_EQ(totals.tia_page_reads, 3u);
+  EXPECT_EQ(totals.tia_buffer_hits, 9u);
+  EXPECT_EQ(totals.NodeAccesses(), 6u);
+  EXPECT_DOUBLE_EQ(trace.TiaMicros(), 9.0);
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"name\":\"one\""), std::string::npos);
+  EXPECT_NE(json.find("\"heap_pushes\":7"), std::string::npos);
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("one"), std::string::npos);
+  EXPECT_NE(text.find("two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tar

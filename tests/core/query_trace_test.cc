@@ -1,0 +1,292 @@
+// Observability contract tests: per-query traces must reconcile exactly
+// with the access accounting, tracing must not change what a query
+// computes or charges, and the per-batch buffer-pool snapshot deltas must
+// agree with the query-side counters (the accounting invariant
+// tia_page_reads + tia_buffer_hits == pool fetch delta).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/collective.h"
+#include "core/mwa.h"
+#include "core/parallel_query.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+namespace {
+
+// Deterministic 32-bit mix (Knuth multiplicative hashing), same fixture
+// style as determinism_test.cc but smaller.
+std::uint32_t Mix(std::uint32_t x) { return x * 2654435761u; }
+
+void BuildFixture(TarTree* tree, int pois = 160, int epochs = 20) {
+  for (int i = 0; i < pois; ++i) {
+    Poi poi;
+    poi.id = static_cast<PoiId>(i);
+    std::uint32_t hx = Mix(static_cast<std::uint32_t>(i) * 2 + 1);
+    std::uint32_t hy = Mix(static_cast<std::uint32_t>(i) * 2 + 2);
+    poi.pos = {(i % 16) * 6.0 + (hx % 1000) / 250.0,
+               (i / 16) * 6.0 + (hy % 1000) / 250.0};
+    std::vector<std::int32_t> history(epochs, 0);
+    for (int e = 0; e < epochs; ++e) {
+      std::uint32_t h = Mix(static_cast<std::uint32_t>(i * epochs + e));
+      history[e] = (h % 3 == 0) ? 0 : static_cast<std::int32_t>(h % 40 + 1);
+    }
+    ASSERT_TRUE(tree->InsertPoi(poi, history).ok());
+  }
+}
+
+TarTreeOptions FixtureOptions() {
+  TarTreeOptions opt;
+  opt.strategy = GroupingStrategy::kIntegral3D;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  opt.space.lo = {0.0, 0.0};
+  opt.space.hi = {100.0, 62.0};
+  return opt;
+}
+
+KnntaQuery FixtureQuery() {
+  KnntaQuery q;
+  q.point = {50.0, 30.0};
+  q.interval = {10 * 7 * kSecondsPerDay, 18 * 7 * kSecondsPerDay - 1};
+  q.k = 8;
+  q.alpha0 = 0.3;
+  return q;
+}
+
+void ExpectStatsEq(const AccessStats& a, const AccessStats& b) {
+  EXPECT_EQ(a.rtree_node_reads, b.rtree_node_reads);
+  EXPECT_EQ(a.rtree_leaf_reads, b.rtree_leaf_reads);
+  EXPECT_EQ(a.tia_page_reads, b.tia_page_reads);
+  EXPECT_EQ(a.tia_buffer_hits, b.tia_buffer_hits);
+  EXPECT_EQ(a.entries_scanned, b.entries_scanned);
+  EXPECT_EQ(a.aggregate_calls, b.aggregate_calls);
+}
+
+class QueryTraceTest : public ::testing::Test {
+ protected:
+  QueryTraceTest() : tree_(FixtureOptions()) {}
+  void SetUp() override { BuildFixture(&tree_); }
+
+  TarTree tree_;
+};
+
+TEST_F(QueryTraceTest, PhaseStatsReconcileWithCallerStats) {
+  std::vector<KnntaResult> results;
+  AccessStats stats;
+  QueryTrace trace;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &results, &stats, &trace).ok());
+
+  ASSERT_EQ(trace.phases.size(), 2u);
+  EXPECT_EQ(trace.phases[0].name, "context/gmax");
+  EXPECT_EQ(trace.phases[1].name, "best-first");
+  // The reconciliation invariant: per-phase stats sum to exactly what the
+  // query added to the caller's AccessStats.
+  ExpectStatsEq(trace.Totals(), stats);
+  EXPECT_EQ(trace.Totals().NodeAccesses(), stats.NodeAccesses());
+  EXPECT_EQ(trace.num_results, results.size());
+  EXPECT_GT(trace.total_micros, 0.0);
+  for (const QueryTrace::Phase& p : trace.phases) {
+    EXPECT_GE(p.micros, 0.0);
+    EXPECT_GE(p.tia_micros, 0.0);
+    EXPECT_LE(p.tia_micros, p.micros + 1.0);  // slack for clock granularity
+  }
+  // Every scored entry passes through the heap once; the best-first
+  // search must pop fewer (or equal) items than it pushed.
+  EXPECT_GT(trace.phases[1].heap_pushes, 0u);
+  EXPECT_GT(trace.phases[1].heap_pops, 0u);
+  EXPECT_LE(trace.phases[1].heap_pops, trace.phases[1].heap_pushes);
+}
+
+TEST_F(QueryTraceTest, TracingDoesNotChangeResultsOrAccounting) {
+  // Same tree, warm pool in both runs: prime once, then compare a plain
+  // run against a traced run.
+  std::vector<KnntaResult> prime;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &prime).ok());
+
+  std::vector<KnntaResult> plain_results, traced_results;
+  AccessStats plain_stats, traced_stats;
+  QueryTrace trace;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &plain_results, &plain_stats).ok());
+  ASSERT_TRUE(
+      tree_.Query(FixtureQuery(), &traced_results, &traced_stats, &trace)
+          .ok());
+
+  ExpectStatsEq(traced_stats, plain_stats);
+  ASSERT_EQ(traced_results.size(), plain_results.size());
+  for (std::size_t i = 0; i < plain_results.size(); ++i) {
+    EXPECT_EQ(traced_results[i].poi, plain_results[i].poi);
+    EXPECT_EQ(traced_results[i].score, plain_results[i].score);
+  }
+}
+
+TEST_F(QueryTraceTest, SingleThreadedAccountingInvariant) {
+  tree_.tia_buffer_pool()->Clear();
+  const BufferPool::CounterSnapshot before =
+      tree_.tia_buffer_pool()->Snapshot();
+  std::vector<KnntaResult> results;
+  AccessStats stats;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &results, &stats).ok());
+  const BufferPool::CounterSnapshot delta =
+      tree_.tia_buffer_pool()->Snapshot().DeltaSince(before);
+
+  // Every TIA page the query touched went through the pool: page reads
+  // are the misses, buffer hits are the hits, and nothing else ran.
+  EXPECT_EQ(stats.tia_page_reads, delta.misses);
+  EXPECT_EQ(stats.tia_buffer_hits, delta.hits);
+  EXPECT_EQ(stats.tia_page_reads + stats.tia_buffer_hits, delta.Fetches());
+}
+
+TEST_F(QueryTraceTest, ParallelBatchAccountingInvariant) {
+  // 8 workers over one shared tree: the merged per-thread stats must
+  // still reconcile exactly with the pool's fetch delta, because the
+  // batch is the only client of the pool while it runs.
+  std::vector<KnntaQuery> queries;
+  for (int i = 0; i < 64; ++i) {
+    KnntaQuery q = FixtureQuery();
+    q.point = {static_cast<double>(i % 10) * 9.0,
+               static_cast<double>(i / 10) * 6.0};
+    q.k = 5 + i % 7;
+    queries.push_back(q);
+  }
+  ParallelQueryOptions opt;
+  opt.num_threads = 8;
+  ParallelQueryReport report;
+  ASSERT_TRUE(RunParallelQueries(tree_, queries, opt, &report).ok());
+  ASSERT_EQ(report.queries_failed, 0u);
+
+  EXPECT_EQ(report.total_stats.tia_page_reads, report.pool_delta.misses);
+  EXPECT_EQ(report.total_stats.tia_buffer_hits, report.pool_delta.hits);
+  EXPECT_EQ(
+      report.total_stats.tia_page_reads + report.total_stats.tia_buffer_hits,
+      report.pool_delta.Fetches());
+
+  // The merged latency histogram covers every query, and the percentile
+  // estimates are ordered and bracketed by the observed extremes.
+  EXPECT_EQ(report.latency.count, queries.size());
+  EXPECT_LE(report.latency.min_micros, report.latency.P50());
+  EXPECT_LE(report.latency.P50(), report.latency.P95());
+  EXPECT_LE(report.latency.P95(), report.latency.P99());
+  EXPECT_LE(report.latency.P99(), report.latency.max_micros);
+  EXPECT_DOUBLE_EQ(report.latency.max_micros, report.max_query_micros);
+}
+
+TEST_F(QueryTraceTest, SingleThreadBatchAccountingInvariant) {
+  std::vector<KnntaQuery> queries(16, FixtureQuery());
+  for (int i = 0; i < 16; ++i) queries[i].k = 1 + i;
+  ParallelQueryOptions opt;
+  opt.num_threads = 1;
+  ParallelQueryReport report;
+  ASSERT_TRUE(RunParallelQueries(tree_, queries, opt, &report).ok());
+  ASSERT_EQ(report.queries_failed, 0u);
+  EXPECT_EQ(
+      report.total_stats.tia_page_reads + report.total_stats.tia_buffer_hits,
+      report.pool_delta.Fetches());
+  EXPECT_EQ(report.latency.count, queries.size());
+}
+
+TEST_F(QueryTraceTest, MwaTraceReconciles) {
+  // Prime the pool so the traced and untraced runs see identical
+  // residency (the comparison below is between the two runs).
+  MwaResult prime;
+  ASSERT_TRUE(ComputeMwaPruning(tree_, FixtureQuery(), &prime).ok());
+
+  MwaResult mwa;
+  AccessStats stats;
+  QueryTrace trace;
+  ASSERT_TRUE(
+      ComputeMwaPruning(tree_, FixtureQuery(), &mwa, &stats, &trace).ok());
+  ASSERT_EQ(trace.phases.size(), 3u);
+  EXPECT_EQ(trace.phases[0].name, "context/gmax");
+  EXPECT_EQ(trace.phases[1].name, "top-k query");
+  EXPECT_EQ(trace.phases[2].name, "skyline");
+  ExpectStatsEq(trace.Totals(), stats);
+
+  // Untraced MWA must charge the same and answer the same.
+  MwaResult plain;
+  AccessStats plain_stats;
+  ASSERT_TRUE(
+      ComputeMwaPruning(tree_, FixtureQuery(), &plain, &plain_stats).ok());
+  ExpectStatsEq(plain_stats, stats);
+  EXPECT_EQ(plain, mwa);
+}
+
+TEST_F(QueryTraceTest, CollectiveTraceReconciles) {
+  std::vector<KnntaQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    KnntaQuery q = FixtureQuery();
+    q.point = {10.0 + 13.0 * i, 5.0 + 8.0 * i};
+    queries.push_back(q);
+  }
+  // Prime the pool so the traced and untraced runs see identical
+  // residency (the comparison below is between the two runs).
+  std::vector<std::vector<KnntaResult>> prime;
+  ASSERT_TRUE(ProcessCollectively(tree_, queries, &prime).ok());
+
+  std::vector<std::vector<KnntaResult>> traced, plain;
+  AccessStats stats, plain_stats;
+  QueryTrace trace;
+  ASSERT_TRUE(
+      ProcessCollectively(tree_, queries, &traced, &stats, &trace).ok());
+  ASSERT_EQ(trace.phases.size(), 2u);
+  EXPECT_EQ(trace.phases[0].name, "context/gmax");
+  EXPECT_EQ(trace.phases[1].name, "collective search");
+  ExpectStatsEq(trace.Totals(), stats);
+  std::size_t total_results = 0;
+  for (const auto& r : traced) total_results += r.size();
+  EXPECT_EQ(trace.num_results, total_results);
+
+  ASSERT_TRUE(
+      ProcessCollectively(tree_, queries, &plain, &plain_stats).ok());
+  ExpectStatsEq(plain_stats, stats);
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(plain[i].size(), traced[i].size());
+    for (std::size_t j = 0; j < plain[i].size(); ++j) {
+      EXPECT_EQ(plain[i][j].poi, traced[i][j].poi);
+    }
+  }
+}
+
+TEST_F(QueryTraceTest, RegistryCountersTrackPoolWhenEnabled) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* hits = reg.GetCounter("buffer_pool.hits");
+  Counter* misses = reg.GetCounter("buffer_pool.misses");
+  Counter* queries = reg.GetCounter("query.knnta.count");
+  LatencyHistogram* latency = reg.GetHistogram("query.knnta.latency_us");
+
+  SetMetricsEnabled(true);
+  const std::uint64_t hits0 = hits->value();
+  const std::uint64_t misses0 = misses->value();
+  const std::uint64_t queries0 = queries->value();
+  const std::uint64_t lat0 = latency->Snapshot().count;
+  const BufferPool::CounterSnapshot before =
+      tree_.tia_buffer_pool()->Snapshot();
+
+  std::vector<KnntaResult> results;
+  Status st = tree_.Query(FixtureQuery(), &results);
+  SetMetricsEnabled(false);
+  ASSERT_TRUE(st.ok());
+
+  const BufferPool::CounterSnapshot delta =
+      tree_.tia_buffer_pool()->Snapshot().DeltaSince(before);
+  EXPECT_EQ(hits->value() - hits0, delta.hits);
+  EXPECT_EQ(misses->value() - misses0, delta.misses);
+  EXPECT_EQ(queries->value() - queries0, 1u);
+  EXPECT_EQ(latency->Snapshot().count - lat0, 1u);
+}
+
+TEST_F(QueryTraceTest, DisabledMetricsLeaveRegistryUntouched) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* queries = reg.GetCounter("query.knnta.count");
+  ASSERT_FALSE(MetricsEnabled());
+  const std::uint64_t queries0 = queries->value();
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &results).ok());
+  EXPECT_EQ(queries->value(), queries0);
+}
+
+}  // namespace
+}  // namespace tar

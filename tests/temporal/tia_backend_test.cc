@@ -2,6 +2,8 @@
 // B+-tree); the TAR-tree query results must not depend on the backend.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/random.h"
 #include "core/scan_baseline.h"
 #include "core/tar_tree.h"
@@ -76,6 +78,76 @@ TEST_P(TiaBackendTest, LongHistoryMatchesNaiveSum) {
   for (std::size_t i = 1; i < records.size(); ++i) {
     EXPECT_LT(records[i - 1].extent.start, records[i].extent.start);
   }
+}
+
+TEST_P(TiaBackendTest, RejectsUnpackableRecordsOnBothPaths) {
+  Tia tia = MakeTia();
+  // The packed representation holds the aggregate in 32 bits and the
+  // epoch duration in 31 bits; anything larger must be rejected by both
+  // Append and RaiseTo (RaiseTo used to skip these checks and silently
+  // corrupt the duration bits — regression).
+  const std::int64_t big_agg = std::int64_t{1} << 32;
+  const TimeInterval long_epoch{0, (std::int64_t{1} << 31) - 1};  // 2^31 s
+  EXPECT_TRUE(tia.Append(Epoch(0), big_agg).IsInvalidArgument());
+  EXPECT_TRUE(tia.RaiseTo(Epoch(0), big_agg).IsInvalidArgument());
+  EXPECT_TRUE(tia.Append(long_epoch, 1).IsInvalidArgument());
+  EXPECT_TRUE(tia.RaiseTo(long_epoch, 1).IsInvalidArgument());
+  EXPECT_TRUE(tia.RaiseTo({100, 50}, 1).IsInvalidArgument());
+  EXPECT_EQ(tia.num_records(), 0u);
+  EXPECT_EQ(tia.total(), 0);
+  // Raise-to-nothing on a valid extent stays a no-op.
+  EXPECT_TRUE(tia.RaiseTo(Epoch(0), 0).ok());
+  EXPECT_EQ(tia.num_records(), 0u);
+
+  // The largest packable record round-trips exactly.
+  const std::int64_t max_agg = (std::int64_t{1} << 32) - 1;
+  const TimeInterval max_epoch{0, (std::int64_t{1} << 31) - 2};
+  ASSERT_TRUE(tia.Append(max_epoch, max_agg).ok());
+  std::vector<TiaRecord> records;
+  ASSERT_TRUE(tia.Records(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], (TiaRecord{max_epoch, max_agg}));
+}
+
+TEST_P(TiaBackendTest, RaiseToValidationProtectsExistingRecord) {
+  Tia tia = MakeTia();
+  ASSERT_TRUE(tia.Append(Epoch(1), 5).ok());
+  // Before validation, this packed garbage over the stored duration bits.
+  EXPECT_TRUE(
+      tia.RaiseTo(Epoch(1), std::int64_t{1} << 32).IsInvalidArgument());
+  EXPECT_EQ(tia.Aggregate(Epoch(1)).ValueOrDie(), 5);
+  EXPECT_EQ(tia.total(), 5);
+  std::vector<TiaRecord> records;
+  ASSERT_TRUE(tia.Records(&records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], (TiaRecord{Epoch(1), 5}));
+}
+
+TEST_P(TiaBackendTest, RecordsIncludesMaxStorableKey) {
+  Tia tia = MakeTia();
+  // INT64_MAX itself is the backends' reserved sentinel key, so the
+  // highest storable epoch start is INT64_MAX - 1. The full-history scan
+  // is closed at both ends (regression: an exclusive-looking upper bound
+  // dropped the record at the maximum key).
+  const std::int64_t max_start =
+      std::numeric_limits<std::int64_t>::max() - 1;
+  const TimeInterval last_second{max_start, max_start};
+  ASSERT_TRUE(tia.Append(Epoch(0), 3).ok());
+  ASSERT_TRUE(tia.Append(last_second, 7).ok());
+  std::vector<TiaRecord> records;
+  ASSERT_TRUE(tia.Records(&records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], (TiaRecord{last_second, 7}));
+  EXPECT_EQ(tia.Aggregate({max_start,
+                           std::numeric_limits<std::int64_t>::max()})
+                .ValueOrDie(),
+            7);
+  // CheckBackend exercises the same full-range scan on the MVBT side
+  // (CountAlive had the same off-by-one bound).
+  EXPECT_TRUE(tia.CheckBackend().ok());
+  // The sentinel key itself is rejected, not silently dropped.
+  const std::int64_t sentinel = std::numeric_limits<std::int64_t>::max();
+  EXPECT_FALSE(tia.Append({sentinel, sentinel}, 1).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TiaBackendTest,

@@ -16,10 +16,13 @@
 //       the full structure verifier (MVBT/B+-tree invariants, MBR and
 //       aggregate-bound containment, TIA cross-checks, buffer pool).
 //   tartool query --index index.tart --x LON --y LAT --days 30
-//           [--k 10] [--alpha 0.3] [--mwa] [--fallback-scan]
+//           [--k 10] [--alpha 0.3] [--mwa] [--fallback-scan] [--trace]
 //       --fallback-scan degrades gracefully: if the index traversal fails
 //       (e.g. an unreadable TIA page), the query is re-answered by a
 //       sequential scan rebuilt from the tree's leaf TIAs.
+//       --trace prints a per-phase breakdown (wall time, TIA time, heap
+//       traffic, node accesses) of the query, and of the MWA when --mwa
+//       is also given.
 //
 //   tartool crashtest [--rounds 4] [--seed 42] [--scale 0.02] [--path P]
 //       Randomized crash-recovery harness. Each round builds an index,
@@ -32,10 +35,13 @@
 //       error. See docs/internals.md, "Failure model".
 //
 //   tartool stress --index index.tart --threads 8 --queries 10000
-//           [--k 10] [--days 30] [--alpha 0.3] [--seed 42]
+//           [--k 10] [--days 30] [--alpha 0.3] [--seed 42] [--metrics]
 //       Drives a batch of random kNNTA queries through the parallel query
-//       driver against one shared tree and reports throughput, latency and
+//       driver against one shared tree and reports throughput, latency
+//       percentiles (p50/p95/p99), the per-batch buffer-pool hit rate and
 //       aggregate node-access cost, then checks buffer-pool integrity.
+//       --metrics additionally enables the global metrics registry and
+//       dumps it after the run.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +56,7 @@
 
 #include "analysis/structure_verifier.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "core/mwa.h"
 #include "core/parallel_query.h"
@@ -296,10 +303,13 @@ int QueryCmd(const std::map<std::string, std::string>& flags) {
   q.k = std::atoll(Flag(flags, "k", "10").c_str());
   q.alpha0 = std::atof(Flag(flags, "alpha", "0.3").c_str());
 
+  const bool want_trace = flags.count("trace") != 0;
   std::vector<KnntaResult> results;
   AccessStats stats;
+  QueryTrace trace;
   bool degraded = false;
-  Status st = tree.Query(q, &results, &stats);
+  Status st =
+      tree.Query(q, &results, &stats, want_trace ? &trace : nullptr);
   if (!st.ok() && !st.IsInvalidArgument() &&
       flags.count("fallback-scan") != 0) {
     // Graceful degradation: answer by sequential scan over the leaf TIAs.
@@ -328,13 +338,21 @@ int QueryCmd(const std::map<std::string, std::string>& flags) {
                 r.dist, static_cast<long long>(r.aggregate), r.score);
   }
   std::printf("(%s)\n", stats.ToString().c_str());
+  if (want_trace && !degraded) {
+    std::printf("%s", trace.ToText().c_str());
+  }
 
   if (flags.count("mwa") != 0) {
     MwaResult mwa;
-    st = ComputeMwaPruning(tree, q, &mwa);
+    QueryTrace mwa_trace;
+    st = ComputeMwaPruning(tree, q, &mwa, nullptr,
+                           want_trace ? &mwa_trace : nullptr);
     if (!st.ok()) {
       std::fprintf(stderr, "MWA failed: %s\n", st.ToString().c_str());
       return 1;
+    }
+    if (want_trace) {
+      std::printf("MWA %s", mwa_trace.ToText().c_str());
     }
     if (mwa.lower) {
       std::printf("results change below alpha0 = %.4f\n", *mwa.lower);
@@ -357,6 +375,11 @@ int Stress(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const TarTree& tree = *loaded.ValueOrDie();
+
+  // Global metrics collection is opt-in; the registry dump at the end
+  // then shows the storage-layer counters alongside the batch report.
+  const bool metrics = flags.count("metrics") != 0;
+  if (metrics) SetMetricsEnabled(true);
 
   ParallelQueryOptions opt;
   opt.num_threads = std::atoll(Flag(flags, "threads", "4").c_str());
@@ -406,7 +429,19 @@ int Stress(const std::map<std::string, std::string>& flags) {
               "max %.1f us\n",
               report.wall_micros / 1000.0, report.Throughput(),
               report.mean_query_micros, report.max_query_micros);
+  std::printf("latency p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+              report.latency.P50(), report.latency.P95(),
+              report.latency.P99());
   std::printf("aggregate cost: %s\n", report.total_stats.ToString().c_str());
+  // Per-batch pool behaviour: the delta between the snapshots taken
+  // around the batch, not the cumulative counters (those include the
+  // index load and would drift across repeated batches).
+  std::printf("batch buffer pool: %llu fetches, %llu hits, %llu misses, "
+              "hit rate %.1f%%\n",
+              static_cast<unsigned long long>(report.pool_delta.Fetches()),
+              static_cast<unsigned long long>(report.pool_delta.hits),
+              static_cast<unsigned long long>(report.pool_delta.misses),
+              100.0 * report.pool_delta.HitRate());
 
   // Post-run concurrent-consistency check of the shared buffer pool; the
   // fetch accounting is internal to the tree, so only structural integrity
@@ -419,10 +454,14 @@ int Stress(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   std::printf("buffer pool integrity after run: OK (%llu hits, %llu "
-              "misses)\n",
+              "misses cumulative)\n",
               static_cast<unsigned long long>(tree.tia_buffer_pool()->hits()),
               static_cast<unsigned long long>(
                   tree.tia_buffer_pool()->misses()));
+  if (metrics) {
+    std::printf("metrics registry:\n%s",
+                MetricsRegistry::Global().ToText().c_str());
+  }
   return report.queries_failed == 0 ? 0 : 1;
 }
 
@@ -640,9 +679,9 @@ int Usage() {
                "  info     --index INDEX\n"
                "  check    INDEX [--samples N] [--shallow]\n"
                "  query    --index INDEX --x X --y Y --days D [--k K]"
-               " [--alpha A] [--mwa] [--fallback-scan]\n"
+               " [--alpha A] [--mwa] [--fallback-scan] [--trace]\n"
                "  stress   --index INDEX --threads N --queries M [--k K]"
-               " [--days D] [--alpha A] [--seed S]\n"
+               " [--days D] [--alpha A] [--seed S] [--metrics]\n"
                "  crashtest [--rounds N] [--seed S] [--scale F] [--path P]"
                "\n");
   return 2;
