@@ -21,6 +21,9 @@ constexpr const char* kKnownSites[] = {
     "persist.read",         // one hit per deserialization read
     "persist.rename",       // the atomic rename step of SaveToFile
     "persist.load.reserve", // bulk allocations sized by a loaded count
+    "wal.append",           // WalWriter::Append, before buffering
+    "wal.sync",             // WalWriter::Sync flush / Truncate
+    "wal.torn",             // WalWriter::Sync batch write (torn/flip)
 };
 
 /// splitmix64: the decision hash. Statelessly mixes (seed, site, hit).

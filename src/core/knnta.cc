@@ -58,6 +58,7 @@ class TiaTimer {
 Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
                                                    AccessStats* stats,
                                                    QueryTrace* trace) const {
+  if (poisoned_) return PoisonedError("query");
   // With a trace, the phase collects its own stats; they are folded into
   // the caller's stats on exit so the caller-visible totals are unchanged.
   QueryTrace::Phase* phase = nullptr;
@@ -98,6 +99,7 @@ Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
 
 Result<std::int64_t> TarTree::MaxAggregate(const TimeInterval& iq,
                                            AccessStats* stats) const {
+  if (poisoned_) return PoisonedError("query");
   return MaxAggregateTraced(iq, stats, nullptr);
 }
 
@@ -196,6 +198,7 @@ Status TarTree::Query(const KnntaQuery& query,
                       std::vector<KnntaResult>* results,
                       AccessStats* stats, QueryTrace* trace) const {
   results->clear();
+  if (poisoned_) return PoisonedError("query");
   if (query.k == 0) return Status::InvalidArgument("k must be positive");
   if (query.alpha0 <= 0.0 || query.alpha0 >= 1.0) {
     return Status::InvalidArgument("alpha0 must be in (0, 1)");

@@ -10,8 +10,10 @@
 //   "TART"            4-byte magic
 //   u32 version = 2
 //   section*          frame = u32 tag | u64 len | payload | u32 CRC-32C
-//   footer            frame with tag 0xF00F whose 4-byte payload is the
-//                     CRC-32C of every byte before the footer frame
+//   footer            frame with tag 0xF00F whose payload is the CRC-32C
+//                     of every byte before the footer frame (u32) followed
+//                     by the tree's applied WAL LSN (u64); legacy files
+//                     with a 4-byte CRC-only payload load with LSN 0
 //
 // Sections (in order): Options(1), Pois(2), GlobalTia(3), Nodes(4). Each
 // payload carries its own CRC so a flipped bit is pinned to a section; the
@@ -301,6 +303,7 @@ Status EmitSection(std::ostream& out, std::uint32_t tag, std::string payload,
 // Save (v2).
 
 Status TarTree::Save(std::ostream& out) const {
+  if (poisoned_) return PoisonedError("save");
   char preamble[8];
   std::memcpy(preamble, kMagic, 4);
   std::memcpy(preamble + 4, &kFormatV2, 4);
@@ -384,10 +387,12 @@ Status TarTree::Save(std::ostream& out) const {
     TAR_RETURN_NOT_OK(EmitSection(out, kSectionNodes, w.str(), &file_crc));
   }
 
-  // Footer: whole-file checksum over everything before this frame.
+  // Footer: whole-file checksum over everything before this frame, plus
+  // the applied WAL LSN that makes the file a recovery checkpoint.
   {
     ByteWriter w;
     w.Pod(file_crc);
+    w.Pod<std::uint64_t>(applied_lsn_);
     TAR_RETURN_NOT_OK(EmitSection(out, kSectionFooter, w.str(), nullptr));
   }
   if (!out.good()) return Status::IoError("write failed");
@@ -398,6 +403,7 @@ Status TarTree::Save(std::ostream& out) const {
 // Save (legacy v1, kept for backward-compatibility testing).
 
 Status TarTree::SaveV1(std::ostream& out) const {
+  if (poisoned_) return PoisonedError("save");
   out.write(kMagic, sizeof(kMagic));
   WritePodStream(out, kFormatV1);
 
@@ -508,6 +514,7 @@ Result<std::unique_ptr<TarTree>> TarTree::LoadV2(
 
   StreamReader r(in, sizeof(preamble));
   std::map<std::uint32_t, std::string> sections;
+  Lsn footer_lsn = 0;
   bool got_footer = false;
   while (!got_footer) {
     const std::uint32_t crc_before_frame = file_crc;
@@ -517,16 +524,22 @@ Result<std::unique_ptr<TarTree>> TarTree::LoadV2(
     if (tag == kSectionFooter) {
       std::uint64_t len = 0;
       TAR_RETURN_NOT_OK(r.Pod(&len, "footer length"));
-      if (len != sizeof(std::uint32_t)) {
+      // 4 bytes = legacy CRC-only footer; 12 = CRC + applied WAL LSN.
+      if (len != 4 && len != 12) {
         return Status::Corruption("footer: bad payload length " +
                                   std::to_string(len));
       }
-      std::uint32_t stored_file_crc = 0;
+      char payload[12] = {0};
       std::uint32_t frame_crc = 0;
-      TAR_RETURN_NOT_OK(r.Pod(&stored_file_crc, "footer payload"));
+      TAR_RETURN_NOT_OK(r.ReadExact(payload, len, "footer payload"));
       TAR_RETURN_NOT_OK(r.Pod(&frame_crc, "footer checksum"));
-      if (frame_crc != Crc32c(&stored_file_crc, sizeof(stored_file_crc))) {
+      if (frame_crc != Crc32c(payload, len)) {
         return Status::Corruption("footer checksum mismatch");
+      }
+      std::uint32_t stored_file_crc = 0;
+      std::memcpy(&stored_file_crc, payload, sizeof(stored_file_crc));
+      if (len == 12) {
+        std::memcpy(&footer_lsn, payload + 4, sizeof(footer_lsn));
       }
       if (stored_file_crc != crc_before_frame) {
         return Status::Corruption(
@@ -632,6 +645,7 @@ Result<std::unique_ptr<TarTree>> TarTree::LoadV2(
   }
 
   auto tree = std::make_unique<TarTree>(options);
+  tree->applied_lsn_ = footer_lsn;
 
   // --- Pois ---
   {

@@ -4,10 +4,45 @@
 #include <cmath>
 #include <functional>
 #include <map>
+#include <thread>
 
 #include "common/check.h"
 
 namespace tar {
+
+/// RAII enforcement of the single-writer contract (debug builds): the
+/// constructor CASes the hashed thread id into writer_tid_ and trips a
+/// TAR_DCHECK when another thread already holds it. Reentry by the same
+/// thread is fine (public mutations never overlap on one thread except
+/// by design, e.g. guarded helpers called from guarded mutations).
+class TarTree::SingleWriterGuard {
+#ifndef NDEBUG
+ public:
+  explicit SingleWriterGuard(TarTree* tree) : tree_(tree) {
+    const std::uint64_t self =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1u;
+    std::uint64_t expected = 0;
+    if (tree_->writer_tid_.compare_exchange_strong(
+            expected, self, std::memory_order_acq_rel)) {
+      owned_ = true;
+    } else {
+      const bool single_writer_contract_held = expected == self;
+      TAR_DCHECK(single_writer_contract_held);
+    }
+  }
+
+  ~SingleWriterGuard() {
+    if (owned_) tree_->writer_tid_.store(0, std::memory_order_release);
+  }
+
+ private:
+  TarTree* tree_;
+  bool owned_ = false;
+#else
+ public:
+  explicit SingleWriterGuard(TarTree*) {}
+#endif
+};
 
 namespace {
 
@@ -139,8 +174,77 @@ Status TarTree::AugmentParentEntry(Entry* parent_entry,
   return Status::OK();
 }
 
+Status TarTree::CheckMutable() const {
+  if (poisoned_) return PoisonedError("mutation");
+  return Status::OK();
+}
+
+void TarTree::Poison(const Status& cause) {
+  if (poisoned_ || cause.ok()) return;
+  poisoned_ = true;
+  poison_ = cause;
+}
+
+Status TarTree::PoisonedError(const char* refused) const {
+  return poison_.WithContext(std::string(refused) +
+                             " refused: tree poisoned by an earlier "
+                             "partially applied mutation");
+}
+
+Status TarTree::PrevalidateInsert(const Poi& poi) const {
+  if (poi_info_.count(poi.id) != 0) {
+    return Status::AlreadyExists("POI already indexed");
+  }
+  return Status::OK();
+}
+
+Status TarTree::PrevalidateEpoch(
+    std::int64_t epoch,
+    const std::unordered_map<PoiId, std::int64_t>& aggs) const {
+  if (epoch < 0) {
+    return Status::InvalidArgument("negative epoch index");
+  }
+  TimeInterval extent = options_.grid.EpochExtent(epoch);
+  for (const auto& [poi, agg] : aggs) {
+    if (agg <= 0) continue;
+    if (poi_info_.find(poi) == poi_info_.end()) {
+      return Status::InvalidArgument("epoch batch contains unknown POI");
+    }
+    TAR_RETURN_NOT_OK(Tia::CheckPackable(extent, agg));
+  }
+  return Status::OK();
+}
+
 Status TarTree::InsertPoi(const Poi& poi,
                           const std::vector<std::int32_t>& history) {
+  SingleWriterGuard guard(this);
+  TAR_RETURN_NOT_OK(CheckMutable());
+  TAR_RETURN_NOT_OK(PrevalidateInsert(poi));
+  Lsn lsn = 0;
+  if (wal_ != nullptr) {
+    // Log-before-mutate: a failed append leaves the tree untouched; a
+    // logged record is guaranteed replayable by the prevalidation above.
+    for (std::size_t e = 0; e < history.size(); ++e) {
+      if (history[e] <= 0) continue;
+      TAR_RETURN_NOT_OK(
+          Tia::CheckPackable(options_.grid.EpochExtent(e), history[e]));
+    }
+    auto appended = wal_->Append(
+        WalRecord::MakeInsertPoi(poi.id, poi.pos.x, poi.pos.y, history));
+    TAR_RETURN_NOT_OK(appended.status());
+    lsn = appended.ValueOrDie();
+  }
+  Status st = InsertPoiUnlogged(poi, history);
+  if (!st.ok()) {
+    Poison(st);
+    return st;
+  }
+  if (lsn != 0) applied_lsn_ = lsn;
+  return Status::OK();
+}
+
+Status TarTree::InsertPoiUnlogged(const Poi& poi,
+                                  const std::vector<std::int32_t>& history) {
   if (poi_info_.count(poi.id) != 0) {
     return Status::AlreadyExists("POI already indexed");
   }
@@ -322,6 +426,13 @@ bool TarTree::FindLeaf(NodeId node_id, PoiId poi, const Vec2& pos,
 }
 
 Status TarTree::DeletePoi(PoiId poi) {
+  SingleWriterGuard guard(this);
+  TAR_RETURN_NOT_OK(CheckMutable());
+  if (wal_ != nullptr) {
+    return Status::NotSupported(
+        "DeletePoi is not write-ahead logged; detach the WAL and delete "
+        "via rebuild + checkpoint instead");
+  }
   auto it = poi_info_.find(poi);
   if (it == poi_info_.end()) return Status::NotFound("POI not indexed");
   std::vector<NodeId> path;
@@ -329,7 +440,14 @@ Status TarTree::DeletePoi(PoiId poi) {
       !FindLeaf(root_, poi, it->second.pos, &path)) {
     return Status::Corruption("indexed POI missing from the tree");
   }
+  Status st = DeleteFound(poi, it, path);
+  if (!st.ok()) Poison(st);
+  return st;
+}
 
+Status TarTree::DeleteFound(PoiId poi,
+                            std::unordered_map<PoiId, PoiInfo>::iterator it,
+                            const std::vector<NodeId>& path) {
   Node* leaf = MutableNode(path.back());
   for (std::size_t i = 0; i < leaf->entries.size(); ++i) {
     if (leaf->entries[i].poi == poi) {
@@ -387,6 +505,35 @@ Status TarTree::DeletePoi(PoiId poi) {
 }
 
 Status TarTree::AppendEpoch(
+    std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
+  SingleWriterGuard guard(this);
+  TAR_RETURN_NOT_OK(CheckMutable());
+  // Validating before any mutation also fixes a partial-mutation leak: the
+  // unlogged body used to bump per-POI totals before discovering an
+  // unknown POI later in the same batch.
+  TAR_RETURN_NOT_OK(PrevalidateEpoch(epoch, aggs));
+  Lsn lsn = 0;
+  if (wal_ != nullptr) {
+    std::vector<std::pair<std::uint32_t, std::int64_t>> pairs;
+    pairs.reserve(aggs.size());
+    for (const auto& [poi, agg] : aggs) {
+      if (agg > 0) pairs.emplace_back(poi, agg);
+    }
+    auto appended =
+        wal_->Append(WalRecord::MakeAppendEpoch(epoch, std::move(pairs)));
+    TAR_RETURN_NOT_OK(appended.status());
+    lsn = appended.ValueOrDie();
+  }
+  Status st = AppendEpochUnlogged(epoch, aggs);
+  if (!st.ok()) {
+    Poison(st);
+    return st;
+  }
+  if (lsn != 0) applied_lsn_ = lsn;
+  return Status::OK();
+}
+
+Status TarTree::AppendEpochUnlogged(
     std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
   TimeInterval extent = options_.grid.EpochExtent(epoch);
   std::int64_t global_max = 0;
@@ -460,7 +607,49 @@ Status TarTree::AppendEpoch(
   return digest(root_, &unused);
 }
 
+Status TarTree::ApplyWalRecord(const WalRecord& record, bool* applied) {
+  if (applied != nullptr) *applied = false;
+  SingleWriterGuard guard(this);
+  TAR_RETURN_NOT_OK(CheckMutable());
+  if (record.lsn == 0) {
+    return Status::InvalidArgument("WAL record carries no LSN");
+  }
+  if (record.lsn <= applied_lsn_) {
+    return Status::OK();  // already applied; replay is idempotent by LSN
+  }
+  Status st;
+  switch (record.type) {
+    case WalRecord::Type::kCheckpoint:
+      // A marker, not a mutation. It does not advance applied_lsn_ either:
+      // the LSN it certifies as durable is record.durable_lsn, and the
+      // snapshot this tree came from already encodes what was applied.
+      return Status::OK();
+    case WalRecord::Type::kInsertPoi:
+      st = InsertPoiUnlogged(Poi{record.poi, Vec2{record.x, record.y}},
+                             record.history);
+      break;
+    case WalRecord::Type::kAppendEpoch: {
+      std::unordered_map<PoiId, std::int64_t> aggs;
+      aggs.reserve(record.aggs.size());
+      for (const auto& [poi, agg] : record.aggs) aggs[poi] = agg;
+      st = AppendEpochUnlogged(record.epoch, aggs);
+      break;
+    }
+  }
+  if (!st.ok()) {
+    Poison(st);
+    return st.WithContext(std::string("replaying WAL ") +
+                          ToString(record.type) + " record at lsn " +
+                          std::to_string(record.lsn));
+  }
+  applied_lsn_ = record.lsn;
+  if (applied != nullptr) *applied = true;
+  return Status::OK();
+}
+
 Status TarTree::Rebuild() {
+  SingleWriterGuard guard(this);
+  TAR_RETURN_NOT_OK(CheckMutable());
   struct Item {
     Poi poi;
     std::vector<std::int32_t> history;
@@ -492,8 +681,14 @@ Status TarTree::Rebuild() {
   pool_.Clear();
   global_tia_ = NewTia();
   // max_total_ is kept: the z normalization reflects everything seen.
+  // Unlogged on purpose: a rebuild is content-neutral, so the WAL (and
+  // applied_lsn_) must not move.
   for (const Item& item : items) {
-    TAR_RETURN_NOT_OK(InsertPoi(item.poi, item.history));
+    Status st = InsertPoiUnlogged(item.poi, item.history);
+    if (!st.ok()) {
+      Poison(st);
+      return st;
+    }
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 // normalized expected check-in rate z_p = 1 - lambda_p / max lambda_p.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -29,6 +30,7 @@
 #include "core/dataset.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
+#include "storage/wal.h"
 #include "temporal/tia.h"
 
 namespace tar {
@@ -95,6 +97,9 @@ struct KnntaResult {
 /// number of threads (shared-state mutation funnels through the latched
 /// BufferPool/PageFile; see docs/internals.md, "Threading model");
 /// mutations (InsertPoi, AppendEpoch, ...) require external exclusion.
+/// Debug builds enforce the exclusion contract: two threads caught inside
+/// mutations at the same time trip a TAR_DCHECK instead of silently
+/// corrupting pages.
 class TarTree {
  public:
   using NodeId = std::uint32_t;
@@ -144,6 +149,37 @@ class TarTree {
   /// to the TIAs along the affected paths and refreshes the z-coordinates.
   Status AppendEpoch(std::int64_t epoch,
                      const std::unordered_map<PoiId, std::int64_t>& aggs);
+
+  // --- Crash consistency (see docs/internals.md, "Failure model") ---
+
+  /// Attaches a write-ahead log (non-owning; nullptr detaches). With a WAL
+  /// attached, InsertPoi/AppendEpoch log the mutation before applying it
+  /// (log-before-mutate): an append failure leaves the tree untouched, an
+  /// apply failure poisons the in-memory tree but the logged record makes
+  /// the mutation all-or-nothing at recovery. DeletePoi is not logged and
+  /// is rejected while a WAL is attached (delete via rebuild+checkpoint).
+  void AttachWal(WalWriter* wal) { wal_ = wal; }
+  WalWriter* wal() const { return wal_; }
+
+  /// LSN of the last mutation applied to this tree (0 = none). Persisted
+  /// in the v2 footer so recovery knows where a snapshot's history ends.
+  Lsn applied_lsn() const { return applied_lsn_; }
+
+  /// Replays one WAL record (recovery path; no WAL should be attached).
+  /// Idempotent by LSN: records at or below applied_lsn() are skipped, so
+  /// replaying the same log twice over the same checkpoint is a no-op.
+  /// Checkpoint markers never mutate. `applied` (optional) reports whether
+  /// the record actually mutated the tree.
+  Status ApplyWalRecord(const WalRecord& record, bool* applied = nullptr);
+
+  /// True once a mutation failed after it began modifying pages: the
+  /// in-memory state is suspect, so queries, further mutations and saves
+  /// all refuse with a status carrying the original failure. The durable
+  /// state is unaffected — recover from the checkpoint + WAL instead.
+  bool poisoned() const { return poisoned_; }
+
+  /// The failure that poisoned the tree (OK when not poisoned).
+  Status poison_status() const { return poison_; }
 
   /// Answers a kNNTA query with best-first search. Access counts are added
   /// to `stats` when provided. When `trace` is provided the query
@@ -270,8 +306,11 @@ class TarTree {
   /// Serializes the index (structure, boxes, TIA records, normalizers) to
   /// a binary stream in format v2: sectioned, with a CRC-32C per section
   /// and a trailing whole-file checksum (see docs/internals.md, "Failure
-  /// model"). Load restores an exact structural copy: same nodes, same
-  /// grouping, same query costs. Load also accepts legacy v1 files.
+  /// model"). The footer also records applied_lsn(), making the file a
+  /// recovery checkpoint. Load restores an exact structural copy: same
+  /// nodes, same grouping, same query costs. Load also accepts legacy v1
+  /// files and v2 files written before the footer carried an LSN.
+  /// Refuses to serialize a poisoned tree.
   Status Save(std::ostream& out) const;
 
   /// Legacy format v1 writer (no checksums). Kept so backward
@@ -298,6 +337,34 @@ class TarTree {
 
  private:
   friend class TarTreeTestPeer;
+
+  /// Debug-build enforcement of the single-writer contract (RAII; defined
+  /// in tar_tree.cc). Release builds compile it down to nothing.
+  class SingleWriterGuard;
+
+  /// Rejects mutations on a poisoned tree with the original failure.
+  Status CheckMutable() const;
+
+  /// Marks the tree poisoned by `cause` (first failure wins).
+  void Poison(const Status& cause);
+
+  /// The status every refused operation on a poisoned tree returns.
+  Status PoisonedError(const char* refused) const;
+
+  /// Validates an InsertPoi/AppendEpoch *before* it is logged or applied.
+  /// Log-before-mutate only works if every logged record is guaranteed to
+  /// replay cleanly; semantic rejections must happen before the append.
+  Status PrevalidateInsert(const Poi& poi) const;
+  Status PrevalidateEpoch(
+      std::int64_t epoch,
+      const std::unordered_map<PoiId, std::int64_t>& aggs) const;
+
+  /// The mutation bodies, shared by the logged front doors and WAL replay.
+  Status InsertPoiUnlogged(const Poi& poi,
+                           const std::vector<std::int32_t>& history);
+  Status AppendEpochUnlogged(
+      std::int64_t epoch,
+      const std::unordered_map<PoiId, std::int64_t>& aggs);
 
   /// MaxAggregate with per-phase trace accounting: heap traffic and TIA
   /// time go to `phase` when non-null (stats go to `stats` as usual).
@@ -419,12 +486,27 @@ class TarTree {
   std::unique_ptr<Tia> global_tia_;
   std::int64_t max_total_ = 0;
 
+  WalWriter* wal_ = nullptr;  ///< non-owning; see AttachWal
+  Lsn applied_lsn_ = 0;
+  bool poisoned_ = false;
+  Status poison_ = Status::OK();
+
+  /// Hashed id of the thread currently inside a mutation (0 = none); the
+  /// debug single-writer assertion CASes it (release builds keep the
+  /// member so layout doesn't depend on NDEBUG, but never touch it).
+  std::atomic<std::uint64_t> writer_tid_{0};
+
   /// Per-POI running totals and positions (z maintenance and rebuilds).
   struct PoiInfo {
     Vec2 pos;
     std::int64_t total = 0;
   };
   std::unordered_map<PoiId, PoiInfo> poi_info_;
+
+  /// The mutating tail of DeletePoi, once the entry has been located.
+  Status DeleteFound(PoiId poi,
+                     std::unordered_map<PoiId, PoiInfo>::iterator it,
+                     const std::vector<NodeId>& path);
 };
 
 }  // namespace tar

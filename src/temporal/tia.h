@@ -92,13 +92,15 @@ class Tia {
   /// record count and num_records(). Used by analysis::StructureVerifier.
   Status CheckBackend() const;
 
- private:
   /// Shared Append/RaiseTo validation: the extent must be a valid interval
   /// whose duration fits the 31 duration bits, and the aggregate must fit
-  /// the 32 value bits of the packed representation.
+  /// the 32 value bits of the packed representation. Public so mutation
+  /// front doors can prevalidate before write-ahead logging — a logged
+  /// record must be guaranteed to replay cleanly.
   static Status CheckPackable(const TimeInterval& extent,
                               std::int64_t aggregate);
 
+ private:
   static std::int64_t Pack(const TimeInterval& extent, std::int64_t agg);
   static TiaRecord Unpack(std::int64_t ts, std::int64_t value);
 

@@ -14,7 +14,9 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "core/parallel_query.h"
+#include "core/recovery.h"
 #include "core/tar_tree.h"
+#include "storage/wal.h"
 
 namespace tar {
 namespace {
@@ -353,6 +355,68 @@ TEST_F(FaultInjectionTest, ParallelBatchAccountsProbabilisticFailures) {
   }
   EXPECT_EQ(bucketed, report.queries_failed);
   EXPECT_EQ(report.FailedQueries().size(), report.queries_failed);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog completeness: every site in KnownSites() must be *reachable* by
+// the lifecycle this file sweeps. A failpoint nobody hits is dead armor —
+// the sweep would silently stop covering the code it was written for. Arm
+// every site with a vanishingly small fire probability (hits are counted
+// on every pass through an armed site, fired or not) and drive the whole
+// lifecycle: build, query, checkpoint, WAL-logged ingestion, recovery.
+
+TEST_F(FaultInjectionTest, LifecycleExercisesEveryCatalogedSite) {
+  std::string spec;
+  for (const std::string& site : fail::FaultInjector::KnownSites()) {
+    spec += site + "=err@0.000001;";
+  }
+  spec += "seed=1";
+  ASSERT_TRUE(injector().Configure(spec).ok());
+
+  const std::string snap = ::testing::TempDir() + "/catalog.tart";
+  const std::string walp = ::testing::TempDir() + "/catalog.wal";
+  std::remove(snap.c_str());
+  std::remove(walp.c_str());
+
+  // Build and query: page_file.alloc/write on inserts, page_file.read and
+  // buffer_pool.fetch on TIA reads.
+  auto tree = MakeTree(11, 40);
+  Rng qrng(13);
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(tree->Query(MakeQuery(&qrng), &results).ok());
+
+  // Checkpoint and WAL-logged ingestion: persist.open/write/rename on the
+  // atomic save, wal.append on the logged mutations, wal.sync and
+  // wal.torn on the flush paths.
+  ASSERT_TRUE(tree->SaveToFile(snap).ok());
+  auto opened = WalWriter::Open(walp, {}, tree->applied_lsn());
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<WalWriter> wal = std::move(opened).ValueOrDie();
+  tree->AttachWal(wal.get());
+  ASSERT_TRUE(tree->InsertPoi({1000, {5, 5}}, {1, 2, 3}).ok());
+  ASSERT_TRUE(tree->AppendEpoch(kEpochs, {{1000, 7}}).ok());
+  ASSERT_TRUE(Checkpoint(*tree, snap, wal.get()).ok());
+  tree->AttachWal(nullptr);
+  wal.reset();
+
+  // Recovery: persist.read and persist.load.reserve on the load.
+  ASSERT_TRUE(Recover(snap, walp, TarTree::LoadOptions()).ok());
+
+  const std::vector<fail::SiteReport> counters = injector().Snapshot();
+  for (const std::string& site : fail::FaultInjector::KnownSites()) {
+    SCOPED_TRACE(site);
+    std::uint64_t hits = 0;
+    for (const fail::SiteReport& r : counters) {
+      if (r.site == site) hits = r.hits;
+    }
+    EXPECT_GT(hits, 0u) << "cataloged failpoint never exercised by the "
+                           "lifecycle sweep; extend the sweep or retire "
+                           "the site";
+  }
+
+  injector().Clear();
+  std::remove(snap.c_str());
+  std::remove(walp.c_str());
 }
 
 }  // namespace

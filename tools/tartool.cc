@@ -24,15 +24,44 @@
 //       traffic, node accesses) of the query, and of the MWA when --mwa
 //       is also given.
 //
+//   tartool ingest --input checkins.tsv --store PREFIX
+//           [--strategy tar|spa|agg] [--threshold N] [--epoch-days 7]
+//           [--node-bytes 1024] [--backend mvbt|bptree]
+//           [--checkpoint-every K] [--metrics]
+//       Online ingestion against a WAL-backed store (PREFIX.tart is the
+//       checkpoint snapshot, PREFIX.wal the write-ahead log). A fresh
+//       store is checkpointed empty, then new POIs and finished epochs
+//       are streamed through the log-before-mutate path with a checkpoint
+//       every K mutations. Rerunning against an existing store recovers
+//       it first and ingests only what is new (POIs already indexed are
+//       skipped; epochs resume after the last digested one). --metrics
+//       dumps the registry, including the wal.* counters, after the run.
+//
+//   tartool recover --store PREFIX [--checkpoint] [--shallow]
+//       Recovers a store: loads the checkpoint, replays the log's valid
+//       prefix, reports what was replayed/skipped and how the log tail
+//       ended, and runs the full structure verifier on the result.
+//       --checkpoint then re-checkpoints the recovered tree and truncates
+//       the log. Exit 0 on a verified recovery, 1 otherwise.
+//
 //   tartool crashtest [--rounds 4] [--seed 42] [--scale 0.02] [--path P]
 //       Randomized crash-recovery harness. Each round builds an index,
 //       then (via the failpoint subsystem) tears the save at every frame,
 //       fails the final rename, truncates at every section boundary and
 //       flips sampled bits, checking that every faulted save leaves the
 //       previous good file intact and every corrupt artifact is rejected
-//       with a clean Status. Exit 0: all faults handled; 1: a fault was
-//       mishandled (good file lost, or corrupt bytes accepted); 2: setup
-//       error. See docs/internals.md, "Failure model".
+//       with a clean Status. Each round then runs the online-ingestion
+//       matrix: a WAL-backed store is built from a deterministic workload
+//       (with a checkpoint whose truncation is deliberately skipped), and
+//       the log is truncated at every frame boundary, cut mid-frame,
+//       bit-flipped at sampled positions, its checkpoint torn mid-save
+//       and its sync torn mid-batch — after every attack, recovery must
+//       pass the structure verifier and answer a probe query batch
+//       bit-identically to an uninterrupted run of the same prefix.
+//       Exit 0: all faults handled; 1: a fault was detected but
+//       mishandled (good file lost, corrupt bytes accepted, recovery
+//       refused); 2: an undetected divergence (recovery silently answered
+//       wrong) or a setup error. See docs/internals.md, "Failure model".
 //
 //   tartool stress --index index.tart --threads 8 --queries 10000
 //           [--k 10] [--days 30] [--alpha 0.3] [--seed 42] [--metrics]
@@ -51,19 +80,23 @@
 #include <memory>
 #include <sstream>
 #include <string>
-
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/structure_verifier.h"
+#include "common/crc32c.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "core/mwa.h"
 #include "core/parallel_query.h"
+#include "core/recovery.h"
 #include "core/scan_baseline.h"
 #include "core/tar_tree.h"
 #include "data/generator.h"
 #include "data/loader.h"
+#include "storage/wal.h"
 
 using namespace tar;
 
@@ -466,6 +499,225 @@ int Stress(const std::map<std::string, std::string>& flags) {
 }
 
 // --------------------------------------------------------------------------
+// ingest / recover: online ingestion against a WAL-backed store.
+
+int Ingest(const std::map<std::string, std::string>& flags) {
+  const std::string input = Flag(flags, "input", "checkins.tsv");
+  const std::string store = Flag(flags, "store", "store");
+  const std::string snap = store + ".tart";
+  const std::string walp = store + ".wal";
+  const std::string strategy = Flag(flags, "strategy", "tar");
+  const std::string backend = Flag(flags, "backend", "mvbt");
+  const std::int64_t threshold =
+      std::atoll(Flag(flags, "threshold", "50").c_str());
+  const int epoch_days = std::atoi(Flag(flags, "epoch-days", "7").c_str());
+  const std::size_t node_bytes =
+      std::atoll(Flag(flags, "node-bytes", "1024").c_str());
+  const std::size_t checkpoint_every =
+      std::atoll(Flag(flags, "checkpoint-every", "64").c_str());
+  const bool metrics = flags.count("metrics") != 0;
+  if (metrics) SetMetricsEnabled(true);
+
+  auto loaded = LoadSnapCheckinsFile(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data = std::move(loaded).ValueOrDie();
+  EpochGrid grid(0, epoch_days * kSecondsPerDay);
+  EpochCounts counts = BuildEpochCounts(data, grid);
+  std::vector<PoiId> effective = EffectivePois(counts, threshold);
+
+  std::unique_ptr<TarTree> tree;
+  if (std::ifstream(snap, std::ios::binary).good()) {
+    RecoveryReport report;
+    auto rec = Recover(snap, walp, TarTree::LoadOptions(), &report);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   rec.status().ToString().c_str());
+      return 1;
+    }
+    tree = std::move(rec).ValueOrDie();
+    std::printf("resumed store %s: %s\n", store.c_str(),
+                report.ToString().c_str());
+  } else {
+    TarTreeOptions opt;
+    opt.strategy = strategy == "spa"   ? GroupingStrategy::kSpatial
+                   : strategy == "agg" ? GroupingStrategy::kAggregate
+                                       : GroupingStrategy::kIntegral3D;
+    opt.tia_backend =
+        backend == "bptree" ? TiaBackend::kBpTree : TiaBackend::kMvbt;
+    opt.node_size_bytes = node_bytes;
+    opt.grid = grid;
+    opt.space = data.bounds;
+    tree = std::make_unique<TarTree>(opt);
+    std::int64_t max_total = 0;
+    for (PoiId id : effective) {
+      max_total = std::max(max_total, counts.Total(id));
+    }
+    tree->SeedMaxTotal(max_total);
+    // The initial (empty) checkpoint: recovery always has a snapshot to
+    // replay the log on top of.
+    Status st = tree->SaveToFile(snap);
+    if (!st.ok()) {
+      std::fprintf(stderr, "initial checkpoint failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto wres = WalWriter::Open(walp, WalWriterOptions(), tree->applied_lsn());
+  if (!wres.ok()) {
+    std::fprintf(stderr, "cannot open WAL %s: %s\n", walp.c_str(),
+                 wres.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<WalWriter> wal = std::move(wres).ValueOrDie();
+  tree->AttachWal(wal.get());
+
+  std::size_t since_checkpoint = 0;
+  auto after_op = [&]() -> Status {
+    if (checkpoint_every == 0 || ++since_checkpoint < checkpoint_every) {
+      return Status::OK();
+    }
+    since_checkpoint = 0;
+    return Checkpoint(*tree, snap, wal.get());
+  };
+
+  // Stream the new POIs first (empty history: a freshly appearing POI has
+  // no digested epochs yet), then digest each finished epoch that is not
+  // in the store already — the global TIA's last record marks where the
+  // indexed history ends. POIs the store already knows are skipped, so
+  // rerunning over the same (or an extended) input is incremental.
+  std::size_t inserted = 0;
+  std::size_t already = 0;
+  for (PoiId id : effective) {
+    if (tree->poi_snapshot(id).has_value()) {
+      ++already;
+      continue;
+    }
+    Status st = tree->InsertPoi(data.pois[id]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "insert of POI %u failed: %s\n", id,
+                   st.ToString().c_str());
+      return 1;
+    }
+    ++inserted;
+    st = after_op();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::int64_t first_epoch = 0;
+  {
+    std::vector<TiaRecord> records;
+    Status st = tree->global_tia().Records(&records);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot read indexed history: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (!records.empty()) {
+      first_epoch = grid.EpochOf(records.back().extent.start) + 1;
+    }
+  }
+  std::int64_t appended = 0;
+  for (std::int64_t e = first_epoch; e < counts.num_epochs; ++e) {
+    std::unordered_map<PoiId, std::int64_t> aggs;
+    for (PoiId id : effective) {
+      const std::vector<std::int32_t>& h = counts.counts[id];
+      if (static_cast<std::size_t>(e) < h.size() && h[e] > 0) {
+        aggs[id] = h[e];
+      }
+    }
+    if (aggs.empty()) continue;
+    Status st = tree->AppendEpoch(e, aggs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "epoch %lld digest failed: %s\n",
+                   static_cast<long long>(e), st.ToString().c_str());
+      return 1;
+    }
+    ++appended;
+    st = after_op();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Status st = Checkpoint(*tree, snap, wal.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "final checkpoint failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  tree->AttachWal(nullptr);
+  std::printf("ingested %zu new POIs (%zu already indexed), %lld epochs "
+              "-> %s + %s (applied LSN %llu)\n",
+              inserted, already, static_cast<long long>(appended),
+              snap.c_str(), walp.c_str(),
+              static_cast<unsigned long long>(tree->applied_lsn()));
+  if (metrics) {
+    std::printf("metrics registry:\n%s",
+                MetricsRegistry::Global().ToText().c_str());
+  }
+  return 0;
+}
+
+int RecoverCmd(const std::map<std::string, std::string>& flags) {
+  const std::string store = Flag(flags, "store", "store");
+  const std::string snap = store + ".tart";
+  const std::string walp = store + ".wal";
+
+  RecoveryReport report;
+  auto rec = Recover(snap, walp, TarTree::LoadOptions(), &report);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "%s: recovery FAILED: %s\n", store.c_str(),
+                 rec.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<TarTree> tree = std::move(rec).ValueOrDie();
+  std::printf("%s: recovered (%s)\n", store.c_str(),
+              report.ToString().c_str());
+
+  analysis::VerifyOptions vopt;
+  vopt.deep_tia = flags.count("shallow") == 0;
+  analysis::StructureVerifier verifier(vopt);
+  analysis::VerifyReport vreport;
+  Status st = verifier.VerifyTarTree(*tree, &vreport);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: verification FAILED: %s\n", store.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu POIs; checked %s)\n", store.c_str(),
+              tree->num_pois(), vreport.ToString().c_str());
+
+  if (flags.count("checkpoint") != 0) {
+    auto wres =
+        WalWriter::Open(walp, WalWriterOptions(), tree->applied_lsn());
+    if (!wres.ok()) {
+      std::fprintf(stderr, "cannot open WAL %s: %s\n", walp.c_str(),
+                   wres.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<WalWriter> wal = std::move(wres).ValueOrDie();
+    st = Checkpoint(*tree, snap, wal.get());
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: checkpointed at LSN %llu; log truncated\n",
+                store.c_str(),
+                static_cast<unsigned long long>(tree->applied_lsn()));
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------------------
 // crashtest: randomized crash-recovery harness over the persistence layer.
 
 int Usage();
@@ -529,6 +781,421 @@ bool RejectsCleanly(const std::string& bytes, const char* what,
   return true;
 }
 
+// --------------------------------------------------------------------------
+// crashtest, part two: the online-ingestion matrix (WAL + recovery).
+
+/// One logged mutation of the deterministic ingestion workload.
+struct IngestOp {
+  bool is_insert = false;
+  Poi poi;
+  std::int64_t epoch = 0;
+  std::unordered_map<PoiId, std::int64_t> aggs;
+};
+
+/// Mixed workload: rounds of POI inserts, each followed by an epoch digest
+/// over everything inserted so far.
+std::vector<IngestOp> MakeIngestOps(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IngestOp> ops;
+  PoiId next_id = 1;
+  std::vector<PoiId> known;
+  for (std::int64_t round = 0; round < 6; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      IngestOp op;
+      op.is_insert = true;
+      op.poi.id = next_id++;
+      op.poi.pos = {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+      known.push_back(op.poi.id);
+      ops.push_back(std::move(op));
+    }
+    IngestOp digest;
+    digest.epoch = round;
+    for (PoiId id : known) {
+      digest.aggs[id] = rng.UniformInt(1, 50);
+    }
+    ops.push_back(std::move(digest));
+  }
+  return ops;
+}
+
+TarTreeOptions IngestMatrixOptions(TiaBackend backend) {
+  TarTreeOptions opt;
+  opt.node_size_bytes = 512;
+  opt.tia_backend = backend;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  opt.space.lo = {0.0, 0.0};
+  opt.space.hi = {100.0, 100.0};
+  return opt;
+}
+
+Status ApplyIngestOp(TarTree* tree, const IngestOp& op) {
+  if (op.is_insert) return tree->InsertPoi(op.poi);
+  return tree->AppendEpoch(op.epoch, op.aggs);
+}
+
+/// Reference state after the first `count` ops: an uninterrupted run with
+/// no WAL attached.
+std::unique_ptr<TarTree> IngestRefTree(const TarTreeOptions& opt,
+                                       const std::vector<IngestOp>& ops,
+                                       std::size_t count) {
+  auto tree = std::make_unique<TarTree>(opt);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!ApplyIngestOp(tree.get(), ops[i]).ok()) return nullptr;
+  }
+  return tree;
+}
+
+/// Fixed probe batch over the workload's space and epoch range.
+std::vector<KnntaQuery> IngestQueryBatch(const EpochGrid& grid) {
+  Rng rng(7);
+  std::vector<KnntaQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    KnntaQuery q;
+    q.point = {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    const std::int64_t first = rng.UniformInt(0, 3);
+    const std::int64_t last = rng.UniformInt(first, 6);
+    q.interval = {grid.EpochStart(first), grid.EpochEnd(last)};
+    q.k = 5;
+    q.alpha0 = 0.3;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+/// Bit-identical result comparison (scores and distances via memcmp; the
+/// read path must be deterministic down to the double representation).
+bool SameResults(const std::vector<KnntaResult>& a,
+                 const std::vector<KnntaResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].poi != b[i].poi || a[i].aggregate != b[i].aggregate ||
+        std::memcmp(&a[i].score, &b[i].score, sizeof(double)) != 0 ||
+        std::memcmp(&a[i].dist, &b[i].dist, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when `got` answers the probe batch bit-identically to `want`.
+bool SameQueryAnswers(const TarTree& got, const TarTree& want,
+                      const char* what, std::size_t detail) {
+  for (const KnntaQuery& q : IngestQueryBatch(got.grid())) {
+    std::vector<KnntaResult> rg;
+    std::vector<KnntaResult> rw;
+    if (!got.Query(q, &rg).ok() || !want.Query(q, &rw).ok() ||
+        !SameResults(rg, rw)) {
+      std::fprintf(stderr,
+                   "  DIVERGED: %s (at %zu): recovered answers differ\n",
+                   what, detail);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One complete, CRC-valid WAL frame: the byte offset just past it and the
+/// running count of non-checkpoint (mutation) records up to it.
+struct WalCut {
+  std::size_t end = 0;
+  std::size_t mutations = 0;
+};
+
+/// Frame-by-frame walk of raw WAL bytes, trusting only the per-frame
+/// CRC-32C — deliberately independent of ScanWal, which is itself under
+/// test here.
+std::vector<WalCut> WalFrameCuts(const std::string& bytes) {
+  std::vector<WalCut> cuts;
+  std::size_t off = 0;
+  std::size_t mutations = 0;
+  while (off + 20 <= bytes.size()) {
+    std::uint32_t type = 0;
+    std::uint32_t len = 0;
+    std::memcpy(&type, bytes.data() + off + 8, sizeof(type));
+    std::memcpy(&len, bytes.data() + off + 12, sizeof(len));
+    if (type == 0) break;  // zero padding: clean end of log
+    const std::size_t end = off + 16 + len + 4;
+    if (end > bytes.size()) break;
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + off + 16 + len, sizeof(stored));
+    if (stored != Crc32c(bytes.data() + off, 16 + len)) break;
+    if (type != 3) ++mutations;  // 3 = checkpoint marker
+    cuts.push_back(WalCut{end, mutations});
+    off = end;
+  }
+  return cuts;
+}
+
+/// Online-ingestion crash matrix for one crashtest round. Builds a store
+/// (snapshot + WAL) from the deterministic workload with a mid-run
+/// checkpoint whose truncation is deliberately skipped (so recovery must
+/// prove the LSN gate skips already-applied records), then attacks the
+/// log. After every attack, recovery must pass the structure verifier and
+/// answer the probe batch bit-identically to an uninterrupted run of the
+/// same prefix. Mishandled-but-detected faults bump *violations; silently
+/// wrong answers bump *divergences. Returns non-zero on setup errors.
+int IngestCrashMatrix(const std::string& base, std::uint64_t rseed,
+                      TiaBackend backend,
+                      analysis::StructureVerifier* verifier,
+                      int* violations, int* divergences) {
+  const std::string snap = base + ".tart";
+  const std::string walp = base + ".wal";
+  const std::string cutp = base + ".cut";
+  const TarTreeOptions opt = IngestMatrixOptions(backend);
+  const std::vector<IngestOp> ops = MakeIngestOps(rseed);
+  const std::size_t mid = ops.size() / 2;
+  std::remove(snap.c_str());
+  std::remove(walp.c_str());
+
+  std::map<std::size_t, std::unique_ptr<TarTree>> refs;
+  auto ref = [&](std::size_t count) -> TarTree* {
+    auto it = refs.find(count);
+    if (it == refs.end()) {
+      it = refs.emplace(count, IngestRefTree(opt, ops, count)).first;
+    }
+    return it->second.get();
+  };
+
+  // Build the store. Every op becomes its own synced frame; the mid-run
+  // checkpoint writes the snapshot and the synced marker but skips the
+  // truncation, modeling a crash between checkpoint steps (2) and (3).
+  {
+    TarTree tree(opt);
+    if (!tree.SaveToFile(snap).ok()) {
+      std::fprintf(stderr, "ingest matrix: initial checkpoint failed\n");
+      return 2;
+    }
+    WalWriterOptions wopt;
+    wopt.group_commit_records = 1;
+    auto wres = WalWriter::Open(walp, wopt);
+    if (!wres.ok()) {
+      std::fprintf(stderr, "ingest matrix: cannot open WAL\n");
+      return 2;
+    }
+    std::unique_ptr<WalWriter> wal = std::move(wres).ValueOrDie();
+    tree.AttachWal(wal.get());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (i == mid) {
+        if (!tree.SaveToFile(snap).ok() ||
+            !wal->Append(WalRecord::MakeCheckpoint(tree.applied_lsn()))
+                 .ok() ||
+            !wal->Sync().ok()) {
+          std::fprintf(stderr, "ingest matrix: mid-run checkpoint failed\n");
+          return 2;
+        }
+      }
+      if (!ApplyIngestOp(&tree, ops[i]).ok()) {
+        std::fprintf(stderr, "ingest matrix: op %zu failed\n", i);
+        return 2;
+      }
+    }
+    if (!wal->Sync().ok()) return 2;
+    tree.AttachWal(nullptr);
+  }
+
+  std::string wal_bytes;
+  {
+    std::ifstream in(walp, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    wal_bytes = buf.str();
+  }
+  const std::vector<WalCut> cuts = WalFrameCuts(wal_bytes);
+  if (cuts.size() != ops.size() + 1 ||
+      cuts.back().end != wal_bytes.size()) {  // +1: the checkpoint marker
+    std::fprintf(stderr, "ingest matrix: unexpected log shape (%zu frames)\n",
+                 cuts.size());
+    return 2;
+  }
+
+  // The snapshot holds ops[0..mid); a log prefix with m mutation frames
+  // therefore recovers to max(mid, m) applied ops.
+  auto recover_and_check = [&](const std::string& bytes,
+                               std::size_t want_ops, bool want_clean,
+                               const char* what, std::size_t detail) {
+    {
+      std::ofstream out(cutp, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    RecoveryReport report;
+    auto rec = Recover(snap, cutp, TarTree::LoadOptions(), &report);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "  RECOVERY FAILED: %s (at %zu): %s\n", what,
+                   detail, rec.status().ToString().c_str());
+      ++*violations;
+      return;
+    }
+    std::unique_ptr<TarTree> tree = std::move(rec).ValueOrDie();
+    if (want_clean != (report.tail == WalTail::kClean)) {
+      std::fprintf(stderr, "  TAIL MISCLASSIFIED: %s (at %zu): got %s\n",
+                   what, detail, ToString(report.tail));
+      ++*violations;
+    }
+    if (!verifier->VerifyTarTree(*tree, nullptr).ok()) {
+      std::fprintf(stderr, "  STRUCTURE BROKEN: %s (at %zu)\n", what,
+                   detail);
+      ++*violations;
+      return;
+    }
+    TarTree* want = ref(want_ops);
+    if (want == nullptr) {
+      std::fprintf(stderr, "  ingest matrix: reference build failed\n");
+      ++*violations;
+      return;
+    }
+    if (!SameQueryAnswers(*tree, *want, what, detail)) ++*divergences;
+  };
+
+  // (e1) Truncation at every frame boundary (and the empty log): a clean
+  // tail, recovering exactly the mutations before the cut.
+  recover_and_check(std::string(), mid, true, "log truncation", 0);
+  for (const WalCut& cut : cuts) {
+    recover_and_check(wal_bytes.substr(0, cut.end),
+                      std::max(mid, cut.mutations), true, "log truncation",
+                      cut.end);
+  }
+
+  // (e2) Mid-frame cuts: a torn tail (a crashed append), recovering the
+  // complete frames before it.
+  std::size_t before = 0;
+  for (const WalCut& cut : cuts) {
+    recover_and_check(wal_bytes.substr(0, cut.end - 7), std::max(mid, before),
+                      false, "torn append", cut.end - 7);
+    before = cut.mutations;
+  }
+
+  // (e3) Sampled bit flips: the flipped frame fails its CRC (or breaks
+  // framing), so the tail is non-clean and recovery stops before it.
+  {
+    Rng rng(rseed + 17);
+    for (int i = 0; i < 48; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(wal_bytes.size()) - 1));
+      std::size_t frame = 0;
+      while (cuts[frame].end <= pos) ++frame;
+      const std::size_t intact = frame == 0 ? 0 : cuts[frame - 1].mutations;
+      std::string flipped = wal_bytes;
+      flipped[pos] ^= static_cast<char>(1u << (i % 8));
+      recover_and_check(flipped, std::max(mid, intact), false, "bit flip",
+                        pos);
+    }
+  }
+
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+
+  // (e4) Torn checkpoint: the snapshot rewrite is atomic, so a checkpoint
+  // that tears mid-save must fail while both the old snapshot and the log
+  // survive — recovery afterwards still yields the full state.
+  {
+    auto rec = Recover(snap, walp, TarTree::LoadOptions());
+    if (!rec.ok()) {
+      std::fprintf(stderr, "ingest matrix: pre-tear recovery failed\n");
+      return 2;
+    }
+    std::unique_ptr<TarTree> tree = std::move(rec).ValueOrDie();
+    auto wres =
+        WalWriter::Open(walp, WalWriterOptions(), tree->applied_lsn());
+    if (!wres.ok()) return 2;
+    std::unique_ptr<WalWriter> wal = std::move(wres).ValueOrDie();
+    const std::string spec =
+        "persist.write=torn@2;seed=" + std::to_string(rseed);
+    if (!injector.Configure(spec).ok()) return 2;
+    if (Checkpoint(*tree, snap, wal.get()).ok()) {
+      std::fprintf(stderr, "  torn checkpoint reported OK\n");
+      ++*violations;
+    }
+    injector.Clear();
+    auto again = Recover(snap, walp, TarTree::LoadOptions());
+    if (!again.ok() ||
+        !verifier->VerifyTarTree(*again.ValueOrDie(), nullptr).ok()) {
+      std::fprintf(stderr, "  store damaged by torn checkpoint\n");
+      ++*violations;
+    } else if (ref(ops.size()) == nullptr) {
+      std::fprintf(stderr, "  ingest matrix: reference build failed\n");
+      ++*violations;
+    } else if (!SameQueryAnswers(*again.ValueOrDie(), *ref(ops.size()),
+                                 "torn checkpoint", 0)) {
+      ++*divergences;
+    }
+  }
+
+  // (e5) Torn WAL sync mid-ingestion on a fresh store: the writer dies on
+  // the torn batch, the acknowledged ops must all be on disk as valid
+  // frames, and recovery yields exactly the acknowledged prefix.
+  {
+    const std::string snap2 = base + "2.tart";
+    const std::string wal2 = base + "2.wal";
+    std::remove(snap2.c_str());
+    std::remove(wal2.c_str());
+    TarTree tree(opt);
+    if (!tree.SaveToFile(snap2).ok()) return 2;
+    WalWriterOptions wopt;
+    wopt.group_commit_records = 1;
+    auto wres = WalWriter::Open(wal2, wopt);
+    if (!wres.ok()) return 2;
+    std::unique_ptr<WalWriter> wal = std::move(wres).ValueOrDie();
+    tree.AttachWal(wal.get());
+    const std::size_t tear = 2 + rseed % (ops.size() - 2);
+    const std::string spec = "wal.torn=torn@" + std::to_string(tear) +
+                             ";seed=" + std::to_string(rseed);
+    if (!injector.Configure(spec).ok()) return 2;
+    std::size_t acked = 0;
+    bool failed = false;
+    for (const IngestOp& op : ops) {
+      if (!ApplyIngestOp(&tree, op).ok()) {
+        failed = true;
+        break;
+      }
+      ++acked;
+    }
+    injector.Clear();
+    tree.AttachWal(nullptr);
+    if (!failed || tree.poisoned()) {
+      // The append failed before any page was touched, so the in-memory
+      // tree must stay clean (unmutated), not poisoned.
+      std::fprintf(stderr, "  torn sync: writer survived or tree poisoned\n");
+      ++*violations;
+    }
+    std::string bytes2;
+    {
+      std::ifstream in(wal2, std::ios::binary);
+      std::stringstream buf;
+      buf << in.rdbuf();
+      bytes2 = buf.str();
+    }
+    const std::vector<WalCut> cuts2 = WalFrameCuts(bytes2);
+    const std::size_t logged = cuts2.empty() ? 0 : cuts2.back().mutations;
+    if (logged != acked) {
+      std::fprintf(stderr,
+                   "  torn sync: %zu ops acknowledged but %zu on disk\n",
+                   acked, logged);
+      ++*violations;
+    }
+    auto rec = Recover(snap2, wal2, TarTree::LoadOptions());
+    if (!rec.ok() ||
+        !verifier->VerifyTarTree(*rec.ValueOrDie(), nullptr).ok()) {
+      std::fprintf(stderr, "  torn sync: recovery failed\n");
+      ++*violations;
+    } else if (ref(acked) == nullptr) {
+      std::fprintf(stderr, "  ingest matrix: reference build failed\n");
+      ++*violations;
+    } else if (!SameQueryAnswers(*rec.ValueOrDie(), *ref(acked),
+                                 "torn sync", tear)) {
+      ++*divergences;
+    }
+    std::remove(snap2.c_str());
+    std::remove(wal2.c_str());
+  }
+
+  std::remove(snap.c_str());
+  std::remove(walp.c_str());
+  std::remove(cutp.c_str());
+  std::printf("  ingest matrix (%s): %zu boundary cuts, %zu torn cuts, "
+              "48 flips, torn checkpoint, torn sync\n",
+              ToString(backend), cuts.size() + 1, cuts.size());
+  return 0;
+}
+
 int CrashTest(const std::map<std::string, std::string>& flags) {
   const int rounds = std::atoi(Flag(flags, "rounds", "4").c_str());
   const std::uint64_t seed = std::atoll(Flag(flags, "seed", "42").c_str());
@@ -538,6 +1205,7 @@ int CrashTest(const std::map<std::string, std::string>& flags) {
 
   fail::FaultInjector& injector = fail::FaultInjector::Global();
   int violations = 0;
+  int divergences = 0;
   analysis::StructureVerifier verifier;
 
   for (int round = 0; round < rounds; ++round) {
@@ -654,14 +1322,29 @@ int CrashTest(const std::map<std::string, std::string>& flags) {
       if (!RejectsCleanly(flipped, "bit flip", pos)) ++violations;
     }
 
+    // (e) Online-ingestion matrix: WAL truncations and flips, torn
+    // checkpoint, torn sync (see the header comment and docs/internals.md,
+    // "Failure model").
+    const int rc = IngestCrashMatrix(path + ".ingest", rseed, backend,
+                                     &verifier, &violations, &divergences);
+    if (rc != 0) return rc;
+
     std::printf("round %d (%s): %zu frames torn, %zu cuts, %zu flips -> %s\n",
                 round, ToString(backend), frames.size(), 3 * frames.size(),
-                samples, violations == 0 ? "OK" : "VIOLATIONS");
+                samples,
+                violations == 0 && divergences == 0 ? "OK" : "VIOLATIONS");
   }
 
   injector.Clear();
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
+  if (divergences > 0) {
+    // The one thing this harness exists to rule out: recovery silently
+    // answering differently from the uninterrupted run.
+    std::fprintf(stderr, "crashtest: %d undetected divergence(s)\n",
+                 divergences);
+    return 2;
+  }
   if (violations > 0) {
     std::fprintf(stderr, "crashtest: %d violation(s)\n", violations);
     return 1;
@@ -672,7 +1355,8 @@ int CrashTest(const std::map<std::string, std::string>& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tartool <generate|build|info|check|query|stress|crashtest> [--flags]\n"
+               "usage: tartool <generate|build|info|check|query|stress|"
+               "ingest|recover|crashtest> [--flags]\n"
                "  generate --preset gw|gs|nyc|la --scale S --out FILE\n"
                "  build    --input FILE --out INDEX [--strategy tar|spa|agg]"
                " [--threshold N] [--epoch-days D] [--backend mvbt|bptree]\n"
@@ -682,6 +1366,11 @@ int Usage() {
                " [--alpha A] [--mwa] [--fallback-scan] [--trace]\n"
                "  stress   --index INDEX --threads N --queries M [--k K]"
                " [--days D] [--alpha A] [--seed S] [--metrics]\n"
+               "  ingest   --input FILE --store PREFIX [--strategy tar|spa|"
+               "agg] [--threshold N]\n"
+               "           [--epoch-days D] [--backend mvbt|bptree]"
+               " [--checkpoint-every K] [--metrics]\n"
+               "  recover  --store PREFIX [--checkpoint] [--shallow]\n"
                "  crashtest [--rounds N] [--seed S] [--scale F] [--path P]"
                "\n");
   return 2;
@@ -703,6 +1392,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "query") return QueryCmd(flags);
   if (cmd == "stress") return Stress(flags);
+  if (cmd == "ingest") return Ingest(flags);
+  if (cmd == "recover") return RecoverCmd(flags);
   if (cmd == "crashtest") return CrashTest(flags);
   return Usage();
 }
