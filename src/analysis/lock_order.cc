@@ -1,0 +1,270 @@
+#include "analysis/lock_order.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace tar::lockorder {
+
+namespace {
+
+/// One entry of a thread's held-lock stack.
+struct Held {
+  const void* mu = nullptr;
+  std::uint32_t rank = 0;
+  std::uint64_t seq = 0;
+  const char* name = "";
+  const char* file = "";
+  unsigned line = 0;
+  bool try_lock = false;
+};
+
+/// The calling thread's held stack, innermost (most recent) last.
+/// Function-local so it is constructed on first use regardless of static
+/// initialization order.
+std::vector<Held>& Stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+/// One observed "acquired `to` while holding `from`" fact, with the
+/// sites of the first acquisition pair that recorded it.
+struct Edge {
+  const char* from_file = "";
+  unsigned from_line = 0;
+  const char* to_file = "";
+  unsigned to_line = 0;
+  bool via_try = false;
+};
+
+/// Graph state. A plain std::mutex on purpose: the detector must not
+/// recurse into the ranked tar::Mutex it is checking.
+struct Graph {
+  std::mutex mu;
+  /// name -> rank (of the first mutex registered under that name).
+  std::map<std::string, std::uint32_t> rank_of;
+  /// name -> successor name -> first edge observed.
+  std::map<std::string, std::map<std::string, Edge>> out;
+};
+
+Graph& TheGraph() {
+  static Graph* g = new Graph();  // never destroyed: mutexes outlive main
+  return *g;
+}
+
+void DefaultHandler(const std::string& report) {
+  std::fputs(report.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<ViolationHandler> g_handler{&DefaultHandler};
+
+void Violate(const std::string& report) {
+  g_handler.load(std::memory_order_acquire)(report);
+}
+
+void DescribeHeld(std::ostringstream* os, const Held& h) {
+  *os << "  \"" << h.name << "\" (rank " << h.rank << ", seq " << h.seq
+      << ") acquired at " << h.file << ":" << h.line
+      << (h.try_lock ? " [try]" : "") << "\n";
+}
+
+std::string DescribeStack(const std::vector<Held>& stack) {
+  std::ostringstream os;
+  for (const Held& h : stack) DescribeHeld(&os, h);
+  return os.str();
+}
+
+/// Depth-first search for a path `from` -> ... -> `target` in the graph
+/// (graph mutex must be held). Fills `path` with the node sequence
+/// starting at `from` when found.
+bool FindPathLocked(const Graph& g, const std::string& from,
+                    const std::string& target,
+                    std::vector<std::string>* path) {
+  path->push_back(from);
+  if (from == target) return true;
+  auto it = g.out.find(from);
+  if (it != g.out.end()) {
+    for (const auto& [next, edge] : it->second) {
+      // The graph is small (one node per lock class); the path already
+      // visited acts as the DFS visited set.
+      bool seen = false;
+      for (const std::string& p : *path) {
+        if (p == next) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      if (FindPathLocked(g, next, target, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t RegisterMutex() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OnAcquire(const void* mu, std::uint32_t rank, std::uint64_t seq,
+               const char* name, const char* file, unsigned line,
+               bool try_lock) {
+  std::vector<Held>& stack = Stack();
+
+  // Self-deadlock: tar::Mutex is non-recursive. One report per
+  // acquisition: a recursive acquire skips the rank/graph checks (it
+  // would trip them too, burying the real diagnosis).
+  for (const Held& h : stack) {
+    if (h.mu == mu) {
+      std::ostringstream os;
+      os << "lock-order violation: recursive acquisition of \"" << name
+         << "\" (rank " << rank << ") at " << file << ":" << line
+         << "\nheld locks (outermost first):\n"
+         << DescribeStack(stack);
+      Violate(os.str());
+      stack.push_back(Held{mu, rank, seq, name, file, line, try_lock});
+      return;
+    }
+  }
+
+  // Rank discipline: strictly ascending ranks; ties only in ascending
+  // construction order (the buffer-pool shard sweep). TryLock is exempt —
+  // it cannot block, so it cannot complete a deadlock by itself. The
+  // comparison is against the highest-ranked lock held, not the innermost:
+  // a low-ranked try-acquisition in between must not hide the outer lock
+  // (tar-lint's static lock-order check compares against every held lock;
+  // the two must agree on what an inversion is).
+  if (!try_lock && !stack.empty()) {
+    const Held& top = *std::max_element(
+        stack.begin(), stack.end(), [](const Held& a, const Held& b) {
+          return a.rank < b.rank || (a.rank == b.rank && a.seq < b.seq);
+        });
+    const bool ok =
+        rank > top.rank || (rank == top.rank && seq > top.seq);
+    if (!ok) {
+      std::ostringstream os;
+      os << "lock-order violation: acquiring \"" << name << "\" (rank "
+         << rank << ", seq " << seq << ") at " << file << ":" << line
+         << " while holding \"" << top.name << "\" (rank " << top.rank
+         << ", seq " << top.seq << ")"
+         << "\nheld locks (outermost first):\n"
+         << DescribeStack(stack)
+         << "the latch hierarchy (src/common/lock_rank.h) only permits "
+            "acquiring a strictly higher rank, or an equal rank in "
+            "ascending construction order";
+      Violate(os.str());
+    }
+  }
+
+  // Acquisition-order graph: record held -> new edges and look for a
+  // cycle (some other thread, or an exempt TryLock, may have recorded
+  // the opposite order).
+  if (!stack.empty()) {
+    Graph& g = TheGraph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.rank_of.emplace(name, rank);
+    for (const Held& h : stack) {
+      if (std::string_view(h.name) == name) continue;  // same lock class
+      auto [it, inserted] = g.out[h.name].try_emplace(name);
+      if (inserted) {
+        it->second = Edge{h.file, h.line, file, line, try_lock};
+        // New edge h.name -> name: a path name -> ... -> h.name now
+        // closes a cycle.
+        std::vector<std::string> path;
+        if (FindPathLocked(g, name, h.name, &path)) {
+          std::ostringstream os;
+          os << "lock-order violation: acquisition-order cycle between "
+                "lock classes\n  \""
+             << h.name << "\" -> \"" << name << "\" recorded at " << file
+             << ":" << line << " (holding \"" << h.name
+             << "\" acquired at " << h.file << ":" << h.line << ")\n";
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const Edge& e = g.out.at(path[i]).at(path[i + 1]);
+            os << "  \"" << path[i] << "\" -> \"" << path[i + 1]
+               << "\" recorded at " << e.to_file << ":" << e.to_line
+               << (e.via_try ? " [try]" : "") << "\n";
+          }
+          os << "two threads acquiring these lock classes in opposite "
+                "orders can deadlock";
+          Violate(os.str());
+        }
+      }
+    }
+  }
+
+  stack.push_back(Held{mu, rank, seq, name, file, line, try_lock});
+}
+
+void OnRelease(const void* mu) noexcept {
+  std::vector<Held>& stack = Stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unbalanced release: only reachable if a violation handler returned
+  // after a recursive-acquisition report. Ignore.
+}
+
+bool IsHeldByThisThread(const void* mu) {
+  for (const Held& h : Stack()) {
+    if (h.mu == mu) return true;
+  }
+  return false;
+}
+
+void AssertHeld(const void* mu, const char* name) {
+  if (IsHeldByThisThread(mu)) return;
+  std::ostringstream os;
+  os << "lock-order violation: AssertHeld(\"" << name
+     << "\") failed — the calling thread does not hold it\n"
+        "held locks (outermost first):\n"
+     << DescribeStack(Stack());
+  Violate(os.str());
+}
+
+std::size_t HeldCount() { return Stack().size(); }
+
+std::string HeldStackDescription() { return DescribeStack(Stack()); }
+
+std::string GraphDebugString() {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  std::ostringstream os;
+  os << "acquisition-order graph (" << g.out.size() << " source nodes):\n";
+  for (const auto& [from, edges] : g.out) {
+    for (const auto& [to, e] : edges) {
+      os << "  \"" << from << "\" -> \"" << to << "\" at " << e.to_file
+         << ":" << e.to_line << (e.via_try ? " [try]" : "") << "\n";
+    }
+  }
+  return os.str();
+}
+
+void ResetGraphForTest() {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.out.clear();
+  g.rank_of.clear();
+}
+
+ViolationHandler SetViolationHandlerForTest(ViolationHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &DefaultHandler,
+                            std::memory_order_acq_rel);
+}
+
+}  // namespace tar::lockorder

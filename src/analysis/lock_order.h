@@ -1,0 +1,87 @@
+// Runtime lock-order detector (debug builds only).
+//
+// Two cooperating structures catch latch-hierarchy violations at acquire
+// time, before they can deadlock:
+//
+//   * A per-thread HELD-LOCK STACK. Acquiring a mutex whose (rank, seq)
+//     is not strictly greater than the top of the stack — where `seq` is
+//     the mutex's construction order, used to order same-rank groups like
+//     the buffer-pool shard latches — is a rank inversion. Re-acquiring a
+//     mutex already on the stack is a self-deadlock. Both fail
+//     immediately with the lock names and the acquisition sites
+//     (file:line of every MutexLock/Lock involved).
+//
+//   * A global ACQUISITION-ORDER GRAPH over lock *names* (one node per
+//     lock class, so all 16 "buffer_pool.shard" latches share a node).
+//     Acquiring B while holding A records the edge A -> B; an edge that
+//     closes a cycle means two threads have used opposite orders — the
+//     classic cross-thread ABBA deadlock — even if this run never
+//     interleaved them. The report names every edge on the cycle with
+//     the sites that created it.
+//
+// TryLock is exempt from the rank check (a failed try_lock cannot block)
+// but a successfully try-acquired mutex still counts as *held* for every
+// later acquisition, and still participates in the graph.
+//
+// Violations call the installed handler (default: print the report to
+// stderr and abort — death-testable). Tests may install a recording
+// handler; if the handler returns, the acquisition proceeds so the
+// held-stack stays balanced.
+//
+// This header is included by src/common/mutex.h in debug builds, so it
+// must only depend on the standard library. The implementation is
+// compiled into tar_common (see src/CMakeLists.txt) for the same reason,
+// even though the source lives under src/analysis with the other
+// checking tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tar::lockorder {
+
+/// Registers a mutex at construction; returns its global sequence number
+/// (construction order, used to order same-rank acquisitions).
+std::uint64_t RegisterMutex();
+
+/// Checks and records the acquisition of `mu` by the calling thread.
+/// `try_lock` marks a successful TryLock (exempt from the rank check).
+/// Call before blocking on the underlying mutex, with the site of the
+/// acquiring MutexLock/Lock call.
+void OnAcquire(const void* mu, std::uint32_t rank, std::uint64_t seq,
+               const char* name, const char* file, unsigned line,
+               bool try_lock);
+
+/// Records the release of `mu` by the calling thread.
+void OnRelease(const void* mu) noexcept;
+
+/// True iff the calling thread's held stack contains `mu`.
+bool IsHeldByThisThread(const void* mu);
+
+/// Fails through the violation handler unless the calling thread holds
+/// `mu` (the debug side of Mutex::AssertHeld).
+void AssertHeld(const void* mu, const char* name);
+
+/// Number of locks the calling thread holds (tests).
+std::size_t HeldCount();
+
+/// Human-readable held stack of the calling thread, innermost last.
+std::string HeldStackDescription();
+
+/// Human-readable dump of the global acquisition-order graph.
+std::string GraphDebugString();
+
+/// Drops every recorded graph edge (tests only; held stacks are
+/// per-thread and unaffected).
+void ResetGraphForTest();
+
+/// Receives the full violation report. Returning resumes the
+/// acquisition; the default handler never returns (stderr + abort).
+using ViolationHandler = void (*)(const std::string& report);
+
+/// Installs `handler` (nullptr restores the default) and returns the
+/// previous one. Tests use this to observe violations without dying.
+ViolationHandler SetViolationHandlerForTest(ViolationHandler handler);
+
+}  // namespace tar::lockorder

@@ -305,6 +305,13 @@ Status StructureVerifier::VerifyTarNode(const TarTree& tree,
 
 Status StructureVerifier::VerifyTarTree(const TarTree& tree,
                                         VerifyReport* report) const {
+  // A poisoned tree (a WAL-logged mutation died mid-apply) is suspect by
+  // definition: even if every structural walk below would pass, reporting
+  // it sound invites serving from it. Surface the poison instead.
+  if (tree.poisoned()) {
+    return Status::Corruption("verify: tree is poisoned: " +
+                              tree.poison_status().ToString());
+  }
   // Fill bounds, balance, level bookkeeping, registry counts and global
   // TIA dominance are the tree's own invariants.
   TAR_RETURN_NOT_OK(tree.CheckInvariants());

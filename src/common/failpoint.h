@@ -121,7 +121,7 @@ class FaultInjector {
     std::uint64_t fires = 0;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kFailpoint, "failpoint.registry"};
   std::vector<std::pair<std::string, Site>> sites_ TAR_GUARDED_BY(mu_);
   std::uint64_t seed_ TAR_GUARDED_BY(mu_) = 42;
   std::atomic<bool> enabled_{false};

@@ -166,7 +166,7 @@ class MetricsRegistry {
   std::string ToText() const TAR_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "metrics.registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       TAR_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ TAR_GUARDED_BY(mu_);

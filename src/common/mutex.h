@@ -1,34 +1,115 @@
-// Annotated mutex wrappers: std::mutex with Clang Thread Safety Analysis
-// capability attributes, plus the RAII guard the rest of the codebase uses.
+// Annotated, ranked mutex wrappers: std::mutex with Clang Thread Safety
+// Analysis capability attributes, a position in the repo-wide latch
+// hierarchy, and the RAII guard the rest of the codebase uses.
 //
 // std::mutex itself carries no capability annotations, so locking it never
-// satisfies a TAR_GUARDED_BY/TAR_REQUIRES contract; these thin wrappers do
-// nothing at runtime beyond the underlying mutex but give the analysis the
-// acquire/release facts it needs.
+// satisfies a TAR_GUARDED_BY/TAR_REQUIRES contract; these thin wrappers
+// give the analysis the acquire/release facts it needs. On top of that,
+// every Mutex is constructed with a LockRank and a name
+// (src/common/lock_rank.h is the rank table): debug builds maintain a
+// per-thread held-lock stack and a global acquisition-order graph
+// (src/analysis/lock_order.h) and fail at acquire time — with lock names
+// and acquisition sites — on a rank inversion, a self-deadlock, or a
+// cross-thread acquisition-order cycle. Release builds (NDEBUG) compile
+// all of it out: Mutex is exactly a std::mutex again, with no extra
+// state, branches, or stores.
 #pragma once
 
 #include <mutex>
+#include <source_location>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
+
+// Debug lock-order checking. Off under NDEBUG (release/bench builds pay
+// nothing); define TAR_NO_LOCK_ORDER to switch it off in a debug build
+// (e.g. to isolate a sanitizer report from detector frames).
+#if !defined(NDEBUG) && !defined(TAR_NO_LOCK_ORDER)
+#define TAR_LOCK_ORDER_CHECKS 1
+#include "analysis/lock_order.h"
+#else
+#define TAR_LOCK_ORDER_CHECKS 0
+#endif
 
 namespace tar {
 
-/// \brief An annotated exclusive mutex (a "latch" in storage-engine terms).
+/// \brief An annotated, ranked exclusive mutex (a "latch" in
+/// storage-engine terms).
 class TAR_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// Every Mutex declares its place in the latch hierarchy and a
+  /// diagnostic name (a string literal; violation reports print it).
+  /// tar-lint rejects a Mutex declaration without them.
+#if TAR_LOCK_ORDER_CHECKS
+  explicit Mutex(LockRank rank, const char* name)
+      : rank_(LockRankValue(rank)),
+        name_(name),
+        seq_(lockorder::RegisterMutex()) {}
+#else
+  explicit Mutex(LockRank /*rank*/, const char* /*name*/) {}
+#endif
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() TAR_ACQUIRE() { mu_.lock(); }
-  void Unlock() TAR_RELEASE() { mu_.unlock(); }
-  bool TryLock() TAR_THREAD_ANNOTATION_ATTRIBUTE__(
-      try_acquire_capability(true)) {
-    return mu_.try_lock();
+  void Lock(std::source_location loc = std::source_location::current())
+      TAR_ACQUIRE() {
+#if TAR_LOCK_ORDER_CHECKS
+    lockorder::OnAcquire(this, rank_, seq_, name_, loc.file_name(),
+                         loc.line(), /*try_lock=*/false);
+#else
+    (void)loc;
+#endif
+    mu_.lock();
   }
+
+  void Unlock() TAR_RELEASE() {
+#if TAR_LOCK_ORDER_CHECKS
+    lockorder::OnRelease(this);
+#endif
+    mu_.unlock();
+  }
+
+  /// Non-blocking acquisition. Exempt from the rank check (a failed
+  /// try_lock cannot block, so it cannot complete a deadlock), but a
+  /// successfully acquired mutex still counts as held for every later
+  /// acquisition and for AssertHeld.
+  bool TryLock(std::source_location loc = std::source_location::current())
+      TAR_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#if TAR_LOCK_ORDER_CHECKS
+    if (acquired) {
+      lockorder::OnAcquire(this, rank_, seq_, name_, loc.file_name(),
+                           loc.line(), /*try_lock=*/true);
+    }
+#else
+    (void)loc;
+#endif
+    return acquired;
+  }
+
+  /// Debug-checked claim that the calling thread holds this mutex; a
+  /// no-op in release builds. Also teaches the static analysis that the
+  /// capability is held from here on, so internal helpers can assert
+  /// their latch contract instead of relying on comments.
+  void AssertHeld() const TAR_ASSERT_CAPABILITY(this) {
+#if TAR_LOCK_ORDER_CHECKS
+    lockorder::AssertHeld(this, name_);
+#endif
+  }
+
+#if TAR_LOCK_ORDER_CHECKS
+  std::uint32_t rank() const { return rank_; }
+  const char* name() const { return name_; }
+#endif
 
  private:
   std::mutex mu_;
+#if TAR_LOCK_ORDER_CHECKS
+  std::uint32_t rank_;
+  const char* name_;
+  std::uint64_t seq_;
+#endif
 };
 
 /// \brief Scoped lock guard; the only way code should hold a Mutex.
@@ -38,9 +119,17 @@ class TAR_CAPABILITY("mutex") Mutex {
 ///
 ///   MutexLock lock(&shard.mu);
 ///   shard.caches.clear();   // OK: caches is TAR_GUARDED_BY(mu)
+///
+/// The defaulted source_location captures the *call site*, so lock-order
+/// violation reports name the line that took the latch, not this header.
 class TAR_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex* mu) TAR_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  explicit MutexLock(Mutex* mu, std::source_location loc =
+                                    std::source_location::current())
+      TAR_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->Lock(loc);
+  }
   ~MutexLock() TAR_RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;

@@ -56,6 +56,13 @@
 #define TAR_ACQUIRE_SHARED(...) \
   TAR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
 
+/// The function attempts to acquire the capability without blocking and
+/// returns `ret` (usually true) on success, e.g.
+/// `bool TryLock() TAR_TRY_ACQUIRE(true);`
+#define TAR_TRY_ACQUIRE(ret, ...) \
+  TAR_THREAD_ANNOTATION_ATTRIBUTE__(                                      \
+      try_acquire_capability(ret __VA_OPT__(, ) __VA_ARGS__))
+
 /// The function releases the capability (exclusive or shared).
 #define TAR_RELEASE(...) \
   TAR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))

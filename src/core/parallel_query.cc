@@ -33,7 +33,7 @@ Status RunParallelQueries(const TarTree& tree,
   // Claimed-index work queue: each worker owns the slots it claims, so the
   // per-query vectors need no lock. Only the merged totals do.
   std::atomic<std::size_t> next{0};
-  Mutex merge_mu;
+  Mutex merge_mu{LockRank::kParallelMerge, "parallel_query.merge"};
   AccessStats total;  // guarded by merge_mu (locals can't carry the
                       // attribute through lambda captures)
   LatencySnapshot latency;  // guarded by merge_mu, same as `total`

@@ -7,6 +7,7 @@
 namespace tar {
 
 bool BufferPool::TouchLocked(Shard& shard, OwnerId owner, PageId id) {
+  shard.mu.AssertHeld();
   const std::size_t quota = quota_.load(std::memory_order_relaxed);
   if (quota == 0) return false;
   OwnerCache& cache = shard.caches[owner];
@@ -113,12 +114,17 @@ Status BufferPool::CheckIntegrity() const {
   return Status::OK();
 }
 
-// Holds every shard latch (ascending index order per the documented latch
-// hierarchy) so the quota store and the eviction sweep are one atomic step:
-// once set_quota returns, no owner is resident above the new quota. The
-// analysis cannot follow a loop that accumulates locks, hence the opt-out.
+// Holds every shard latch so the quota store and the eviction sweep are
+// one atomic step: once set_quota returns, no owner is resident above the
+// new quota. The shard latches share one rank, so the hierarchy requires
+// ascending construction (= index) order — and since PR 6 that order is
+// *checked*, not conventional: in debug builds each Lock() below runs the
+// lock-order detector, which aborts on a descending same-rank acquisition
+// (see LockOrderTest.DescendingSameRankSweepDies). The static analysis
+// cannot follow a loop that accumulates locks, hence the opt-out.
 void BufferPool::set_quota(std::size_t quota) TAR_NO_THREAD_SAFETY_ANALYSIS {
   for (Shard& shard : shards_) shard.mu.Lock();
+  for (Shard& shard : shards_) shard.mu.AssertHeld();
   quota_.store(quota, std::memory_order_relaxed);
   for (Shard& shard : shards_) {
     for (auto& [owner, cache] : shard.caches) {

@@ -119,7 +119,9 @@ class BufferPool {
   /// One latch-sharded slice of the owner map. Owners hash to a fixed
   /// shard, so one owner's LRU state is only ever touched under one latch.
   struct Shard {
-    mutable Mutex mu;
+    /// Equal rank across all 16 shards; multi-acquired only in ascending
+    /// construction (= index) order, which the debug detector checks.
+    mutable Mutex mu{LockRank::kBufferPoolShard, "buffer_pool.shard"};
     std::unordered_map<OwnerId, OwnerCache> caches TAR_GUARDED_BY(mu);
   };
 

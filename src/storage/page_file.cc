@@ -14,6 +14,7 @@ Result<PageId> PageFile::Allocate() {
 }
 
 Page* PageFile::PageOrNull(PageId id) {
+  mu_.AssertHeld();
   if (id >= pages_.size()) return nullptr;
   return pages_[id].get();
 }

@@ -75,8 +75,8 @@ class PageFile {
   /// Bounds-checked page lookup; nullptr when id is out of range.
   Page* PageOrNull(PageId id) TAR_REQUIRES(mu_);
 
-  std::size_t page_size_;
-  mutable Mutex mu_;
+  const std::size_t page_size_;
+  mutable Mutex mu_{LockRank::kPageFile, "page_file"};
   /// Heap-allocated so handed-out Page* survive directory growth.
   std::vector<std::unique_ptr<Page>> pages_ TAR_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> physical_reads_{0};

@@ -307,14 +307,18 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
     trim.flush();
     if (!trim.good()) return Status::IoError("cannot trim " + path);
   }
-  writer->out_.open(path, std::ios::binary | std::ios::app);
-  if (!writer->out_.is_open()) {
-    return Status::IoError("cannot open " + path);
+  {
+    MutexLock lock(&writer->mu_);
+    writer->out_.open(path, std::ios::binary | std::ios::app);
+    if (!writer->out_.is_open()) {
+      return Status::IoError("cannot open " + path);
+    }
   }
   return writer;
 }
 
 Result<Lsn> WalWriter::Append(const WalRecord& record) {
+  MutexLock lock(&mu_);
   TAR_RETURN_NOT_OK(dead_);
   TAR_INJECT_FAULT("wal.append");
 
@@ -335,12 +339,17 @@ Result<Lsn> WalWriter::Append(const WalRecord& record) {
 
   if (pending_records_ >= options_.group_commit_records ||
       pending_.size() >= options_.group_commit_bytes) {
-    TAR_RETURN_NOT_OK(Sync());
+    TAR_RETURN_NOT_OK(SyncLocked());
   }
   return lsn;
 }
 
 Status WalWriter::Sync() {
+  MutexLock lock(&mu_);
+  return SyncLocked();
+}
+
+Status WalWriter::SyncLocked() {
   TAR_RETURN_NOT_OK(dead_);
   if (pending_.empty()) return Status::OK();
 
@@ -399,6 +408,7 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::Truncate() {
+  MutexLock lock(&mu_);
   TAR_RETURN_NOT_OK(dead_);
   // Truncation is a durability point of the checkpoint protocol, so it
   // shares the sync failpoint.

@@ -42,8 +42,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace tar {
 
@@ -121,8 +123,13 @@ struct WalWriterOptions {
 
 /// \brief Appender for a write-ahead log file.
 ///
-/// Thread safety: none. The WAL serializes mutations of one tree, which
-/// themselves require external exclusion (see core/tar_tree.h).
+/// Thread safety: Append/Sync/Truncate and the counters serialize on an
+/// internal ranked latch (`wal.writer` in the hierarchy of
+/// src/common/lock_rank.h), so the writer itself is safe to share —
+/// groundwork for the sharded server's per-shard WAL, where checkpoint
+/// coordination syncs a log that ingestion threads append to. Note that
+/// TarTree mutations still require external exclusion (see
+/// core/tar_tree.h): the latch serializes log I/O, not tree updates.
 class WalWriter {
  public:
   /// Opens `path` for appending. An existing log is scanned first: LSNs
@@ -141,35 +148,51 @@ class WalWriter {
   /// Stamps the next LSN on `record`, encodes and buffers its frame, and
   /// auto-syncs when a group-commit budget fills. Returns the LSN. On any
   /// failure nothing is buffered and the LSN counter is not consumed.
-  Result<Lsn> Append(const WalRecord& record);
+  Result<Lsn> Append(const WalRecord& record) TAR_EXCLUDES(mu_);
 
   /// Writes and flushes all buffered frames. A failure kills the writer:
   /// the file may end in a torn frame, so every later Append/Sync/Truncate
   /// returns the original error and the log must go through recovery.
-  Status Sync();
+  Status Sync() TAR_EXCLUDES(mu_);
 
   /// Empties the log file (the checkpoint made its records redundant).
   /// Discards buffered-but-unsynced frames too — checkpoint before
   /// truncating. The LSN counter is NOT reset; it keeps increasing so
   /// records appended after a checkpoint still sort after it.
-  Status Truncate();
+  Status Truncate() TAR_EXCLUDES(mu_);
 
-  Lsn last_lsn() const { return last_lsn_; }
-  Lsn last_synced_lsn() const { return last_synced_lsn_; }
-  std::size_t pending_records() const { return pending_records_; }
+  Lsn last_lsn() const TAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return last_lsn_;
+  }
+  Lsn last_synced_lsn() const TAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return last_synced_lsn_;
+  }
+  std::size_t pending_records() const TAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pending_records_;
+  }
   const std::string& path() const { return path_; }
 
  private:
   WalWriter(std::string path, const WalWriterOptions& options, Lsn last_lsn);
 
-  std::string path_;
-  WalWriterOptions options_;
-  std::ofstream out_;
-  Status dead_ = Status::OK();  ///< sticky error after a failed sync
-  std::string pending_;         ///< encoded frames awaiting Sync
-  std::size_t pending_records_ = 0;
-  Lsn last_lsn_ = 0;
-  Lsn last_synced_lsn_ = 0;
+  /// The sync body; Append calls it with the latch already held when a
+  /// group-commit budget fills.
+  Status SyncLocked() TAR_REQUIRES(mu_);
+
+  const std::string path_;
+  const WalWriterOptions options_;
+  mutable Mutex mu_{LockRank::kWalWriter, "wal.writer"};
+  std::ofstream out_ TAR_GUARDED_BY(mu_);
+  /// Sticky error after a failed sync.
+  Status dead_ TAR_GUARDED_BY(mu_) = Status::OK();
+  /// Encoded frames awaiting Sync.
+  std::string pending_ TAR_GUARDED_BY(mu_);
+  std::size_t pending_records_ TAR_GUARDED_BY(mu_) = 0;
+  Lsn last_lsn_ TAR_GUARDED_BY(mu_) = 0;
+  Lsn last_synced_lsn_ TAR_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Sequential reader over the valid prefix of a log file.

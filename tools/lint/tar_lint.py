@@ -1,0 +1,921 @@
+#!/usr/bin/env python3
+"""tar-lint: repo-specific static checks for the TAR codebase.
+
+Complements the compiler (clang -Wthread-safety, [[nodiscard]]) with checks
+that need repo-wide knowledge: the latch hierarchy in src/common/lock_rank.h,
+the failpoint catalog in src/common/failpoint.cc, and the QueryTrace phase
+conventions in the hot query paths.
+
+Usage:
+  tar_lint.py check [--root DIR] [--checks a,b] [--no-suppress] [-v]
+  tar_lint.py list-checks
+  tar_lint.py selftest        # run the checks against tools/lint/testdata
+
+Checks (see `list-checks` for one-liners):
+  mutex-rank         every tar::Mutex is constructed with (LockRank, "name")
+  guarded-by         siblings of a Mutex member carry TAR_GUARDED_BY (or are
+                     const / atomic / another latch)
+  lock-order         no lock acquired under a higher-ranked lock along any
+                     syntactic path (the static mirror of the debug detector)
+  failpoint-catalog  every injected site is in kKnownSites and documented
+  unchecked-status   discarded Status/Result<> calls that [[nodiscard]]
+                     misses: bare ternary statements, comma operands
+  hot-section        no allocation or ungated clock reads inside
+                     QueryTrace-phased hot sections
+
+A finding can be suppressed with a comment on the same or preceding line:
+
+  // tar-lint: allow(check-name) reason why this is fine
+
+When the `clang.cindex` Python bindings are importable, unchecked-status is
+re-verified against the AST (fewer false positives); without them every
+check runs on a self-contained lexer, so the tool needs only the standard
+library.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import re
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
+
+try:  # optional: AST-precise unchecked-status when libclang is installed
+    import clang.cindex as _cindex  # type: ignore
+
+    HAVE_LIBCLANG = True
+except ImportError:  # the container image does not ship libclang bindings
+    _cindex = None
+    HAVE_LIBCLANG = False
+
+SUPPRESS_RE = re.compile(r"tar-lint:\s*allow\(\s*([a-z\-]+(?:\s*,\s*[a-z\-]+)*)")
+
+TESTDATA_PREFIX = "tools/lint/testdata"
+
+
+def lintable(path: str) -> bool:
+    return path.startswith(("src/", "tests/", TESTDATA_PREFIX))
+
+
+# ---------------------------------------------------------------------------
+# Source model: one scanned file with comments/strings blanked but line
+# structure preserved, so regex offsets map back to file:line.
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SourceFile:
+    path: str  # repo-relative, forward slashes
+    raw: str
+    code: str  # comments and string/char literals blanked with spaces
+    suppressed: Dict[int, set]  # line -> set of check names allowed there
+
+    def line_of(self, offset: int) -> int:
+        return self.raw.count("\n", 0, offset) + 1
+
+    def is_suppressed(self, check: str, line: int) -> bool:
+        for probe in (line, line - 1):
+            allowed = self.suppressed.get(probe)
+            if allowed and (check in allowed or "all" in allowed):
+                return True
+        return False
+
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replaces comment and literal bodies with spaces, keeping newlines."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = i
+            while j < n and not (text[j] == "*" and j + 1 < n and text[j + 1] == "/"):
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            if j + 1 < n:
+                out[j] = out[j + 1] = " "
+                j += 2
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    out[j] = " "
+                    j += 1
+                    if j < n and text[j] != "\n":
+                        out[j] = " "
+                    j += 1
+                    continue
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def load_file(root: str, rel: str) -> SourceFile:
+    with open(os.path.join(root, rel), "r", encoding="utf-8") as f:
+        raw = f.read()
+    suppressed: Dict[int, set] = {}
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            names = {part.strip() for part in m.group(1).split(",")}
+            suppressed.setdefault(lineno, set()).update(names)
+    return SourceFile(rel, raw, blank_comments_and_strings(raw), suppressed)
+
+
+@dataclasses.dataclass
+class Finding:
+    check: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+class Context:
+    """Everything the checks share: files, the rank table, the catalog."""
+
+    def __init__(self, root: str, rels: List[str]):
+        self.root = root
+        self.files = [load_file(root, rel) for rel in rels]
+        self.by_path = {f.path: f for f in self.files}
+        self.ranks = self._parse_lock_ranks()
+        self.lock_classes: Dict[str, int] = {}  # "page_file" -> 400
+        self.member_to_class: Dict[Tuple[str, str], str] = {}
+        self.known_sites = self._parse_failpoint_catalog()
+
+    def _parse_lock_ranks(self) -> Dict[str, int]:
+        src = self.by_path.get("src/common/lock_rank.h")
+        if src is None:
+            return {}
+        body = re.search(r"enum class LockRank[^{]*\{(.*?)\}", src.code, re.S)
+        if body is None:
+            return {}
+        ranks = {}
+        for m in re.finditer(r"(k\w+)\s*=\s*(\d+)", body.group(1)):
+            ranks[m.group(1)] = int(m.group(2))
+        return ranks
+
+    def _parse_failpoint_catalog(self) -> set:
+        src = self.by_path.get("src/common/failpoint.cc")
+        if src is None:
+            return set()
+        arr = re.search(r"kKnownSites\[\]\s*=\s*\{(.*?)\};", src.raw, re.S)
+        if arr is None:
+            return set()
+        return set(re.findall(r'"([a-z_.]+)"', arr.group(1)))
+
+
+# ---------------------------------------------------------------------------
+# Mutex declarations: shared by mutex-rank, guarded-by and lock-order.
+# ---------------------------------------------------------------------------
+
+MUTEX_DECL_RE = re.compile(
+    r"(?<![\w:])(?:mutable\s+)?Mutex\s+([A-Za-z_]\w*)\s*(\{[^{}]*\})?\s*;"
+)
+
+
+@dataclasses.dataclass
+class MutexDecl:
+    path: str
+    line: int
+    offset: int
+    member: str  # declared identifier, e.g. "mu_"
+    rank_token: Optional[str]  # "kPageFile" or None
+    lock_name: Optional[str]  # "page_file" or None
+
+
+def find_mutex_decls(f: SourceFile) -> List[MutexDecl]:
+    decls = []
+    for m in MUTEX_DECL_RE.finditer(f.code):
+        init = m.group(2) or ""
+        rank = None
+        rank_m = re.search(r"LockRank::(k\w+)", init)
+        if rank_m:
+            rank = rank_m.group(1)
+        # The lock name is a string literal, blanked in `code`; recover it
+        # from the raw text of the same span.
+        name = None
+        name_m = re.search(r'"([^"]+)"', f.raw[m.start() : m.end()])
+        if name_m:
+            name = name_m.group(1)
+        decls.append(
+            MutexDecl(f.path, f.line_of(m.start()), m.start(), m.group(1), rank, name)
+        )
+    return decls
+
+
+def companion_paths(path: str) -> List[str]:
+    """The file itself first, then its header/source twin."""
+    out = [path]
+    if path.endswith(".cc"):
+        out.append(path[:-3] + ".h")
+    elif path.endswith(".h"):
+        out.append(path[:-2] + ".cc")
+    return out
+
+
+def build_lock_tables(ctx: Context, findings: List[Finding]) -> None:
+    """Fills ctx.lock_classes and ctx.member_to_class; emits mutex-rank."""
+    for f in ctx.files:
+        if f.path == "src/common/mutex.h":
+            continue
+        for d in find_mutex_decls(f):
+            if d.rank_token is None or d.lock_name is None:
+                if not f.is_suppressed("mutex-rank", d.line):
+                    findings.append(
+                        Finding(
+                            "mutex-rank",
+                            f.path,
+                            d.line,
+                            f"Mutex `{d.member}` must be constructed with a "
+                            "LockRank and a name, e.g. "
+                            'Mutex{LockRank::kPageFile, "page_file"} '
+                            "(see src/common/lock_rank.h)",
+                        )
+                    )
+                continue
+            if d.rank_token not in ctx.ranks:
+                if not f.is_suppressed("mutex-rank", d.line):
+                    findings.append(
+                        Finding(
+                            "mutex-rank",
+                            f.path,
+                            d.line,
+                            f"unknown LockRank::{d.rank_token}; add it to "
+                            "src/common/lock_rank.h first",
+                        )
+                    )
+                continue
+            rank = ctx.ranks[d.rank_token]
+            prev = ctx.lock_classes.get(d.lock_name)
+            if prev is not None and prev != rank:
+                findings.append(
+                    Finding(
+                        "mutex-rank",
+                        f.path,
+                        d.line,
+                        f'lock class "{d.lock_name}" redeclared with rank '
+                        f"{rank} (previously {prev}); one name, one rank",
+                    )
+                )
+            ctx.lock_classes[d.lock_name] = rank
+            key = (f.path, d.member)
+            prev_cls = ctx.member_to_class.get(key)
+            if prev_cls is not None and prev_cls != d.lock_name:
+                # Same identifier bound to different lock classes in one
+                # file (test locals reuse names): unresolvable statically.
+                ctx.member_to_class[key] = AMBIGUOUS
+            else:
+                ctx.member_to_class[key] = d.lock_name
+
+
+# ---------------------------------------------------------------------------
+# guarded-by: siblings of a Mutex member must be annotated or immutable.
+# ---------------------------------------------------------------------------
+
+_MEMBER_SKIP_PREFIXES = (
+    "public",
+    "private",
+    "protected",
+    "using ",
+    "typedef ",
+    "friend ",
+    "static ",
+    "constexpr ",
+    "template",
+    "enum ",
+    "enum\n",
+    "class ",
+    "struct ",
+    "explicit ",
+    "virtual ",
+    "operator",
+    "~",
+    "TAR_",
+)
+
+
+def _blank_nested_braces(body: str) -> str:
+    """Blanks everything inside braces nested within `body` (depth >= 1)."""
+    out = list(body)
+    depth = 0
+    for i, c in enumerate(body):
+        if c == "{":
+            if depth > 0 and c != "\n":
+                out[i] = " "
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth > 0:
+                out[i] = " "
+        elif depth > 0 and c != "\n":
+            out[i] = " "
+    return "".join(out)
+
+
+def _class_bodies(code: str) -> Iterable[Tuple[str, int, str]]:
+    """Yields (class_name, body_offset, body_text) for class/struct bodies."""
+    for m in re.finditer(r"\b(?:class|struct)\s+(?:TAR_\w+\([^)]*\)\s+)?(\w+)[^;{(]*\{", code):
+        name = m.group(1)
+        start = m.end()  # just past '{'
+        depth = 1
+        i = start
+        while i < len(code) and depth > 0:
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+            i += 1
+        yield name, start, code[start : i - 1]
+
+
+def _looks_like_data_member(stmt: str) -> bool:
+    s = stmt.strip()
+    if not s or s.endswith(":"):
+        return False
+    if "operator" in s or s.endswith("delete") or s.endswith("default"):
+        return False  # defaulted/deleted special members, operator=
+    for prefix in _MEMBER_SKIP_PREFIXES:
+        if s.startswith(prefix):
+            return False
+    # Drop the initializer (first '=' at paren/angle/bracket depth 0).
+    decl = []
+    pd = ad = 0
+    for ch in s:
+        if ch in "([":
+            pd += 1
+        elif ch in ")]":
+            pd -= 1
+        elif ch == "<":
+            ad += 1
+        elif ch == ">":
+            ad = max(0, ad - 1)
+        elif ch == "=" and pd == 0 and ad == 0:
+            break
+        decl.append(ch)
+    d = "".join(decl)
+    # Strip thread-safety annotations before looking for a parameter list.
+    d = re.sub(r"TAR_\w+\s*\([^()]*\)", "", d)
+    d = re.sub(r"\[\[[^\]]*\]\]", "", d)
+    # A '(' at angle-depth 0 means a function declaration, not data.
+    ad = 0
+    for ch in d:
+        if ch == "<":
+            ad += 1
+        elif ch == ">":
+            ad = max(0, ad - 1)
+        elif ch == "(" and ad == 0:
+            return False
+    return True
+
+
+def check_guarded_by(ctx: Context, findings: List[Finding]) -> None:
+    for f in ctx.files:
+        if f.path.startswith("tests/") or f.path == "src/common/mutex.h":
+            continue
+        for cls, body_off, body in _class_bodies(f.code):
+            flat = _blank_nested_braces(body)
+            if not MUTEX_DECL_RE.search(flat):
+                continue
+            pos = 0
+            for stmt in flat.split(";"):
+                stmt_off = body_off + pos
+                pos += len(stmt) + 1
+                if not _looks_like_data_member(stmt):
+                    continue
+                s = stmt.strip()
+                if MUTEX_DECL_RE.search(stmt + ";"):
+                    continue  # the latch itself
+                if "TAR_GUARDED_BY" in s or "TAR_PT_GUARDED_BY" in s:
+                    continue
+                if s.startswith("const ") or "std::atomic" in s or "std::once_flag" in s:
+                    continue
+                line = f.line_of(stmt_off + len(stmt) - len(stmt.lstrip()))
+                if f.is_suppressed("guarded-by", line):
+                    continue
+                decl_part = s.split("=")[0].strip()
+                member = decl_part.split()[-1] if decl_part.split() else s
+                findings.append(
+                    Finding(
+                        "guarded-by",
+                        f.path,
+                        line,
+                        f"member `{member}` of `{cls}` shares a class with a "
+                        "latch but has no TAR_GUARDED_BY annotation (mark it "
+                        "guarded, const, or std::atomic; or suppress with "
+                        "`// tar-lint: allow(guarded-by) reason`)",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# lock-order: syntactic nesting of acquisitions must ascend the hierarchy.
+# ---------------------------------------------------------------------------
+
+ACQUIRE_RE = re.compile(
+    r"MutexLock\s+\w+\s*[({]\s*&([\w.\->\[\]]+)\s*[,)}]"
+    r"|([\w.\->\[\]]+)\.(Lock|TryLock)\s*\("
+    r"|([\w.\->\[\]]+)->(Lock|TryLock)\s*\("
+)
+RELEASE_RE = re.compile(r"([\w.\->\[\]]+)(?:\.|->)Unlock\s*\(")
+
+
+def _member_name(expr: str) -> str:
+    """`writer->mu_` -> `mu_`, `shards_[i].mu` -> `mu`, `mu_` -> `mu_`."""
+    return re.split(r"\.|->", expr)[-1].strip()
+
+
+AMBIGUOUS = "<ambiguous>"
+
+
+def _lock_class_for(ctx: Context, path: str, expr: str) -> Optional[str]:
+    member = _member_name(expr)
+    for p in companion_paths(path):
+        cls = ctx.member_to_class.get((p, member))
+        if cls is not None:
+            return None if cls == AMBIGUOUS else cls
+    # Fall back to a unique member name anywhere in the tree (e.g. a test
+    # locking `pool.shards_[i].mu` would not resolve via companions).
+    hits = {c for (_, m), c in ctx.member_to_class.items() if m == member}
+    hits.discard(AMBIGUOUS)
+    return hits.pop() if len(hits) == 1 else None
+
+
+@dataclasses.dataclass
+class _Active:
+    cls: str
+    rank: int
+    line: int
+    depth: int  # brace depth at acquisition; MutexLock dies when depth drops
+    scoped: bool  # MutexLock (scope-bound) vs explicit Lock()
+    expr: str
+
+
+def check_lock_order(ctx: Context, findings: List[Finding]) -> None:
+    for f in ctx.files:
+        if not lintable(f.path):
+            continue
+        events: List[Tuple[int, str, object]] = []
+        for m in ACQUIRE_RE.finditer(f.code):
+            expr = m.group(1) or m.group(2) or m.group(4)
+            kind = m.group(3) or m.group(5) or "MutexLock"
+            events.append((m.start(), "acquire", (expr, kind)))
+        for m in RELEASE_RE.finditer(f.code):
+            events.append((m.start(), "release", m.group(1)))
+        if not events:
+            continue
+        events.sort(key=lambda e: e[0])
+
+        active: List[_Active] = []
+        depth = 0
+        ei = 0
+        for i, ch in enumerate(f.code):
+            while ei < len(events) and events[ei][0] == i:
+                off, kind, payload = events[ei]
+                ei += 1
+                line = f.line_of(off)
+                if kind == "release":
+                    expr = payload
+                    for k in range(len(active) - 1, -1, -1):
+                        if active[k].expr == expr and not active[k].scoped:
+                            del active[k]
+                            break
+                    continue
+                expr, how = payload
+                cls = _lock_class_for(ctx, f.path, expr)
+                if cls is None:
+                    continue
+                rank = ctx.lock_classes[cls]
+                if how != "TryLock":  # TryLock cannot block: exempt
+                    for held in active:
+                        if held.cls == cls:
+                            continue  # same class: the runtime seq check owns this
+                        if held.rank >= rank and not f.is_suppressed(
+                            "lock-order", line
+                        ):
+                            findings.append(
+                                Finding(
+                                    "lock-order",
+                                    f.path,
+                                    line,
+                                    f'acquiring "{cls}" (rank {rank}) while '
+                                    f'"{held.cls}" (rank {held.rank}, '
+                                    f"acquired line {held.line}) is held; "
+                                    "ranks must strictly ascend "
+                                    "(src/common/lock_rank.h)",
+                                )
+                            )
+                            break
+                active.append(
+                    _Active(cls, rank, line, depth, how == "MutexLock", expr)
+                )
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth = max(0, depth - 1)
+                # Any acquisition dies when its block closes: a MutexLock
+                # by its scope, an explicit Lock() conservatively too, so a
+                # never-released test lock cannot leak a false positive
+                # into the next function.
+                active = [a for a in active if depth >= a.depth]
+
+
+# ---------------------------------------------------------------------------
+# failpoint-catalog: injected sites must be compiled in and documented.
+# ---------------------------------------------------------------------------
+
+INJECT_RE = re.compile(
+    r'TAR_INJECT_FAULT\s*\(\s*"([^"]+)"\s*\)|(?:\.|->)Hit\s*\(\s*"([^"]+)"\s*\)'
+)
+
+
+def check_failpoint_catalog(ctx: Context, findings: List[Finding]) -> None:
+    if not ctx.known_sites:
+        return
+    docs = ""
+    docs_path = os.path.join(ctx.root, "docs", "internals.md")
+    if os.path.exists(docs_path):
+        with open(docs_path, "r", encoding="utf-8") as fh:
+            docs = fh.read()
+    for f in ctx.files:
+        if not lintable(f.path) or f.path == "src/common/failpoint.cc":
+            continue
+        if f.path.startswith("tests/"):
+            continue  # tests arm sites through the public Configure API
+        for m in INJECT_RE.finditer(f.raw):
+            site = m.group(1) or m.group(2)
+            line = f.line_of(m.start())
+            if f.is_suppressed("failpoint-catalog", line):
+                continue
+            if site not in ctx.known_sites:
+                findings.append(
+                    Finding(
+                        "failpoint-catalog",
+                        f.path,
+                        line,
+                        f'failpoint site "{site}" is not in kKnownSites '
+                        "(src/common/failpoint.cc); Configure would reject "
+                        "any spec that arms it",
+                    )
+                )
+            elif docs and site not in docs:
+                findings.append(
+                    Finding(
+                        "failpoint-catalog",
+                        f.path,
+                        line,
+                        f'failpoint site "{site}" is missing from the '
+                        'catalog in docs/internals.md ("Failure model")',
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# unchecked-status: discarded Status/Result<> that [[nodiscard]] misses.
+# ---------------------------------------------------------------------------
+
+
+def _status_returning_names(ctx: Context) -> set:
+    names = set()
+    decl = re.compile(
+        r"(?:^|[;{}\n])\s*(?:virtual\s+|static\s+)*"
+        r"(?:tar::)?(?:Status|Result<[^;{}]{0,80}?>)\s+"
+        r"(?:\w+::)?(\w+)\s*\("
+    )
+    for f in ctx.files:
+        if not f.path.startswith("src/"):
+            continue
+        for m in decl.finditer(f.code):
+            names.add(m.group(1))
+    names.discard("OK")
+    return names
+
+
+def check_unchecked_status(ctx: Context, findings: List[Finding]) -> None:
+    names = _status_returning_names(ctx)
+    if not names:
+        return
+    name_alt = "|".join(sorted(re.escape(n) for n in names))
+    # A whole statement that is a bare ternary whose arms call into the
+    # Status-returning surface: `cond ? Save(...) : Drop(...);`
+    ternary = re.compile(
+        r"[;{}]\s*(?!return\b|co_return\b|case\b)[\w.\->()\[\]! ]+\?\s*"
+        r"[\w.\->:]*(?:" + name_alt + r")\s*\([^;]*;"
+    )
+    # A discarded left operand of a comma expression: `Sync(), x = 1;`
+    comma = re.compile(
+        r"[;{}]\s*[\w.\->:]*(?:" + name_alt + r")\s*\([^;=?]*\)\s*,"
+    )
+    for f in ctx.files:
+        if not lintable(f.path):
+            continue
+        for pat, what in ((ternary, "ternary"), (comma, "comma expression")):
+            for m in pat.finditer(f.code):
+                line = f.line_of(m.end() - 1)
+                if f.is_suppressed("unchecked-status", line):
+                    continue
+                findings.append(
+                    Finding(
+                        "unchecked-status",
+                        f.path,
+                        line,
+                        f"Status/Result<> discarded through a {what}; "
+                        "[[nodiscard]] does not fire here — assign it and "
+                        "check, or cast to void with a reason",
+                    )
+                )
+    if HAVE_LIBCLANG:
+        _libclang_unchecked_status(ctx, names, findings)
+
+
+def _libclang_unchecked_status(
+    ctx: Context, names: set, findings: List[Finding]
+) -> None:
+    """AST pass: any call to a Status-returning function used as a full
+    expression statement (including inside lambda bodies)."""
+    index = _cindex.Index.create()
+    args = ["-std=c++20", "-I" + os.path.join(ctx.root, "src")]
+    for f in ctx.files:
+        if not f.path.endswith(".cc") or not f.path.startswith("src/"):
+            continue
+        try:
+            tu = index.parse(os.path.join(ctx.root, f.path), args=args)
+        except _cindex.TranslationUnitLoadError:
+            continue
+
+        def walk(node, parent_kind):
+            if (
+                node.kind == _cindex.CursorKind.CALL_EXPR
+                and node.spelling in names
+                and parent_kind == _cindex.CursorKind.COMPOUND_STMT
+            ):
+                line = node.location.line
+                if not f.is_suppressed("unchecked-status", line):
+                    findings.append(
+                        Finding(
+                            "unchecked-status",
+                            f.path,
+                            line,
+                            f"result of `{node.spelling}` discarded "
+                            "(libclang AST)",
+                        )
+                    )
+            for child in node.get_children():
+                walk(child, node.kind)
+
+        walk(tu.cursor, None)
+
+
+# ---------------------------------------------------------------------------
+# hot-section: phased query code must not allocate or read clocks ungated.
+# ---------------------------------------------------------------------------
+
+HOT_FILES = ("src/core/knnta.cc", "src/core/mwa.cc", "src/core/collective.cc")
+ALLOC_RE = re.compile(
+    r"\bnew\b(?!\s*\()|std::make_unique|std::make_shared|\bmalloc\s*\(|\bcalloc\s*\("
+)
+CLOCK_RE = re.compile(r"\b(?:Clock|steady_clock|system_clock|high_resolution_clock)::now\s*\(")
+
+
+def _hot_regions(code: str) -> List[Tuple[int, int]]:
+    """Regions from each AddPhase( call to the end of its brace scope, and
+    whole bodies of functions taking a QueryTrace::Phase* parameter."""
+    regions = []
+    for m in re.finditer(r"AddPhase\s*\(", code):
+        depth = 0
+        i = m.end()
+        while i < len(code):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth < 0:
+                    break
+            i += 1
+        regions.append((m.start(), i))
+    for m in re.finditer(r"QueryTrace::Phase\s*\*\s*\w+\s*\)[^;{]*\{", code):
+        depth = 1
+        i = m.end()
+        while i < len(code) and depth > 0:
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+            i += 1
+        regions.append((m.end(), i))
+    return regions
+
+
+def check_hot_section(ctx: Context, findings: List[Finding]) -> None:
+    for f in ctx.files:
+        if f.path not in HOT_FILES and not f.path.startswith(TESTDATA_PREFIX):
+            continue
+        regions = _hot_regions(f.code)
+        if not regions:
+            continue
+        lines = f.code.splitlines()
+        for pat, what in ((ALLOC_RE, "allocation"), (CLOCK_RE, "clock read")):
+            for m in pat.finditer(f.code):
+                if not any(lo <= m.start() < hi for lo, hi in regions):
+                    continue
+                line = f.line_of(m.start())
+                text = lines[line - 1] if line - 1 < len(lines) else ""
+                # Clock reads that feed phase accounting are gated on the
+                # phase pointer; a gated read mentions it on the same line
+                # or in the guarding if three lines up.
+                if pat is CLOCK_RE:
+                    window = " ".join(lines[max(0, line - 4) : line])
+                    if "phase" in window or "trace" in window:
+                        continue
+                if f.is_suppressed("hot-section", line):
+                    continue
+                findings.append(
+                    Finding(
+                        "hot-section",
+                        f.path,
+                        line,
+                        f"{what} inside a QueryTrace-phased hot section "
+                        f"(`{text.strip()[:60]}`); hoist it out of the "
+                        "phase or gate it on the trace being attached",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+CHECKS = {
+    "mutex-rank": "every tar::Mutex is constructed with (LockRank, \"name\")",
+    "guarded-by": "siblings of a Mutex member carry TAR_GUARDED_BY",
+    "lock-order": "no lock acquired under a higher-ranked lock (syntactic)",
+    "failpoint-catalog": "injected sites are compiled in and documented",
+    "unchecked-status": "discarded Status/Result<> beyond [[nodiscard]]'s reach",
+    "hot-section": "no allocation / ungated clock reads in phased sections",
+}
+
+DEFAULT_DIRS = ("src", "tests")
+EXTS = (".h", ".cc")
+
+
+def collect_files(root: str, dirs: Iterable[str]) -> List[str]:
+    rels = []
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    rels.append(rel.replace(os.sep, "/"))
+    return sorted(rels)
+
+
+def run_checks(
+    root: str, rels: List[str], checks: Iterable[str], no_suppress: bool = False
+) -> List[Finding]:
+    ctx = Context(root, rels)
+    if no_suppress:
+        for f in ctx.files:
+            f.suppressed = {}
+    findings: List[Finding] = []
+    rank_findings: List[Finding] = []
+    build_lock_tables(ctx, rank_findings)
+    if "mutex-rank" in checks:
+        findings.extend(rank_findings)
+    if "guarded-by" in checks:
+        check_guarded_by(ctx, findings)
+    if "lock-order" in checks:
+        check_lock_order(ctx, findings)
+    if "failpoint-catalog" in checks:
+        check_failpoint_catalog(ctx, findings)
+    if "unchecked-status" in checks:
+        check_unchecked_status(ctx, findings)
+    if "hot-section" in checks:
+        check_hot_section(ctx, findings)
+    findings.sort(key=lambda v: (v.path, v.line, v.check))
+    return findings
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    root = os.path.abspath(args.root)
+    checks = set(args.checks.split(",")) if args.checks else set(CHECKS)
+    unknown = checks - set(CHECKS)
+    if unknown:
+        print(f"tar-lint: unknown checks: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+    rels = collect_files(root, DEFAULT_DIRS)
+    if args.verbose:
+        backend = "libclang + lexer" if HAVE_LIBCLANG else "lexer (no libclang)"
+        print(f"tar-lint: {len(rels)} files, backend: {backend}")
+    findings = run_checks(root, rels, checks, no_suppress=args.no_suppress)
+    for v in findings:
+        print(v)
+    if findings:
+        print(f"tar-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    if args.verbose:
+        print("tar-lint: clean")
+    return 0
+
+
+def cmd_list_checks(_args: argparse.Namespace) -> int:
+    for name, doc in CHECKS.items():
+        print(f"  {name:<18} {doc}")
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """Runs every check over tools/lint/testdata and asserts each seeded
+    defect is reported — including the seeded lock-order inversion that the
+    debug runtime detector catches dynamically."""
+    root = os.path.abspath(args.root)
+    testdata = os.path.join(root, "tools", "lint", "testdata")
+    if not os.path.isdir(testdata):
+        print("tar-lint: selftest needs tools/lint/testdata", file=sys.stderr)
+        return 2
+    rels = collect_files(root, DEFAULT_DIRS)
+    rels += collect_files(root, (os.path.join("tools", "lint", "testdata"),))
+    findings = run_checks(root, rels, set(CHECKS))
+    expected = [
+        ("mutex-rank", "tools/lint/testdata/bad_mutex_rank.h"),
+        ("guarded-by", "tools/lint/testdata/bad_mutex_rank.h"),
+        ("lock-order", "tools/lint/testdata/seeded_inversion.cc"),
+        ("failpoint-catalog", "tools/lint/testdata/bad_failpoint.cc"),
+        ("unchecked-status", "tools/lint/testdata/bad_unchecked_status.cc"),
+        ("hot-section", "tools/lint/testdata/bad_hot_section.cc"),
+    ]
+    ok = True
+    for check, path in expected:
+        hits = [v for v in findings if v.check == check and v.path == path]
+        status = "ok" if hits else "MISSING"
+        if not hits:
+            ok = False
+        print(f"  [{status:>7}] {check} fires on {path}")
+        for v in hits:
+            print(f"            {v}")
+    stray = [
+        v
+        for v in findings
+        if not v.path.startswith("tools/lint/testdata")
+    ]
+    if stray:
+        ok = False
+        print("  [ STRAY ] findings outside testdata during selftest:")
+        for v in stray:
+            print(f"            {v}")
+    print("tar-lint selftest:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(prog="tar-lint", add_help=True)
+    sub = parser.add_subparsers(dest="cmd")
+
+    p_check = sub.add_parser("check", help="lint the tree")
+    p_check.add_argument("--root", default=".", help="repo root (default: .)")
+    p_check.add_argument("--checks", default="", help="comma-separated subset")
+    p_check.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="ignore `tar-lint: allow(...)` comments",
+    )
+    p_check.add_argument("-v", "--verbose", action="store_true")
+    p_check.set_defaults(func=cmd_check)
+
+    p_list = sub.add_parser("list-checks", help="describe the checks")
+    p_list.set_defaults(func=cmd_list_checks)
+
+    p_self = sub.add_parser("selftest", help="verify checks on seeded defects")
+    p_self.add_argument("--root", default=".", help="repo root (default: .)")
+    p_self.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    if args.cmd is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

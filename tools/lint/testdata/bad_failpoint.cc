@@ -1,0 +1,15 @@
+// tar-lint selftest fixture — never compiled. Seeds an injection site
+// that is missing from kKnownSites in src/common/failpoint.cc, so any
+// TAR_FAILPOINTS spec arming it would be rejected and the fault could
+// never fire.
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace tar::lintfixture {
+
+Status CompactPages() {
+  TAR_INJECT_FAULT("page_file.compact");
+  return Status::OK();
+}
+
+}  // namespace tar::lintfixture

@@ -1,0 +1,18 @@
+// tar-lint selftest fixture — never compiled. Seeds work that must not
+// happen inside a QueryTrace-phased hot section: a heap allocation and a
+// clock read that is not gated on the trace being attached.
+#include "common/metrics.h"
+
+namespace tar::lintfixture {
+
+int HotLoop(QueryTrace* trace) {
+  trace->AddPhase("fixture");
+  auto scratch = std::make_unique<int[]>(64);
+  int acc = 0;
+  for (int i = 0; i < 64; ++i) acc += scratch[i] = i;
+  if (acc > 1024) acc -= 1;
+  auto t0 = Clock::now();
+  return acc + static_cast<int>(t0.time_since_epoch().count() & 1);
+}
+
+}  // namespace tar::lintfixture

@@ -1,0 +1,20 @@
+// tar-lint selftest fixture — never compiled. Seeds two defects:
+//   mutex-rank: a latch constructed without a LockRank and a name
+//   guarded-by: a sibling member with no TAR_GUARDED_BY annotation
+#pragma once
+
+#include "common/mutex.h"
+
+namespace tar::lintfixture {
+
+class UnrankedRegistry {
+ public:
+  void Add(int value);
+  int total() const;
+
+ private:
+  mutable Mutex mu_;
+  int unguarded_total_ = 0;
+};
+
+}  // namespace tar::lintfixture

@@ -1,0 +1,19 @@
+// tar-lint selftest fixture — never compiled. Seeds Status discards that
+// [[nodiscard]] does not reliably reach: a bare ternary statement and a
+// discarded left operand of a comma expression inside a lambda.
+#include "storage/wal.h"
+
+namespace tar::lintfixture {
+
+void FlushMaybeHard(WalWriter* wal, bool hard) {
+  hard ? wal->Sync() : wal->Truncate(0);
+}
+
+void FlushInBackground(WalWriter* wal) {
+  auto task = [wal] {
+    wal->Sync(), (void)0;
+  };
+  task();
+}
+
+}  // namespace tar::lintfixture

@@ -1,0 +1,19 @@
+// tar-lint selftest fixture — never compiled. Seeds the same latch
+// inversion that the debug runtime detector catches dynamically in
+// tests/analysis/lock_order_test.cc: a buffer-pool shard latch (rank 300)
+// acquired while the page-file latch (rank 400) is held.
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+
+namespace tar::lintfixture {
+
+void SeededInversion() {
+  Mutex page_file_mu{LockRank::kPageFile, "page_file"};
+  Mutex shard_mu{LockRank::kBufferPoolShard, "buffer_pool.shard"};
+  page_file_mu.Lock();
+  shard_mu.Lock();
+  shard_mu.Unlock();
+  page_file_mu.Unlock();
+}
+
+}  // namespace tar::lintfixture
