@@ -1,0 +1,190 @@
+#include "analysis/prune_audit.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace tar::analysis {
+
+namespace {
+
+std::string FormatScore(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EntryPath(TarTree::NodeId node, std::size_t index) {
+  return "node:" + std::to_string(node) + "/entry[" + std::to_string(index) +
+         "]";
+}
+
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "audited %zu queries, %zu certificates (%zu bound, %zu "
+                "dominance), %zu subtree POIs proven",
+                queries, certificates, bound_certs, dominance_certs,
+                subtree_pois);
+  return buf;
+}
+
+void PruningAuditor::BeginQuery(const void* tag, const char* engine,
+                                const TarTree::QueryContext& ctx) {
+  QueryRecord record;
+  record.engine = engine;
+  record.ctx = ctx;
+  open_[tag] = queries_.size();
+  queries_.push_back(std::move(record));
+}
+
+void PruningAuditor::RecordPrune(const PruneCertificate& cert) {
+  auto it = open_.find(cert.query_tag);
+  if (it == open_.end()) {
+    // A certificate outside BeginQuery/EndQuery means a mis-threaded hook;
+    // remember it so VerifyAll can fail loudly instead of ignoring it.
+    QueryRecord record;
+    record.engine = "<unknown>";
+    record.orphaned = true;
+    record.certs.push_back(cert);
+    queries_.push_back(std::move(record));
+    return;
+  }
+  queries_[it->second].certs.push_back(cert);
+}
+
+void PruningAuditor::EndQuery(const void* tag) { open_.erase(tag); }
+
+std::size_t PruningAuditor::num_certificates() const {
+  std::size_t n = 0;
+  for (const QueryRecord& q : queries_) n += q.certs.size();
+  return n;
+}
+
+void PruningAuditor::Clear() {
+  queries_.clear();
+  open_.clear();
+}
+
+Status PruningAuditor::VerifyAll(const TarTree& tree,
+                                 AuditReport* report) const {
+  AuditReport local;
+  AuditReport* rep = report != nullptr ? report : &local;
+  *rep = AuditReport{};
+  rep->queries = queries_.size();
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    const QueryRecord& query = queries_[qi];
+    const std::string label =
+        "query[" + query.engine + "#" + std::to_string(qi) + "]";
+    if (query.orphaned) {
+      return Status::Corruption(
+          label + ": certificate recorded outside BeginQuery/EndQuery — an "
+                  "engine hook is mis-threaded");
+    }
+    for (const PruneCertificate& cert : query.certs) {
+      ++rep->certificates;
+      if (cert.kind == PruneCertificate::Kind::kBound) {
+        ++rep->bound_certs;
+      } else {
+        ++rep->dominance_certs;
+      }
+      TAR_RETURN_NOT_OK(VerifyCertificate(tree, query, label, cert, rep));
+    }
+  }
+  return Status::OK();
+}
+
+Status PruningAuditor::VerifyCertificate(const TarTree& tree,
+                                         const QueryRecord& query,
+                                         const std::string& label,
+                                         const PruneCertificate& cert,
+                                         AuditReport* report) const {
+  const bool is_subtree = cert.node != TarTree::kInvalidNodeId;
+
+  if (!is_subtree) {
+    // A directly pruned POI item: its recorded values are the exact
+    // components the engine computed when it queued the item, so the
+    // checks run on the record itself (what can go wrong here is the
+    // comparator / termination logic, not the bound arithmetic).
+    if (cert.kind == PruneCertificate::Kind::kBound) {
+      if (cert.bound < cert.kth_best ||
+          (cert.bound == cert.kth_best && cert.poi < cert.kth_poi)) {
+        return Status::Corruption(
+            label + " pruned poi " + std::to_string(cert.poi) + " (score " +
+            FormatScore(cert.bound) + ") beats the kth-best (" +
+            FormatScore(cert.kth_best) + " @ poi " +
+            std::to_string(cert.kth_poi) +
+            "): the search terminated past a better answer");
+      }
+    } else if (cert.dom_s0 > cert.s0 || cert.dom_s1 > cert.s1) {
+      return Status::Corruption(
+          label + " pruned poi " + std::to_string(cert.poi) +
+          " recorded a non-dominating witness poi " +
+          std::to_string(cert.dom_poi));
+    }
+    return Status::OK();
+  }
+
+  // A pruned subtree: descend it and recompute every contained POI's exact
+  // components with the same arithmetic the engines score with.
+  std::vector<TarTree::NodeId> stack{cert.node};
+  while (!stack.empty()) {
+    TarTree::NodeId node_id = stack.back();
+    stack.pop_back();
+    const TarTree::Node& node = tree.node(node_id);
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const TarTree::Entry& e = node.entries[i];
+      if (!e.is_leaf_entry()) {
+        stack.push_back(e.child);
+        continue;
+      }
+      double s0 = 0.0;
+      double s1 = 0.0;
+      TAR_RETURN_NOT_OK(tree.EntryComponents(e, query.ctx, &s0, &s1)
+                            .WithContext(label + " auditing pruned " +
+                                         EntryPath(node_id, i)));
+      ++report->subtree_pois;
+      const std::string at = EntryPath(node_id, i) + " (poi " +
+                             std::to_string(e.poi) + ")";
+      if (cert.kind == PruneCertificate::Kind::kBound) {
+        double exact = query.ctx.alpha0 * s0 + query.ctx.alpha1 * s1;
+        if (exact < cert.bound) {
+          // The recorded bound does not lower-bound the subtree: Property 1
+          // is broken even if the top-k happened to survive.
+          return Status::Corruption(
+              label + " pruned subtree node:" + std::to_string(cert.node) +
+              " claimed bound " + FormatScore(cert.bound) + ", but " + at +
+              " has exact score " + FormatScore(exact) +
+              " below the bound — Property 1 violated");
+        }
+        if (exact < cert.kth_best) {
+          return Status::Corruption(
+              label + " pruned subtree node:" + std::to_string(cert.node) +
+              " (bound " + FormatScore(cert.bound) + ", kth-best " +
+              FormatScore(cert.kth_best) + " @ poi " +
+              std::to_string(cert.kth_poi) + "): " + at +
+              " has exact score " + FormatScore(exact) +
+              " — pruning dropped a better answer");
+        }
+      } else {
+        if (s0 < cert.s0 || s1 < cert.s1) {
+          return Status::Corruption(
+              label + " pruned subtree node:" + std::to_string(cert.node) +
+              " recorded component bounds (" + FormatScore(cert.s0) + ", " +
+              FormatScore(cert.s1) + ") that do not lower-bound " + at);
+        }
+        if (s0 < cert.dom_s0 || s1 < cert.dom_s1) {
+          return Status::Corruption(
+              label + " pruned subtree node:" + std::to_string(cert.node) +
+              ": witness poi " + std::to_string(cert.dom_poi) +
+              " does not dominate " + at + " (" + FormatScore(s0) + ", " +
+              FormatScore(s1) + ") — the skyline skip lost a point");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tar::analysis

@@ -1,0 +1,95 @@
+// Pruning-certificate auditor: the verifying end of the query-audit hooks
+// (core/query_audit.h).
+//
+// Install a PruningAuditor with ScopedQueryAudit, run queries against one
+// tree, then call VerifyAll: for every certificate the engines recorded,
+// the auditor descends the pruned subtree and proves — by recomputing the
+// exact leaf components through the same TarTree::EntryComponents the
+// engines score with — that nothing inside beats the recorded bound. A
+// violation means a pruning decision dropped a better answer: Property 1
+// is broken (or the bound arithmetic was miscompiled/rewritten wrongly),
+// and the Status names the offending entry by node path, verifier-style.
+//
+// See docs/internals.md, "Query-soundness oracle".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_audit.h"
+#include "core/tar_tree.h"
+
+namespace tar::analysis {
+
+/// What an audit pass covered (mirrors VerifyReport's role).
+struct AuditReport {
+  std::size_t queries = 0;           ///< BeginQuery/EndQuery pairs seen
+  std::size_t certificates = 0;      ///< pruning decisions recorded
+  std::size_t bound_certs = 0;       ///< best-first terminations
+  std::size_t dominance_certs = 0;   ///< skyline dominance skips
+  std::size_t subtree_pois = 0;      ///< POIs proven inside pruned subtrees
+
+  std::string ToString() const;
+};
+
+/// \brief Records pruning certificates and proves them post hoc.
+///
+/// Not thread-safe: install one auditor per thread (the sink registry is
+/// thread-local, so this falls out naturally). All audited queries must
+/// run against the tree later passed to VerifyAll — certificates name
+/// node ids, which only resolve in the tree that issued them — and the
+/// tree must not be mutated in between: an AppendEpoch can legitimately
+/// change the aggregates an open-ended interval sees, so call VerifyAll
+/// (and Clear) before mutating, not after.
+class PruningAuditor : public QueryAuditSink {
+ public:
+  void BeginQuery(const void* tag, const char* engine,
+                  const TarTree::QueryContext& ctx) override;
+  void RecordPrune(const PruneCertificate& cert) override;
+  void EndQuery(const void* tag) override;
+
+  std::size_t num_queries() const { return queries_.size(); }
+  std::size_t num_certificates() const;
+
+  /// Proves every recorded certificate against `tree`.
+  ///
+  /// kBound subtrees: every contained POI's exact score must be >= the
+  /// recorded bound (Property 1) and not strictly better than the
+  /// recorded kth-best. A pruned POI *item* additionally may not tie the
+  /// kth-best with a lower POI id — the queue comparator would have
+  /// popped it first (the documented tie-break). Equal-score POIs inside
+  /// a pruned *subtree* are legitimate: the internal entry ties the kth
+  /// and pops after it, so only strictly-better POIs are violations.
+  ///
+  /// kDominance: the recorded witness point must dominate (non-strictly)
+  /// every contained POI's exact components.
+  ///
+  /// Returns the first violation as Corruption with the query, the
+  /// certificate and the offending entry's node path; fills `report`
+  /// (when given) with what was covered either way.
+  Status VerifyAll(const TarTree& tree, AuditReport* report = nullptr) const;
+
+  /// Drops all recorded queries and certificates.
+  void Clear();
+
+ private:
+  struct QueryRecord {
+    std::string engine;
+    TarTree::QueryContext ctx;
+    std::vector<PruneCertificate> certs;
+    bool orphaned = false;  ///< certificates arrived without a BeginQuery
+  };
+
+  Status VerifyCertificate(const TarTree& tree, const QueryRecord& query,
+                           const std::string& label,
+                           const PruneCertificate& cert,
+                           AuditReport* report) const;
+
+  std::vector<QueryRecord> queries_;
+  std::map<const void*, std::size_t> open_;  ///< tag -> queries_ index
+};
+
+}  // namespace tar::analysis

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 
 namespace tar {
 
@@ -53,10 +54,22 @@ class EpochGrid {
   /// Index of the epoch containing `t` (t >= t0 assumed).
   std::int64_t EpochOf(Timestamp t) const { return (t - t0_) / len_; }
 
-  Timestamp EpochStart(std::int64_t e) const { return t0_ + e * len_; }
+  /// Start of epoch e. Saturates at the far end of the time axis so that
+  /// intervals reaching INT64_MAX (an "until forever" query) stay
+  /// representable instead of overflowing the signed multiply.
+  Timestamp EpochStart(std::int64_t e) const {
+    constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
+    if (e > (kMax - t0_) / len_) return kMax;
+    return t0_ + e * len_;
+  }
 
-  /// Inclusive end of epoch e (one tick before the next epoch starts).
-  Timestamp EpochEnd(std::int64_t e) const { return t0_ + (e + 1) * len_ - 1; }
+  /// Inclusive end of epoch e (one tick before the next epoch starts);
+  /// saturates like EpochStart for epochs touching the end of the axis.
+  Timestamp EpochEnd(std::int64_t e) const {
+    constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
+    if (e >= (kMax - t0_) / len_) return kMax;
+    return t0_ + (e + 1) * len_ - 1;
+  }
 
   TimeInterval EpochExtent(std::int64_t e) const {
     return {EpochStart(e), EpochEnd(e)};

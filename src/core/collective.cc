@@ -7,6 +7,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "core/query_audit.h"
+
 namespace tar {
 
 namespace {
@@ -132,6 +134,13 @@ Status ProcessCollectively(const TarTree& tree,
     if (trace != nullptr) trace->total_micros = MicrosSince(total_start);
     return ctx_st;
   }
+#ifdef TAR_QUERY_AUDIT
+  if (QueryAuditSink* sink = CurrentQueryAuditSink()) {
+    for (const QueryState& qs : states) {
+      sink->BeginQuery(&qs, "collective", qs.ctx);
+    }
+  }
+#endif
 
   begin_phase("collective search");
   Status search_st = [&]() -> Status {
@@ -200,7 +209,33 @@ Status ProcessCollectively(const TarTree& tree,
           qs.queue.pop();
           if (phase != nullptr) ++phase->heap_pops;
         }
-        if (qs.out->size() >= qs.k || qs.queue.empty()) qs.done = true;
+        if (qs.out->size() >= qs.k || qs.queue.empty()) {
+          qs.done = true;
+#ifdef TAR_QUERY_AUDIT
+          if (QueryAuditSink* sink = CurrentQueryAuditSink()) {
+            // The retired query's queue remainder is its pruned set; a
+            // finished state is never popped again, so draining it here
+            // only feeds the auditor.
+            if (qs.out->size() >= qs.k) {
+              PruneCertificate cert;
+              cert.query_tag = &qs;
+              cert.kind = PruneCertificate::Kind::kBound;
+              cert.kth_best = qs.out->back().score;
+              cert.kth_poi = qs.out->back().poi;
+              while (!qs.queue.empty()) {
+                const Item& item = qs.queue.top();
+                cert.node =
+                    item.is_poi ? TarTree::kInvalidNodeId : item.node;
+                cert.poi = item.is_poi ? item.poi : kInvalidPoiId;
+                cert.bound = item.score;
+                sink->RecordPrune(cert);
+                qs.queue.pop();
+              }
+            }
+            sink->EndQuery(&qs);
+          }
+#endif
+        }
       }
 
       // Greedy sharing: fetch the node that is the front of the most

@@ -17,6 +17,8 @@
 #include <cmath>
 #include <queue>
 
+#include "core/query_audit.h"
+#include "core/ranking.h"
 #include "core/tar_tree.h"
 
 namespace tar {
@@ -55,6 +57,16 @@ class TiaTimer {
 
 }  // namespace
 
+Box2 TarTree::QuerySpace() const {
+  Box2 space = options_.space;
+  if (space.empty() && root_ != kInvalidNodeId) {
+    Box3 rb = NodeBox(*nodes_[root_]);
+    space.lo = {rb.lo[0], rb.lo[1]};
+    space.hi = {rb.hi[0], rb.hi[1]};
+  }
+  return space;
+}
+
 Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
                                                    AccessStats* stats,
                                                    QueryTrace* trace) const {
@@ -76,14 +88,7 @@ Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
   ctx.alpha0 = query.alpha0;
   ctx.alpha1 = 1.0 - query.alpha0;
 
-  Box2 space = options_.space;
-  if (space.empty() && root_ != kInvalidNodeId) {
-    Box3 rb = NodeBox(*nodes_[root_]);
-    space.lo = {rb.lo[0], rb.lo[1]};
-    space.hi = {rb.hi[0], rb.hi[1]};
-  }
-  ctx.dmax = std::hypot(space.Extent(0), space.Extent(1));
-  if (ctx.dmax <= 0.0) ctx.dmax = 1.0;
+  ctx.dmax = SpatialNormalizer(QuerySpace());
 
   auto gmax = MaxAggregateTraced(ctx.interval, phase_stats, phase);
   if (phase != nullptr) {
@@ -91,9 +96,7 @@ Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
     if (stats != nullptr) *stats += phase->stats;
   }
   TAR_RETURN_NOT_OK(gmax.status());
-  ctx.gmax = gmax.ValueOrDie() > 0
-                 ? static_cast<double>(gmax.ValueOrDie())
-                 : 1.0;
+  ctx.gmax = AggregateNormalizer(gmax.ValueOrDie());
   return ctx;
 }
 
@@ -218,6 +221,7 @@ Status TarTree::Query(const KnntaQuery& query,
   Status st = [&]() -> Status {
     TAR_ASSIGN_OR_RETURN(QueryContext ctx,
                          MakeContext(query, stats, trace));
+    TAR_AUDIT(BeginQuery(results, "knnta", ctx));
 
     QueryTrace::Phase* phase = nullptr;
     AccessStats* phase_stats = stats;
@@ -258,6 +262,12 @@ Status TarTree::Query(const KnntaQuery& query,
                                static_cast<std::int64_t>(
                                    std::llround((1.0 - s1) * ctx.gmax))});
         } else {
+#ifdef TAR_QUERY_AUDIT
+          // Test-only Property-1 sabotage (see set_audit_bound_inflation):
+          // inflating the bound past the exact child scores must be caught
+          // by the pruning-certificate auditor.
+          score += audit_bound_inflation_;
+#endif
           queue.push(QueueItem{score, false, kInvalidPoiId, e.child, 0.0, 0});
         }
         if (phase != nullptr) ++phase->heap_pushes;
@@ -282,6 +292,29 @@ Status TarTree::Query(const KnntaQuery& query,
       phase->micros = MicrosSince(search_start);
       if (stats != nullptr) *stats += phase->stats;
     }
+#ifdef TAR_QUERY_AUDIT
+    if (QueryAuditSink* sink = CurrentQueryAuditSink()) {
+      // Everything still queued when the search stops was pruned: its
+      // bound was no better than the kth-best result. Certify each item
+      // so the auditor can descend the skipped subtrees post hoc.
+      if (search_st.ok() && results->size() == query.k) {
+        PruneCertificate cert;
+        cert.query_tag = results;
+        cert.kind = PruneCertificate::Kind::kBound;
+        cert.kth_best = results->back().score;
+        cert.kth_poi = results->back().poi;
+        while (!queue.empty()) {
+          const QueueItem& item = queue.top();
+          cert.node = item.is_poi ? kInvalidNodeId : item.node;
+          cert.poi = item.is_poi ? item.poi : kInvalidPoiId;
+          cert.bound = item.score;
+          sink->RecordPrune(cert);
+          queue.pop();
+        }
+      }
+      sink->EndQuery(results);
+    }
+#endif
     return search_st;
   }();
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <queue>
 
+#include "core/query_audit.h"
+
 namespace tar {
 
 namespace {
@@ -27,11 +29,13 @@ std::optional<double> CrossoverWeight(const ScoredPoi& i,
 }
 
 std::vector<ScoredPoi> Skyline(std::vector<ScoredPoi> points) {
-  // Sort by s0 then s1; sweep keeping the strictly decreasing s1 frontier.
+  // Sort by s0 then s1, POI id last (the uniform score tie-break; see
+  // docs/internals.md); sweep keeping the strictly decreasing s1 frontier.
   std::sort(points.begin(), points.end(),
             [](const ScoredPoi& a, const ScoredPoi& b) {
               if (a.s0 != b.s0) return a.s0 < b.s0;
-              return a.s1 < b.s1;
+              if (a.s1 != b.s1) return a.s1 < b.s1;
+              return a.poi < b.poi;
             });
   std::vector<ScoredPoi> sky;
   double best_s1 = std::numeric_limits<double>::infinity();
@@ -114,13 +118,15 @@ struct BbsItem {
   }
 };
 
-bool SkyDominates(const std::vector<ScoredPoi>& sky, double s0, double s1) {
+const ScoredPoi* SkyDominator(const std::vector<ScoredPoi>& sky, double s0,
+                              double s1) {
   // Non-strict on ties: exact duplicates are deduplicated, matching
-  // Skyline(); a duplicate contributes no new crossover weight.
+  // Skyline(); a duplicate contributes no new crossover weight. Returns
+  // the dominating point so the audit certificate can name its witness.
   for (const ScoredPoi& p : sky) {
-    if (p.s0 <= s0 && p.s1 <= s1) return true;
+    if (p.s0 <= s0 && p.s1 <= s1) return &p;
   }
-  return false;
+  return nullptr;
 }
 
 }  // namespace
@@ -154,20 +160,42 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
     return Status::OK();
   };
 
+  TAR_AUDIT(BeginQuery(out, "mwa/skyline", ctx));
   TAR_RETURN_NOT_OK(push_entries(tree.root()));
   while (!queue.empty()) {
     BbsItem item = queue.top();
     queue.pop();
-    if (SkyDominates(*out, item.s0, item.s1)) continue;
+    if (const ScoredPoi* dom = SkyDominator(*out, item.s0, item.s1)) {
+#ifdef TAR_QUERY_AUDIT
+      if (QueryAuditSink* sink = CurrentQueryAuditSink()) {
+        PruneCertificate cert;
+        cert.query_tag = out;
+        cert.kind = PruneCertificate::Kind::kDominance;
+        cert.node = item.is_poi ? TarTree::kInvalidNodeId : item.node;
+        cert.poi = item.is_poi ? item.poi : kInvalidPoiId;
+        cert.s0 = item.s0;
+        cert.s1 = item.s1;
+        cert.dom_s0 = dom->s0;
+        cert.dom_s1 = dom->s1;
+        cert.dom_poi = dom->poi;
+        sink->RecordPrune(cert);
+      }
+#else
+      (void)dom;
+#endif
+      continue;
+    }
     if (item.is_poi) {
       out->push_back(ScoredPoi{item.poi, item.s0, item.s1});
     } else {
       TAR_RETURN_NOT_OK(push_entries(item.node));
     }
   }
+  TAR_AUDIT(EndQuery(out));
   std::sort(out->begin(), out->end(),
             [](const ScoredPoi& a, const ScoredPoi& b) {
-              return a.s0 < b.s0;
+              if (a.s0 != b.s0) return a.s0 < b.s0;
+              return a.poi < b.poi;
             });
   return Status::OK();
 }
@@ -187,6 +215,7 @@ Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
   // For each top-k POI, traverse the tree skipping everything it dominates
   // (the only pruning the baseline has), folding in each surviving lower-
   // ranked POI.
+  TAR_AUDIT(BeginQuery(out, "mwa/enumerate", ctx));
   for (const ScoredPoi& p : top) {
     std::vector<TarTree::NodeId> stack{tree.root()};
     while (!stack.empty()) {
@@ -200,7 +229,24 @@ Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
         TAR_RETURN_NOT_OK(tree.EntryComponents(e, ctx, &s0, &s1, stats));
         // p dominates the (lower bounds of the) entry: no child can flip
         // with p.
-        if (p.s0 <= s0 && p.s1 <= s1) continue;
+        if (p.s0 <= s0 && p.s1 <= s1) {
+#ifdef TAR_QUERY_AUDIT
+          if (QueryAuditSink* sink = CurrentQueryAuditSink()) {
+            PruneCertificate cert;
+            cert.query_tag = out;
+            cert.kind = PruneCertificate::Kind::kDominance;
+            cert.node = node.is_leaf() ? TarTree::kInvalidNodeId : e.child;
+            cert.poi = node.is_leaf() ? e.poi : kInvalidPoiId;
+            cert.s0 = s0;
+            cert.s1 = s1;
+            cert.dom_s0 = p.s0;
+            cert.dom_s1 = p.s1;
+            cert.dom_poi = p.poi;
+            sink->RecordPrune(cert);
+          }
+#endif
+          continue;
+        }
         if (node.is_leaf()) {
           if (std::binary_search(top_ids.begin(), top_ids.end(), e.poi)) {
             continue;
@@ -212,6 +258,7 @@ Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
       }
     }
   }
+  TAR_AUDIT(EndQuery(out));
   return Status::OK();
 }
 

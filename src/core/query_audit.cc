@@ -1,0 +1,23 @@
+#include "core/query_audit.h"
+
+namespace tar {
+
+namespace {
+
+// Per-thread so concurrent queries (parallel_query, stress) cannot
+// interleave certificates into one sink; a sink sees exactly the queries
+// of the thread that installed it.
+thread_local QueryAuditSink* g_audit_sink = nullptr;
+
+}  // namespace
+
+QueryAuditSink* CurrentQueryAuditSink() { return g_audit_sink; }
+
+ScopedQueryAudit::ScopedQueryAudit(QueryAuditSink* sink)
+    : prev_(g_audit_sink) {
+  g_audit_sink = sink;
+}
+
+ScopedQueryAudit::~ScopedQueryAudit() { g_audit_sink = prev_; }
+
+}  // namespace tar

@@ -1,0 +1,115 @@
+// Pruning-certificate audit hooks for the query engines.
+//
+// Best-first kNNTA search, the MWA skyline and collective processing all
+// *claim* soundness for every subtree they skip: the entry's bound score
+// f(e) is a consistent lower bound (Property 1), so nothing inside can
+// beat the kth-best result (or, for skyline traversal, escape a
+// dominating point). Nothing in the engines checks that claim at run
+// time — a subtly broken bound produces a plausible but wrong top-k.
+//
+// This header lets a query install a QueryAuditSink (thread-local, RAII)
+// that receives one PruneCertificate per pruning decision. The analysis
+// layer's PruningAuditor (src/analysis/prune_audit.h) then descends each
+// pruned subtree post hoc and proves the certificate. Hooks are active in
+// debug builds (and when TAR_FORCE_QUERY_AUDIT is defined); release
+// builds compile them out entirely, keeping the hot path clean.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tar_tree.h"
+
+namespace tar {
+
+#if !defined(NDEBUG) || defined(TAR_FORCE_QUERY_AUDIT)
+#define TAR_QUERY_AUDIT 1
+#endif
+
+/// \brief One pruning decision, recorded at the moment the search made it.
+///
+/// Exactly one of `node` / `poi` identifies what was skipped: a whole
+/// subtree (node != TarTree::kInvalidNodeId) or a single queued POI item.
+struct PruneCertificate {
+  enum class Kind {
+    /// Best-first termination: the item's bound score was no better than
+    /// the kth-best result already emitted.
+    kBound,
+    /// Skyline traversal: a known point dominated both component bounds.
+    kDominance,
+  };
+
+  const void* query_tag = nullptr;  ///< matches BeginQuery's tag
+  Kind kind = Kind::kBound;
+
+  TarTree::NodeId node = TarTree::kInvalidNodeId;  ///< pruned subtree root
+  PoiId poi = kInvalidPoiId;                       ///< pruned POI item
+
+  // kBound: the claimed bound f(e) and the kth-best result (score and POI
+  // id — the id documents the tie-break) held when the item was discarded.
+  double bound = 0.0;
+  double kth_best = 0.0;
+  PoiId kth_poi = kInvalidPoiId;
+
+  // kDominance: the item's component lower bounds and the point that
+  // dominated them (non-strictly, matching the skyline's skip rule).
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double dom_s0 = 0.0;
+  double dom_s1 = 0.0;
+  PoiId dom_poi = kInvalidPoiId;
+};
+
+/// \brief Receiver for pruning certificates (see PruningAuditor for the
+/// verifying implementation).
+///
+/// A query announces itself with BeginQuery(tag, ...) — `tag` is any
+/// address unique for the query's duration; it is never dereferenced —
+/// then records certificates carrying that tag, then closes with
+/// EndQuery(tag). Sinks are installed per thread, so one sink never sees
+/// interleaved certificates from two threads.
+class QueryAuditSink {
+ public:
+  virtual ~QueryAuditSink() = default;
+
+  virtual void BeginQuery(const void* tag, const char* engine,
+                          const TarTree::QueryContext& ctx) = 0;
+  virtual void RecordPrune(const PruneCertificate& cert) = 0;
+  virtual void EndQuery(const void* tag) = 0;
+};
+
+/// The sink installed on this thread (nullptr when auditing is off).
+QueryAuditSink* CurrentQueryAuditSink();
+
+/// \brief Installs `sink` as this thread's audit sink for its scope.
+///
+/// Always available so tests and tools can install a sink unconditionally;
+/// in release builds the engines simply never call it.
+class ScopedQueryAudit {
+ public:
+  explicit ScopedQueryAudit(QueryAuditSink* sink);
+  ~ScopedQueryAudit();
+
+  ScopedQueryAudit(const ScopedQueryAudit&) = delete;
+  ScopedQueryAudit& operator=(const ScopedQueryAudit&) = delete;
+
+ private:
+  QueryAuditSink* prev_;
+};
+
+/// Statement hook for the engines: runs `call` against the installed sink
+/// in audited builds, compiles to nothing otherwise.
+///
+///   TAR_AUDIT(BeginQuery(results, "knnta", ctx));
+#ifdef TAR_QUERY_AUDIT
+#define TAR_AUDIT(call)                                      \
+  do {                                                       \
+    if (::tar::QueryAuditSink* tar_audit_sink =              \
+            ::tar::CurrentQueryAuditSink()) {                \
+      tar_audit_sink->call;                                  \
+    }                                                        \
+  } while (0)
+#else
+#define TAR_AUDIT(call) ((void)0)
+#endif
+
+}  // namespace tar

@@ -1,0 +1,30 @@
+// Normalizer derivation for the ranking function f = a0*s0 + a1*s1.
+//
+// Shared by TarTree::MakeContext and ScanBaseline so the index and its
+// oracle can never silently disagree on the clamp rules: a degenerate
+// space or an interval with no check-ins must normalize identically on
+// both sides for results to stay bit-comparable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/geometry.h"
+
+namespace tar {
+
+/// Spatial normalizer dmax: the diagonal of the data space. Falls back to
+/// 1.0 for an empty or degenerate (zero-extent) space so s0 stays finite.
+inline double SpatialNormalizer(const Box2& space) {
+  double dmax = std::hypot(space.Extent(0), space.Extent(1));
+  return dmax > 0.0 ? dmax : 1.0;
+}
+
+/// Aggregate normalizer gmax from the maximum single-POI aggregate over
+/// the query interval. Falls back to 1.0 when no check-ins fall inside
+/// the interval, so every s1 degrades to exactly 1 rather than NaN.
+inline double AggregateNormalizer(std::int64_t gmax) {
+  return gmax > 0 ? static_cast<double>(gmax) : 1.0;
+}
+
+}  // namespace tar

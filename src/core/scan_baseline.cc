@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/ranking.h"
+
 namespace tar {
 
 Status ScanBaseline::AddPoi(const Poi& poi,
@@ -71,8 +73,10 @@ Status ScanBaseline::Query(const KnntaQuery& query,
   std::int64_t first = grid_.EpochOf(aligned.start);
   std::int64_t last = grid_.EpochOf(aligned.end);
 
-  double dmax = std::hypot(space_.Extent(0), space_.Extent(1));
-  if (dmax <= 0.0) dmax = 1.0;
+  // Same normalizer derivation as TarTree::MakeContext (core/ranking.h):
+  // one clamp rule on both sides, so oracle and index can never disagree
+  // on a degenerate space or a check-in-free interval.
+  double dmax = SpatialNormalizer(space_);
   double alpha1 = 1.0 - query.alpha0;
 
   // First pass: the aggregates, whose maximum is the normalizer (the range
@@ -86,7 +90,7 @@ Status ScanBaseline::Query(const KnntaQuery& query,
     }
     gmax_i = std::max(gmax_i, aggs[i]);
   }
-  double gmax = gmax_i > 0 ? static_cast<double>(gmax_i) : 1.0;
+  double gmax = AggregateNormalizer(gmax_i);
 
   std::vector<KnntaResult> scored;
   scored.reserve(pois_.size());
@@ -94,11 +98,17 @@ Status ScanBaseline::Query(const KnntaQuery& query,
     const Item& item = pois_[i];
     double dist = Distance(item.poi.pos, query.point);
     // Same expression shape as TarTree::EntryScore so that scores agree
-    // bit-for-bit and results are directly comparable.
+    // bit-for-bit and results are directly comparable. The reported dist
+    // and aggregate also mirror the tree's round trip through the
+    // normalized components (s0 * dmax, llround((1-s1) * gmax)), so the
+    // differential checker can demand bit-exact equality of whole results
+    // rather than score-only equality with tolerances.
     double s0 = dist / dmax;
     double s1 = 1.0 - std::min(1.0, static_cast<double>(aggs[i]) / gmax);
     double score = query.alpha0 * s0 + alpha1 * s1;
-    scored.push_back(KnntaResult{item.poi.id, score, dist, aggs[i]});
+    scored.push_back(KnntaResult{
+        item.poi.id, score, s0 * dmax,
+        static_cast<std::int64_t>(std::llround((1.0 - s1) * gmax))});
   }
 
   std::size_t k = std::min(query.k, scored.size());
@@ -114,17 +124,11 @@ Status ScanBaseline::Query(const KnntaQuery& query,
 
 Result<std::unique_ptr<ScanBaseline>> BuildScanBaselineFromTree(
     const TarTree& tree) {
-  Box2 space = tree.options().space;
-  if (space.empty() && !tree.empty()) {
-    // Mirror TarTree::MakeContext: fall back to the root's spatial extent
-    // so scan scores stay bit-comparable with index scores.
-    for (const auto& e : tree.node(tree.root()).entries) {
-      Box2 b = Box2::Union(Box2::FromPoint({e.box.lo[0], e.box.lo[1]}),
-                           Box2::FromPoint({e.box.hi[0], e.box.hi[1]}));
-      space = space.empty() ? b : Box2::Union(space, b);
-    }
-  }
-  auto baseline = std::make_unique<ScanBaseline>(tree.grid(), space);
+  // TarTree::QuerySpace already resolves the configured-space-or-root-MBR
+  // fallback MakeContext normalizes against; using it keeps scan scores
+  // bit-comparable with index scores by construction.
+  auto baseline =
+      std::make_unique<ScanBaseline>(tree.grid(), tree.QuerySpace());
   if (tree.empty()) return baseline;
 
   std::vector<TarTree::NodeId> stack{tree.root()};

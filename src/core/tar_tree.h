@@ -236,6 +236,13 @@ class TarTree {
                          double* s0, double* s1,
                          AccessStats* stats = nullptr) const;
 
+  /// The spatial extent every query normalizes against: options().space,
+  /// or the root node's spatial MBR when no space was configured. Feed it
+  /// to SpatialNormalizer (core/ranking.h) to get the dmax MakeContext
+  /// uses; ScanBaseline shares the same derivation so index and oracle
+  /// scores stay bit-comparable.
+  Box2 QuerySpace() const;
+
   const Node& node(NodeId id) const { return *nodes_[id]; }
   NodeId root() const { return root_; }
   bool empty() const { return num_pois_ == 0; }
@@ -282,6 +289,13 @@ class TarTree {
   /// Structural invariants: MBR/z containment, fill bounds, balanced
   /// height, TIA upper-bound property on sampled intervals. For tests.
   Status CheckInvariants() const;
+
+  /// Test-only sabotage for the pruning-certificate auditor: audited
+  /// builds add `eps` to every internal entry's bound score in Query,
+  /// deliberately breaking Property 1 so tests can prove the auditor
+  /// catches a weakened bound. Release builds keep the member (layout
+  /// stability) but never read it.
+  void set_audit_bound_inflation(double eps) { audit_bound_inflation_ = eps; }
 
   /// Rebuilds the tree from its current POIs (recomputes z with the current
   /// max total; the paper suggests periodic rebuilds when performance
@@ -495,6 +509,9 @@ class TarTree {
   /// debug single-writer assertion CASes it (release builds keep the
   /// member so layout doesn't depend on NDEBUG, but never touch it).
   std::atomic<std::uint64_t> writer_tid_{0};
+
+  /// See set_audit_bound_inflation; read only under TAR_QUERY_AUDIT.
+  double audit_bound_inflation_ = 0.0;
 
   /// Per-POI running totals and positions (z maintenance and rebuilds).
   struct PoiInfo {

@@ -1,0 +1,64 @@
+// The differential/metamorphic checker: seeded runs pass over every
+// configuration the seed sweep touches, reports count what was asserted,
+// and degenerate shapes are rejected up front.
+#include "analysis/query_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace tar::analysis {
+namespace {
+
+TEST(QueryCheckerTest, SeedSweepPasses) {
+  // Seeds 1..6 cover all three grouping strategies and both TIA backends
+  // (seed % 3 picks the strategy, (seed / 3) % 2 the backend); seed 4
+  // additionally runs with an unconfigured space.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    QueryCheckOptions opt;
+    opt.seed = seed;
+    opt.num_pois = 32;
+    opt.num_epochs = 8;
+    opt.num_queries = 5;
+    QueryCheckReport report;
+    Status st = RunQuerySoundnessCheck(opt, &report);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(report.queries, opt.num_queries);
+    // Three engine/scan comparisons and two degenerate-alpha comparisons
+    // per query, plus one collective comparison each.
+    EXPECT_GE(report.differential_checks, 5 * opt.num_queries);
+    EXPECT_GT(report.metamorphic_checks, 4 * opt.num_queries);
+#ifdef TAR_QUERY_AUDIT
+    EXPECT_GT(report.audit.queries, 0u);
+    EXPECT_GT(report.audit.certificates, 0u);
+#else
+    EXPECT_EQ(report.audit.certificates, 0u);
+#endif
+  }
+}
+
+TEST(QueryCheckerTest, ReportRendersCounters) {
+  QueryCheckOptions opt;
+  opt.seed = 2;
+  opt.num_pois = 16;
+  opt.num_epochs = 4;
+  opt.num_queries = 2;
+  QueryCheckReport report;
+  ASSERT_TRUE(RunQuerySoundnessCheck(opt, &report).ok());
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("2 queries"), std::string::npos) << text;
+  EXPECT_NE(text.find("differential"), std::string::npos) << text;
+}
+
+TEST(QueryCheckerTest, RejectsDegenerateShapes) {
+  QueryCheckOptions opt;
+  opt.num_pois = 0;
+  EXPECT_TRUE(RunQuerySoundnessCheck(opt).IsInvalidArgument());
+  opt = QueryCheckOptions{};
+  opt.num_queries = 0;
+  EXPECT_TRUE(RunQuerySoundnessCheck(opt).IsInvalidArgument());
+  opt = QueryCheckOptions{};
+  opt.num_epochs = 0;
+  EXPECT_TRUE(RunQuerySoundnessCheck(opt).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tar::analysis

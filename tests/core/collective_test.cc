@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/query_audit.h"
 
 namespace tar {
 namespace {
@@ -154,6 +155,46 @@ TEST(CollectiveTest, MixedKPerQuery) {
       EXPECT_EQ(individual[i][r].poi, collective[i][r].poi);
     }
   }
+}
+
+/// Counts audit-hook traffic; verification lives in the analysis layer.
+class CountingSink : public QueryAuditSink {
+ public:
+  void BeginQuery(const void*, const char*,
+                  const TarTree::QueryContext&) override {
+    ++begins;
+  }
+  void RecordPrune(const PruneCertificate& cert) override {
+    ++certs;
+    if (cert.kind == PruneCertificate::Kind::kBound) ++bound_certs;
+  }
+  void EndQuery(const void*) override { ++ends; }
+
+  int begins = 0;
+  int ends = 0;
+  int certs = 0;
+  int bound_certs = 0;
+};
+
+TEST(CollectiveAuditHookTest, EveryBatchQueryIsAnnouncedAndClosed) {
+  Fixture fx(9);
+  std::vector<KnntaQuery> batch = fx.MakeBatch(5, 2);
+  std::vector<std::vector<KnntaResult>> results;
+  CountingSink sink;
+  {
+    ScopedQueryAudit scope(&sink);
+    ASSERT_TRUE(ProcessCollectively(*fx.tree, batch, &results).ok());
+  }
+#ifdef TAR_QUERY_AUDIT
+  EXPECT_EQ(sink.begins, static_cast<int>(batch.size()));
+  EXPECT_EQ(sink.ends, sink.begins);
+  // Retiring a query mid-traversal discards the shared queue's remainder
+  // for it — every retirement owes the auditor a bound certificate.
+  EXPECT_GT(sink.bound_certs, 0);
+#else
+  EXPECT_EQ(sink.begins, 0);
+  EXPECT_EQ(sink.certs, 0);
+#endif
 }
 
 }  // namespace

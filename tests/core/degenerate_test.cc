@@ -1,0 +1,170 @@
+// Degenerate query inputs: zero-length and out-of-range intervals,
+// all-zero aggregates (the gmax > 0 fallback), INT64_MAX interval ends
+// and the saturating epoch arithmetic behind them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/ranking.h"
+#include "core/scan_baseline.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+namespace {
+
+constexpr Timestamp kEpochLen = 7 * kSecondsPerDay;
+constexpr Timestamp kMaxTs = std::numeric_limits<Timestamp>::max();
+
+TEST(EpochGridSaturationTest, FarEpochsSaturateInsteadOfOverflowing) {
+  EpochGrid grid(0, kEpochLen);
+  const std::int64_t last = kMaxTs / kEpochLen;
+  // Epoch indices at and beyond the end of the representable axis pin to
+  // the maximum timestamp instead of overflowing the signed multiply.
+  EXPECT_EQ(grid.EpochEnd(last), kMaxTs);
+  EXPECT_EQ(grid.EpochStart(last + 1), kMaxTs);
+  EXPECT_EQ(grid.EpochStart(last), last * kEpochLen);
+  // An "until forever" interval aligns outward without changing its end.
+  TimeInterval aligned = grid.AlignOutward({0, kMaxTs});
+  EXPECT_EQ(aligned.start, 0);
+  EXPECT_EQ(aligned.end, kMaxTs);
+  // A nonzero origin shifts the saturation threshold but not the rule.
+  EpochGrid shifted(12345, kEpochLen);
+  EXPECT_EQ(shifted.AlignOutward({12345, kMaxTs}).end, kMaxTs);
+}
+
+TEST(RankingNormalizerTest, DegenerateInputsFallBackToUnit) {
+  EXPECT_EQ(SpatialNormalizer(Box2()), 1.0);  // empty box: extent 0
+  EXPECT_EQ(SpatialNormalizer(Box2::FromPoint({5, 5})), 1.0);
+  Box2 space = Box2::Union(Box2::FromPoint({0, 0}), Box2::FromPoint({3, 4}));
+  EXPECT_DOUBLE_EQ(SpatialNormalizer(space), 5.0);
+  EXPECT_EQ(AggregateNormalizer(0), 1.0);
+  EXPECT_EQ(AggregateNormalizer(-3), 1.0);
+  EXPECT_DOUBLE_EQ(AggregateNormalizer(42), 42.0);
+}
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed, bool with_history = true,
+                   std::size_t n = 30, std::int64_t epochs = 6)
+      : rng(seed), num_epochs(epochs) {
+    TarTreeOptions opt;
+    opt.node_size_bytes = 512;
+    opt.grid = EpochGrid(0, kEpochLen);
+    opt.space = Box2::Union(Box2::FromPoint({0, 0}),
+                            Box2::FromPoint({100, 100}));
+    tree = std::make_unique<TarTree>(opt);
+    scan = std::make_unique<ScanBaseline>(opt.grid, opt.space);
+    for (std::size_t i = 0; i < n; ++i) {
+      Poi p{static_cast<PoiId>(i),
+            {rng.Uniform(0, 100), rng.Uniform(0, 100)}};
+      std::vector<std::int32_t> hist(epochs, 0);
+      if (with_history && i % 2 == 0) {
+        for (std::int64_t e = 0; e < epochs; ++e) {
+          hist[e] = static_cast<std::int32_t>(rng.UniformInt(0, 20));
+        }
+      }
+      EXPECT_TRUE(tree->InsertPoi(p, hist).ok());
+      EXPECT_TRUE(scan->AddPoi(p, hist).ok());
+    }
+  }
+
+  Rng rng;
+  std::unique_ptr<TarTree> tree;
+  std::unique_ptr<ScanBaseline> scan;
+  std::int64_t num_epochs;
+};
+
+void ExpectSameResults(const std::vector<KnntaResult>& a,
+                       const std::vector<KnntaResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].poi, b[i].poi) << "rank " << i;
+    EXPECT_EQ(std::memcmp(&a[i].score, &b[i].score, sizeof(double)), 0)
+        << "rank " << i;
+    EXPECT_EQ(std::memcmp(&a[i].dist, &b[i].dist, sizeof(double)), 0)
+        << "rank " << i;
+    EXPECT_EQ(a[i].aggregate, b[i].aggregate) << "rank " << i;
+  }
+}
+
+TEST(DegenerateQueryTest, InstantIntervalAlignsToOneEpoch) {
+  Fixture fx(3);
+  const Timestamp t = 2 * kEpochLen + 100;
+  KnntaQuery q{{40, 60}, {t, t}, 5, 0.4};
+  TarTree::QueryContext ctx = fx.tree->MakeContext(q).ValueOrDie();
+  EXPECT_EQ(ctx.interval.start, 2 * kEpochLen);
+  EXPECT_EQ(ctx.interval.end, 3 * kEpochLen - 1);
+  std::vector<KnntaResult> tree_r, scan_r;
+  ASSERT_TRUE(fx.tree->Query(q, &tree_r).ok());
+  ASSERT_TRUE(fx.scan->Query(q, &scan_r).ok());
+  ExpectSameResults(tree_r, scan_r);
+}
+
+TEST(DegenerateQueryTest, IntervalBeforeTimeAxisClampsToFirstEpoch) {
+  Fixture fx(5);
+  // Everything before t0 collapses onto epoch 0 (AlignOutward clamps at
+  // the origin) — the documented semantics for pre-history queries.
+  KnntaQuery q{{40, 60}, {-5 * kEpochLen, -1}, 5, 0.4};
+  TarTree::QueryContext ctx = fx.tree->MakeContext(q).ValueOrDie();
+  EXPECT_EQ(ctx.interval.start, 0);
+  EXPECT_EQ(ctx.interval.end, kEpochLen - 1);
+  std::vector<KnntaResult> tree_r, scan_r;
+  ASSERT_TRUE(fx.tree->Query(q, &tree_r).ok());
+  ASSERT_TRUE(fx.scan->Query(q, &scan_r).ok());
+  ExpectSameResults(tree_r, scan_r);
+}
+
+TEST(DegenerateQueryTest, IntervalAfterAllDataFallsBackToUnitGmax) {
+  Fixture fx(7);
+  KnntaQuery q{{40, 60}, {50 * kEpochLen, 60 * kEpochLen}, 8, 0.4};
+  TimeInterval aligned = fx.tree->grid().AlignOutward(q.interval);
+  EXPECT_EQ(fx.tree->MaxAggregate(aligned).ValueOrDie(), 0);
+  TarTree::QueryContext ctx = fx.tree->MakeContext(q).ValueOrDie();
+  EXPECT_EQ(ctx.gmax, 1.0);  // the gmax > 0 ? gmax : 1.0 fallback
+  std::vector<KnntaResult> tree_r, scan_r;
+  ASSERT_TRUE(fx.tree->Query(q, &tree_r).ok());
+  ASSERT_TRUE(fx.scan->Query(q, &scan_r).ok());
+  ExpectSameResults(tree_r, scan_r);
+  ASSERT_EQ(tree_r.size(), q.k);
+  for (std::size_t i = 0; i < tree_r.size(); ++i) {
+    EXPECT_EQ(tree_r[i].aggregate, 0) << "rank " << i;
+    // With every aggregate zero the ranking degenerates to distance.
+    if (i > 0) {
+      EXPECT_LE(tree_r[i - 1].dist, tree_r[i].dist);
+    }
+  }
+}
+
+TEST(DegenerateQueryTest, AllZeroHistoryTree) {
+  Fixture fx(9, /*with_history=*/false);
+  KnntaQuery q{{40, 60}, {0, 6 * kEpochLen - 1}, 6, 0.5};
+  TarTree::QueryContext ctx = fx.tree->MakeContext(q).ValueOrDie();
+  EXPECT_EQ(ctx.gmax, 1.0);
+  std::vector<KnntaResult> tree_r, scan_r;
+  ASSERT_TRUE(fx.tree->Query(q, &tree_r).ok());
+  ASSERT_TRUE(fx.scan->Query(q, &scan_r).ok());
+  ExpectSameResults(tree_r, scan_r);
+  ASSERT_EQ(tree_r.size(), q.k);
+  for (const KnntaResult& r : tree_r) EXPECT_EQ(r.aggregate, 0);
+}
+
+TEST(DegenerateQueryTest, Int64MaxEndEqualsFullRangeQuery) {
+  Fixture fx(11);
+  KnntaQuery forever{{40, 60}, {0, kMaxTs}, 10, 0.35};
+  // Covers strictly more epochs than the data has, so the aggregates —
+  // and with them every score — match the exact-data-range query.
+  KnntaQuery full{{40, 60}, {0, 6 * kEpochLen - 1}, 10, 0.35};
+  std::vector<KnntaResult> r_forever, r_full, r_scan;
+  ASSERT_TRUE(fx.tree->Query(forever, &r_forever).ok());
+  ASSERT_TRUE(fx.tree->Query(full, &r_full).ok());
+  ExpectSameResults(r_forever, r_full);
+  ASSERT_TRUE(fx.scan->Query(forever, &r_scan).ok());
+  ExpectSameResults(r_forever, r_scan);
+}
+
+}  // namespace
+}  // namespace tar

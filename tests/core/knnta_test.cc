@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/query_audit.h"
 #include "core/tar_tree.h"
 
 namespace tar {
@@ -178,6 +179,49 @@ TEST(QueryAlphaTest, ExtremeWeightsShiftTheWinnerType) {
   }
   EXPECT_DOUBLE_EQ(near_r[0].dist, min_dist);
   EXPECT_EQ(pop_r[0].aggregate, max_agg);
+}
+
+/// Counts audit-hook traffic without verifying it (the verifying sink
+/// lives in the analysis layer; this checks the engine emits at all).
+class CountingSink : public QueryAuditSink {
+ public:
+  void BeginQuery(const void*, const char*,
+                  const TarTree::QueryContext&) override {
+    ++begins;
+  }
+  void RecordPrune(const PruneCertificate& cert) override {
+    ++certs;
+    if (cert.kind == PruneCertificate::Kind::kBound) ++bound_certs;
+  }
+  void EndQuery(const void*) override { ++ends; }
+
+  int begins = 0;
+  int ends = 0;
+  int certs = 0;
+  int bound_certs = 0;
+};
+
+TEST(QueryAuditHookTest, BestFirstSearchEmitsCertificates) {
+  Fixture fx(41);
+  CountingSink sink;
+  {
+    ScopedQueryAudit scope(&sink);
+    KnntaQuery q{{50, 50}, {0, 25 * kEpochLen - 1}, 5, 0.4};
+    std::vector<KnntaResult> results;
+    ASSERT_TRUE(fx.tree->Query(q, &results).ok());
+    ASSERT_EQ(results.size(), q.k);
+  }
+#ifdef TAR_QUERY_AUDIT
+  EXPECT_EQ(sink.begins, 1);
+  EXPECT_EQ(sink.ends, 1);
+  // k = 5 over 500 POIs: the search must discard queue entries when it
+  // stops, and every one of them owes a certificate.
+  EXPECT_GT(sink.bound_certs, 0);
+#else
+  EXPECT_EQ(sink.begins, 0);
+  EXPECT_EQ(sink.ends, 0);
+  EXPECT_EQ(sink.certs, 0);
+#endif
 }
 
 }  // namespace

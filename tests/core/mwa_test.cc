@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/query_audit.h"
 #include "core/scan_baseline.h"
 
 namespace tar {
@@ -319,6 +320,44 @@ TEST(TreeSkylineTest, MatchesBruteForceSkyline) {
     EXPECT_NEAR(got[i].s0, want[i].s0, 1e-12);
     EXPECT_NEAR(got[i].s1, want[i].s1, 1e-12);
   }
+}
+
+/// Counts audit-hook traffic from both MWA algorithms (verification of
+/// the certificates lives in the analysis layer).
+class CountingSink : public QueryAuditSink {
+ public:
+  void BeginQuery(const void*, const char*,
+                  const TarTree::QueryContext&) override {
+    ++begins;
+  }
+  void RecordPrune(const PruneCertificate&) override { ++certs; }
+  void EndQuery(const void*) override { ++ends; }
+
+  int begins = 0;
+  int ends = 0;
+  int certs = 0;
+};
+
+TEST(MwaAuditHookTest, BothAlgorithmsAnnounceTheirQueries) {
+  MwaFixture fx(7);
+  KnntaQuery q = fx.RandomQuery();
+  MwaResult mwa;
+  CountingSink sink;
+  {
+    ScopedQueryAudit scope(&sink);
+    ASSERT_TRUE(ComputeMwaEnumerating(*fx.tree, q, &mwa).ok());
+    ASSERT_TRUE(ComputeMwaPruning(*fx.tree, q, &mwa).ok());
+  }
+#ifdef TAR_QUERY_AUDIT
+  // Each algorithm announces twice: the inner top-k query ("knnta"),
+  // then its own traversal. Every begin must be closed.
+  EXPECT_EQ(sink.begins, 4);
+  EXPECT_EQ(sink.ends, sink.begins);
+  EXPECT_GT(sink.certs, 0);
+#else
+  EXPECT_EQ(sink.begins, 0);
+  EXPECT_EQ(sink.certs, 0);
+#endif
 }
 
 }  // namespace

@@ -22,6 +22,11 @@ Checks (see `list-checks` for one-liners):
                      misses: bare ternary statements, comma operands
   hot-section        no allocation or ungated clock reads inside
                      QueryTrace-phased hot sections
+  float-bound        no raw ==/!= on score-space doubles and no
+                     score comparator without the documented poi/node
+                     tie-break (src/core ranking discipline)
+  audit-coverage     every pruning/early-exit site in the query engines
+                     registers a certificate with the query-audit hooks
 
 A finding can be suppressed with a comment on the same or preceding line:
 
@@ -761,6 +766,160 @@ def check_hot_section(ctx: Context, findings: List[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# float-bound: score arithmetic must not be compared with raw ==/!= unless
+# it is the first leg of the documented (score, poi/node) tie-break, and
+# comparators ordering by score must carry that tie-break.
+# ---------------------------------------------------------------------------
+
+# The files that compute or order by ranking scores; scan_baseline is the
+# oracle and must follow the exact same comparison discipline.
+SCORE_FILES = HOT_FILES + ("src/core/scan_baseline.cc",)
+
+# Identifiers that hold score-space doubles (f(e), its components, MWA
+# crossover weights). Matching is on the last path component, so `a.score`,
+# `cert.bound` and `item.s1` all count.
+SCORE_NAMES = {"score", "s0", "s1", "bound", "gamma", "kth_best"}
+
+FLOAT_CMP_RE = re.compile(r"(?<![=!<>])(==|!=)(?!=)")
+LAST_IDENT_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\(\s*\)\s*)?$")
+FIRST_TOKEN_RE = re.compile(r"\s*-?([A-Za-z_0-9][\w]*)")
+TIE_BREAK_RE = re.compile(r"[\w\.\->\[\]]*\b(?:poi|node|id)\b\s*[<>]")
+
+
+def _has_tie_break(lines: List[str], line: int, span: int = 6) -> bool:
+    """True when a poi/node/id ordering appears within `span` lines after
+    (or two lines before) `line` — the shape of the documented comparator:
+    compare scores first, break ties by id."""
+    lo = max(0, line - 3)
+    hi = min(len(lines), line + span)
+    return any(TIE_BREAK_RE.search(l) for l in lines[lo:hi])
+
+
+def check_float_bound(ctx: Context, findings: List[Finding]) -> None:
+    for f in ctx.files:
+        if f.path not in SCORE_FILES and not f.path.startswith(TESTDATA_PREFIX):
+            continue
+        lines = f.code.splitlines()
+        for m in FLOAT_CMP_RE.finditer(f.code):
+            line = f.line_of(m.start())
+            text = lines[line - 1] if line - 1 <= len(lines) else ""
+            before = f.code[m.start() - min(120, m.start()) : m.start()]
+            before = before.rsplit("\n", 1)[-1]
+            after = f.code[m.end() : m.end() + 120].split("\n", 1)[0]
+            left = LAST_IDENT_RE.search(before.rstrip().rstrip(")]").rstrip())
+            right = FIRST_TOKEN_RE.match(after)
+            names = set()
+            if left:
+                names.add(left.group(1))
+            if right:
+                names.add(right.group(1))
+            if not (names & SCORE_NAMES):
+                continue
+            # `x == 0` style guards against exact sentinel values are not
+            # score comparisons.
+            if right and right.group(1).isdigit():
+                continue
+            if _has_tie_break(lines, line):
+                continue
+            if f.is_suppressed("float-bound", line):
+                continue
+            findings.append(
+                Finding(
+                    "float-bound",
+                    f.path,
+                    line,
+                    f"raw `{m.group(1)}` on score-space doubles "
+                    f"(`{text.strip()[:60]}`) without the documented "
+                    "poi/node tie-break nearby; exact float equality is "
+                    "only sound as the first leg of the tie-break "
+                    "comparator (see docs/internals.md)",
+                )
+            )
+        # Comparators that order by a score component but never break ties:
+        # a `return <score> < <score>;` with no poi/node/id ordering around
+        # it silently depends on unspecified result order.
+        for m in re.finditer(
+            r"return\s+[\w\.\->\[\]]*\b(" + "|".join(sorted(SCORE_NAMES)) + r")\b"
+            r"\s*[<>]=?\s*[^;]+;",
+            f.code,
+        ):
+            line = f.line_of(m.start())
+            if _has_tie_break(lines, line):
+                continue
+            if f.is_suppressed("float-bound", line):
+                continue
+            text = lines[line - 1] if line - 1 <= len(lines) else ""
+            findings.append(
+                Finding(
+                    "float-bound",
+                    f.path,
+                    line,
+                    f"comparator orders by `{m.group(1)}` "
+                    f"(`{text.strip()[:60]}`) without the documented "
+                    "poi/node tie-break; ties would leave the result "
+                    "order unspecified and break bit-exact differential "
+                    "checks",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# audit-coverage: every pruning / early-exit site in the query engines must
+# register a certificate with the query-audit hooks.
+# ---------------------------------------------------------------------------
+
+# One regex per known pruning idiom. A match is a site; an audit token
+# (TAR_AUDIT or a CurrentQueryAuditSink lookup) must appear within a few
+# lines before it or the certificate-recording window after it.
+AUDIT_SITE_RES = (
+    (
+        re.compile(r"results->size\(\)\s*<\s*query\.k"),
+        "best-first termination (queue remainder is the pruned set)",
+    ),
+    (
+        re.compile(r"=\s*SkyDominator\s*\("),
+        "skyline dominance skip",
+    ),
+    (
+        re.compile(r"\bs0\b\s*&&.*\bs1\b[^;{]*\{"),
+        "dominance-pair prune",
+    ),
+    (
+        re.compile(r"\.done\s*=\s*true"),
+        "collective query retirement (queue remainder is the pruned set)",
+    ),
+)
+AUDIT_TOKEN_RE = re.compile(r"TAR_AUDIT|CurrentQueryAuditSink")
+
+
+def check_audit_coverage(ctx: Context, findings: List[Finding]) -> None:
+    for f in ctx.files:
+        if f.path not in HOT_FILES and not f.path.startswith(TESTDATA_PREFIX):
+            continue
+        lines = f.code.splitlines()
+        for site_re, what in AUDIT_SITE_RES:
+            for m in site_re.finditer(f.code):
+                line = f.line_of(m.start())
+                lo = max(0, line - 6)
+                hi = min(len(lines), line + 30)
+                if any(AUDIT_TOKEN_RE.search(l) for l in lines[lo:hi]):
+                    continue
+                if f.is_suppressed("audit-coverage", line):
+                    continue
+                findings.append(
+                    Finding(
+                        "audit-coverage",
+                        f.path,
+                        line,
+                        f"{what} records no pruning certificate: no "
+                        "TAR_AUDIT / CurrentQueryAuditSink within reach; "
+                        "the query-soundness auditor cannot prove what it "
+                        "never sees (see src/core/query_audit.h)",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -771,6 +930,8 @@ CHECKS = {
     "failpoint-catalog": "injected sites are compiled in and documented",
     "unchecked-status": "discarded Status/Result<> beyond [[nodiscard]]'s reach",
     "hot-section": "no allocation / ungated clock reads in phased sections",
+    "float-bound": "no raw ==/!= on score doubles outside the tie-break idiom",
+    "audit-coverage": "every pruning site registers a query-audit certificate",
 }
 
 DEFAULT_DIRS = ("src", "tests")
@@ -813,6 +974,10 @@ def run_checks(
         check_unchecked_status(ctx, findings)
     if "hot-section" in checks:
         check_hot_section(ctx, findings)
+    if "float-bound" in checks:
+        check_float_bound(ctx, findings)
+    if "audit-coverage" in checks:
+        check_audit_coverage(ctx, findings)
     findings.sort(key=lambda v: (v.path, v.line, v.check))
     return findings
 
@@ -823,6 +988,13 @@ def cmd_check(args: argparse.Namespace) -> int:
     unknown = checks - set(CHECKS)
     if unknown:
         print(f"tar-lint: unknown checks: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+    if args.require_libclang and not HAVE_LIBCLANG:
+        print(
+            "tar-lint: --require-libclang given but clang.cindex is not "
+            "importable; install the python3-clang bindings",
+            file=sys.stderr,
+        )
         return 2
     rels = collect_files(root, DEFAULT_DIRS)
     if args.verbose:
@@ -864,6 +1036,8 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         ("failpoint-catalog", "tools/lint/testdata/bad_failpoint.cc"),
         ("unchecked-status", "tools/lint/testdata/bad_unchecked_status.cc"),
         ("hot-section", "tools/lint/testdata/bad_hot_section.cc"),
+        ("float-bound", "tools/lint/testdata/bad_float_bound.cc"),
+        ("audit-coverage", "tools/lint/testdata/bad_audit_coverage.cc"),
     ]
     ok = True
     for check, path in expected:
@@ -899,6 +1073,12 @@ def main(argv: List[str]) -> int:
         "--no-suppress",
         action="store_true",
         help="ignore `tar-lint: allow(...)` comments",
+    )
+    p_check.add_argument(
+        "--require-libclang",
+        action="store_true",
+        help="fail (exit 2) when the clang.cindex AST pass is unavailable "
+        "instead of silently degrading to the lexer",
     )
     p_check.add_argument("-v", "--verbose", action="store_true")
     p_check.set_defaults(func=cmd_check)

@@ -1,0 +1,33 @@
+// Seeded defects for the audit-coverage check: pruning/early-exit sites
+// in query-engine shape with no certificate registration in reach.
+// Never compiled; scanned by `tar_lint.py selftest`.
+#include <cstddef>
+
+struct FakeState {
+  bool done = false;
+  std::size_t k = 0;
+  std::size_t filled = 0;
+};
+
+struct FakePoint {
+  double s0 = 0.0;
+  double s1 = 0.0;
+};
+
+const FakePoint* SkyDominator(const FakePoint* sky, double s0, double s1);
+
+// BAD: retires a query (dropping its queue remainder — the pruned set)
+// without recording a certificate.
+void RetireFinished(FakeState& qs) {
+  if (qs.filled >= qs.k) {
+    qs.done = true;
+  }
+}
+
+// BAD: skyline dominance skip with no certificate.
+bool DominanceSkip(const FakePoint* sky, double s0, double s1) {
+  if (const FakePoint* dom = SkyDominator(sky, s0, s1)) {
+    return dom != nullptr;
+  }
+  return false;
+}

@@ -1,0 +1,40 @@
+// Seeded defects for the float-bound check: raw equality on score-space
+// doubles and a comparator that orders by score without the documented
+// poi tie-break. Never compiled; scanned by `tar_lint.py selftest`.
+#include <algorithm>
+#include <vector>
+
+struct Scored {
+  unsigned poi;
+  double score;
+  double s0;
+  double s1;
+};
+
+// BAD: raw == on a score double with no tie-break anywhere near it.
+bool SameScore(const Scored& a, const Scored& b) {
+  return a.score == b.score;
+}
+
+// padding so the seeded defects above and below stay outside each
+// other's tie-break search window
+// (the check looks a few lines around each comparison).
+
+// BAD: orders by score but never breaks ties; equal scores leave the
+// result order unspecified and break bit-exact differential checks.
+void SortByScore(std::vector<Scored>* v) {
+  std::sort(v->begin(), v->end(), [](const Scored& a, const Scored& b) {
+    return a.score < b.score;
+  });
+}
+
+// padding so the good comparator below cannot vouch for the seeded
+// defect above
+// (tie-break proximity is what separates the two).
+
+// GOOD (not flagged): the documented idiom — exact inequality only as
+// the first leg, poi tie-break immediately after.
+bool OrderedWithTieBreak(const Scored& a, const Scored& b) {
+  if (a.score != b.score) return a.score < b.score;
+  return a.poi < b.poi;
+}

@@ -71,6 +71,19 @@
 //       aggregate node-access cost, then checks buffer-pool integrity.
 //       --metrics additionally enables the global metrics registry and
 //       dumps it after the run.
+//
+//   tartool audit [--seed N | --seeds N] [--queries M] [--pois P]
+//           [--epochs E]
+//       Query-soundness oracle sweep. Every seed deterministically
+//       expands into a dataset, a bulk-built TAR-tree, a streamed twin
+//       and a sequential-scan oracle, plus a query workload; results are
+//       cross-checked bit-for-bit and against metamorphic properties
+//       (top-k prefix, alpha-degenerate orders, MaxAggregate exactness
+//       and monotonicity, MWA equivalence, epoch-append invariance — see
+//       docs/internals.md, "Query-soundness oracle"). In audited (debug)
+//       builds every pruning certificate is additionally proven. --seed
+//       runs one seed, --seeds N (default 50) sweeps 1..N; each failure
+//       prints a one-line repro command. Exit 0 when all seeds pass.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -84,6 +97,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/query_checker.h"
 #include "analysis/structure_verifier.h"
 #include "common/crc32c.h"
 #include "common/failpoint.h"
@@ -1353,10 +1367,70 @@ int CrashTest(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// ----------------------------------------------------------------------
+// audit: differential/metamorphic query-soundness sweep.
+// ----------------------------------------------------------------------
+
+int Audit(const std::map<std::string, std::string>& flags) {
+  analysis::QueryCheckOptions opt;
+  opt.num_queries = static_cast<std::size_t>(
+      std::strtoull(Flag(flags, "queries", "10").c_str(), nullptr, 10));
+  opt.num_pois = static_cast<std::size_t>(
+      std::strtoull(Flag(flags, "pois", "48").c_str(), nullptr, 10));
+  opt.num_epochs =
+      std::strtoll(Flag(flags, "epochs", "10").c_str(), nullptr, 10);
+  std::uint64_t first = 1;
+  std::uint64_t last =
+      std::strtoull(Flag(flags, "seeds", "50").c_str(), nullptr, 10);
+  if (flags.count("seed") != 0) {
+    first = last = std::strtoull(Flag(flags, "seed", "1").c_str(), nullptr,
+                                 10);
+  }
+  if (last < first || opt.num_queries == 0 || opt.num_pois == 0 ||
+      opt.num_epochs <= 0) {
+    std::fprintf(stderr, "audit: bad flags\n");
+    return 2;
+  }
+
+  int failures = 0;
+  analysis::QueryCheckReport totals;
+  for (std::uint64_t seed = first; seed <= last; ++seed) {
+    opt.seed = seed;
+    analysis::QueryCheckReport rep;
+    Status st = analysis::RunQuerySoundnessCheck(opt, &rep);
+    totals.queries += rep.queries;
+    totals.differential_checks += rep.differential_checks;
+    totals.metamorphic_checks += rep.metamorphic_checks;
+    totals.audit.queries += rep.audit.queries;
+    totals.audit.certificates += rep.audit.certificates;
+    totals.audit.bound_certs += rep.audit.bound_certs;
+    totals.audit.dominance_certs += rep.audit.dominance_certs;
+    totals.audit.subtree_pois += rep.audit.subtree_pois;
+    if (!st.ok()) {
+      ++failures;
+      std::fprintf(stderr,
+                   "audit: FAILED: %s\n"
+                   "  reproduce with: tartool audit --seed %llu --queries "
+                   "%zu --pois %zu --epochs %lld\n",
+                   st.ToString().c_str(),
+                   static_cast<unsigned long long>(seed), opt.num_queries,
+                   opt.num_pois, static_cast<long long>(opt.num_epochs));
+    }
+  }
+  std::printf("audit: %llu seed(s): %s\n",
+              static_cast<unsigned long long>(last - first + 1),
+              totals.ToString().c_str());
+  if (failures > 0) {
+    std::fprintf(stderr, "audit: %d seed(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: tartool <generate|build|info|check|query|stress|"
-               "ingest|recover|crashtest> [--flags]\n"
+               "ingest|recover|crashtest|audit> [--flags]\n"
                "  generate --preset gw|gs|nyc|la --scale S --out FILE\n"
                "  build    --input FILE --out INDEX [--strategy tar|spa|agg]"
                " [--threshold N] [--epoch-days D] [--backend mvbt|bptree]\n"
@@ -1371,8 +1445,9 @@ int Usage() {
                "           [--epoch-days D] [--backend mvbt|bptree]"
                " [--checkpoint-every K] [--metrics]\n"
                "  recover  --store PREFIX [--checkpoint] [--shallow]\n"
-               "  crashtest [--rounds N] [--seed S] [--scale F] [--path P]"
-               "\n");
+               "  crashtest [--rounds N] [--seed S] [--scale F] [--path P]\n"
+               "  audit    [--seed N | --seeds N] [--queries M] [--pois P]"
+               " [--epochs E]\n");
   return 2;
 }
 
@@ -1395,5 +1470,6 @@ int main(int argc, char** argv) {
   if (cmd == "ingest") return Ingest(flags);
   if (cmd == "recover") return RecoverCmd(flags);
   if (cmd == "crashtest") return CrashTest(flags);
+  if (cmd == "audit") return Audit(flags);
   return Usage();
 }
