@@ -1,0 +1,84 @@
+#include "common/deadline.h"
+
+#include <cstdio>
+
+namespace tar {
+
+void CancelToken::Cancel(std::string cause) {
+  // First-wins publication: claim the cause slot, write the cause, then
+  // release the flag. Readers acquire-load cancelled() before touching
+  // cause_, so the string write happens-before any read.
+  bool expected = false;
+  if (cause_claimed_.compare_exchange_strong(expected, true,
+                                             std::memory_order_relaxed)) {
+    cause_ = std::move(cause);
+    cancelled_.store(true, std::memory_order_release);
+  }
+}
+
+std::string CancelToken::cause() const {
+  if (!cancelled()) return "";
+  return cause_;
+}
+
+QueryDeadline::QueryDeadline(const QueryBudget& budget,
+                             const CancelToken* token)
+    : token_(token),
+      max_node_visits_(budget.max_node_visits),
+      max_tia_page_reads_(budget.max_tia_page_reads) {
+  if (budget.deadline_ms > 0.0) {
+    has_deadline_ = true;
+    deadline_ms_ = budget.deadline_ms;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        budget.deadline_ms));
+  }
+  armed_ = token_ != nullptr || has_deadline_ || !budget.Unlimited();
+}
+
+Status QueryDeadline::Poll() {
+  if (!armed_) return Status::OK();
+  if (token_ != nullptr && token_->cancelled()) {
+    return Status::Cancelled(token_->cause());
+  }
+  if (max_node_visits_ != 0 && node_visits_ > max_node_visits_) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "node-visit budget exhausted (%llu visited, limit %llu)",
+                  static_cast<unsigned long long>(node_visits_),
+                  static_cast<unsigned long long>(max_node_visits_));
+    return Status::DeadlineExceeded(buf);
+  }
+  if (max_tia_page_reads_ != 0 && tia_page_reads_ > max_tia_page_reads_) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "TIA page-read budget exhausted (%llu read, limit %llu)",
+                  static_cast<unsigned long long>(tia_page_reads_),
+                  static_cast<unsigned long long>(max_tia_page_reads_));
+    return Status::DeadlineExceeded(buf);
+  }
+  if (has_deadline_) {
+    // Amortize the clock read: tight per-entry loops poll every
+    // iteration but only pay for steady_clock::now() every
+    // kClockStride-th call.
+    if (polls_until_clock_ == 0) {
+      polls_until_clock_ = kClockStride;
+      TAR_RETURN_NOT_OK(CheckDeadlineNow());
+    }
+    --polls_until_clock_;
+  }
+  return Status::OK();
+}
+
+Status QueryDeadline::CheckDeadlineNow() {
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "query deadline exceeded (%.1f ms)",
+                  deadline_ms_);
+    return Status::DeadlineExceeded(buf);
+  }
+  return Status::OK();
+}
+
+}  // namespace tar

@@ -1,0 +1,159 @@
+// Cooperative cancellation, deadlines, and work budgets for query execution.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace tar {
+
+/// \brief Shared cancel flag with a first-wins cancellation cause.
+///
+/// One token may be observed by many queries (a whole parallel batch, a
+/// server connection). Cancel() is lock free and idempotent: the first
+/// caller wins the cause slot, later calls are no-ops. Readers poll
+/// cancelled() (one acquire load) on their cooperative check points; the
+/// cause string is published before the flag, so any reader that observes
+/// cancelled() == true may safely read cause().
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation. Thread safe; the first call's cause sticks.
+  void Cancel(std::string cause = "cancelled");
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The first Cancel() call's cause; "" while not cancelled.
+  std::string cause() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> cause_claimed_{false};
+  std::string cause_;
+};
+
+/// \brief Resource ceilings for one query. Zero means "unlimited".
+///
+/// `deadline_ms` is a wall-clock allowance measured from the moment a
+/// QueryDeadline is armed (query execution start, not admission time).
+/// The visit/page ceilings bound work even when the clock is unreliable
+/// (sanitizer builds, single-stepped debuggers) and make budget trips
+/// deterministic for tests.
+struct QueryBudget {
+  double deadline_ms = 0.0;
+  std::uint64_t max_node_visits = 0;
+  std::uint64_t max_tia_page_reads = 0;
+
+  bool Unlimited() const {
+    return deadline_ms <= 0.0 && max_node_visits == 0 &&
+           max_tia_page_reads == 0;
+  }
+};
+
+/// \brief Degradation label for an opt-in partial result.
+///
+/// When a deadline/cancel/budget trip cuts a best-first search whose
+/// caller passed `allow_partial`, the query returns OK with the top-k
+/// prefix found so far and stamps this struct:
+///   - `completed == false`, `cause` holds the would-be abort status;
+///   - every returned result is exact (identical to the full answer's
+///     prefix), and every POI *not* returned scores >= `score_bound`.
+/// The bound is the minimum score in the best-first frontier at the cut;
+/// Property 1 (consistent bounds) makes it sound. A query that runs to
+/// completion leaves the defaults (`completed == true`, bound = +inf).
+struct PartialResult {
+  bool completed = true;
+  double score_bound = std::numeric_limits<double>::infinity();
+  Status cause;
+};
+
+/// \brief Per-query cooperative checkpoint state: cancel token + armed
+/// wall-clock deadline + work counters.
+///
+/// Threaded as an optional `QueryDeadline*` (nullptr = unlimited, zero
+/// overhead beyond one pointer test per poll site) through the query
+/// paths. Not thread safe: one instance belongs to one executing query.
+/// Poll() is the cooperative check: the cancel flag and integer ceilings
+/// are tested every call, the clock only every kClockStride polls so
+/// tight loops stay cheap and release-bench numbers stay flat with
+/// deadlines disabled.
+class QueryDeadline {
+ public:
+  /// Unarmed: Poll() always returns OK (still counts work).
+  QueryDeadline() = default;
+
+  /// Arms `budget` (deadline measured from now) and optionally observes
+  /// `token`. Either may be empty/null.
+  explicit QueryDeadline(const QueryBudget& budget,
+                         const CancelToken* token = nullptr);
+
+  /// Cooperative check point. Returns kCancelled if the token fired,
+  /// kDeadlineExceeded if the wall clock or a work ceiling is exhausted,
+  /// OK otherwise.
+  Status Poll();
+
+  /// Poll() plus one node-visit charge (call when expanding a tree node).
+  Status PollNode() {
+    ++node_visits_;
+    return Poll();
+  }
+
+  /// Charge `n` TIA page reads against the budget (checked by the next
+  /// Poll together with this call).
+  void ChargeTiaPages(std::uint64_t n) { tia_page_reads_ += n; }
+
+  /// True when any ceiling/deadline/token is attached (used to decide
+  /// whether page-read accounting needs a scratch AccessStats).
+  bool armed() const { return armed_; }
+  bool wants_tia_accounting() const { return max_tia_page_reads_ > 0; }
+
+  std::uint64_t node_visits() const { return node_visits_; }
+  std::uint64_t tia_page_reads() const { return tia_page_reads_; }
+
+ private:
+  Status CheckDeadlineNow();
+
+  const CancelToken* token_ = nullptr;
+  bool armed_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  double deadline_ms_ = 0.0;
+  std::uint64_t max_node_visits_ = 0;
+  std::uint64_t max_tia_page_reads_ = 0;
+  std::uint64_t node_visits_ = 0;
+  std::uint64_t tia_page_reads_ = 0;
+  std::uint32_t polls_until_clock_ = 0;
+
+  static constexpr std::uint32_t kClockStride = 64;
+};
+
+/// Cooperative check point for functions that return Status (or Result):
+/// propagates a deadline/cancel trip to the caller. `deadline` is a
+/// `QueryDeadline*` and may be null.
+#define TAR_CHECK_CANCEL(deadline)              \
+  do {                                          \
+    if ((deadline) != nullptr) {                \
+      TAR_RETURN_NOT_OK((deadline)->Poll());    \
+    }                                           \
+  } while (false)
+
+/// Check point for loops that must not return directly (a phase's stats
+/// still have to be folded into the caller's totals): folds the poll
+/// outcome into `st` instead. No-op once `st` is already non-OK.
+#define TAR_CHECK_CANCEL_TO(deadline, st)                  \
+  do {                                                     \
+    if ((deadline) != nullptr && (st).ok()) {              \
+      (st) = (deadline)->Poll();                           \
+    }                                                      \
+  } while (false)
+
+}  // namespace tar

@@ -1,8 +1,10 @@
 #include "common/failpoint.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace tar::fail {
 
@@ -57,6 +59,8 @@ Status ParseAction(const std::string& word, Action* action) {
     *action = Action::kTornWrite;
   } else if (word == "flip") {
     *action = Action::kBitFlip;
+  } else if (word == "delay") {
+    *action = Action::kDelay;
   } else if (word == "off") {
     *action = Action::kOff;
   } else {
@@ -80,6 +84,8 @@ const char* ToString(Action action) {
       return "torn";
     case Action::kBitFlip:
       return "flip";
+    case Action::kDelay:
+      return "delay";
   }
   return "?";
 }
@@ -156,23 +162,58 @@ Status FaultInjector::Configure(const std::string& spec) {
 
     Site armed;
     std::string action_word = rhs;
+    std::vector<std::string> params;
     std::size_t at = rhs.find('@');
     if (at != std::string::npos) {
       action_word = rhs.substr(0, at);
-      std::string param = rhs.substr(at + 1);
+      std::size_t start = at + 1;
+      while (start <= rhs.size()) {
+        std::size_t next = rhs.find('@', start);
+        if (next == std::string::npos) {
+          params.push_back(rhs.substr(start));
+          break;
+        }
+        params.push_back(rhs.substr(start, next - start));
+        start = next + 1;
+      }
+    }
+    TAR_RETURN_NOT_OK(ParseAction(action_word, &armed.action));
+    auto parse_positive = [&site](const std::string& param,
+                                  double* value) -> Status {
       char* parse_end = nullptr;
-      double value = std::strtod(param.c_str(), &parse_end);
-      if (parse_end == param.c_str() || *parse_end != '\0' || value <= 0.0) {
+      *value = std::strtod(param.c_str(), &parse_end);
+      if (parse_end == param.c_str() || *parse_end != '\0' || *value <= 0.0) {
         return Status::InvalidArgument("failpoint spec: bad parameter '" +
                                        param + "' for site '" + site + "'");
       }
+      return Status::OK();
+    };
+    // `delay` consumes a leading milliseconds parameter; what is left (for
+    // any action) is the optional probability/nth selector.
+    std::size_t selector_at = 0;
+    if (armed.action == Action::kDelay) {
+      if (params.empty()) {
+        return Status::InvalidArgument(
+            "failpoint spec: delay needs a milliseconds parameter "
+            "(site=delay@ms) for site '" +
+            site + "'");
+      }
+      TAR_RETURN_NOT_OK(parse_positive(params[0], &armed.delay_ms));
+      selector_at = 1;
+    }
+    if (params.size() > selector_at + 1) {
+      return Status::InvalidArgument(
+          "failpoint spec: too many parameters for site '" + site + "'");
+    }
+    if (params.size() == selector_at + 1) {
+      double value = 0.0;
+      TAR_RETURN_NOT_OK(parse_positive(params[selector_at], &value));
       if (value < 1.0) {
         armed.probability = value;
       } else {
         armed.nth = static_cast<std::uint64_t>(value);
       }
     }
-    TAR_RETURN_NOT_OK(ParseAction(action_word, &armed.action));
     if (armed.action != Action::kOff) {
       parsed.emplace_back(std::move(site), armed);
     }
@@ -194,25 +235,34 @@ void FaultInjector::Clear() {
 FireResult FaultInjector::Hit(const char* site) {
   FireResult result;
   if (!enabled()) return result;
-  MutexLock lock(&mu_);
-  for (auto& [name, armed] : sites_) {
-    if (name != site) continue;
-    ++armed.hits;
-    bool fires;
-    if (armed.nth > 0) {
-      fires = armed.hits == armed.nth;
-    } else if (armed.probability >= 0.0) {
-      fires = ToUnit(Mix(seed_ ^ HashString(site) ^ armed.hits)) <
-              armed.probability;
-    } else {
-      fires = true;
+  {
+    MutexLock lock(&mu_);
+    for (auto& [name, armed] : sites_) {
+      if (name != site) continue;
+      ++armed.hits;
+      bool fires;
+      if (armed.nth > 0) {
+        fires = armed.hits == armed.nth;
+      } else if (armed.probability >= 0.0) {
+        fires = ToUnit(Mix(seed_ ^ HashString(site) ^ armed.hits)) <
+                armed.probability;
+      } else {
+        fires = true;
+      }
+      if (fires) {
+        ++armed.fires;
+        result.action = armed.action;
+        result.delay_ms = armed.delay_ms;
+        result.seed = Mix(seed_ ^ HashString(site) ^ (armed.hits << 1) ^ 1u);
+      }
+      break;
     }
-    if (fires) {
-      ++armed.fires;
-      result.action = armed.action;
-      result.seed = Mix(seed_ ^ HashString(site) ^ (armed.hits << 1) ^ 1u);
-    }
-    return result;
+  }
+  // The sleep runs after the registry latch is dropped so a slow-I/O
+  // storm stalls only the threads that actually hit the delayed site.
+  if (result.action == Action::kDelay && result.delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(result.delay_ms));
   }
   return result;
 }
@@ -242,6 +292,8 @@ Status InjectedFault(const char* site) {
     case Action::kAllocFail:
       return Status::ResourceExhausted(
           std::string("injected allocation failure at failpoint ") + site);
+    case Action::kDelay:
+      return Status::OK();  // the sleep already happened inside Hit
     case Action::kError:
     case Action::kTornWrite:  // no payload to tear here
     case Action::kBitFlip:    // no payload to flip here

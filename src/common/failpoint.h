@@ -18,6 +18,11 @@
 //                   elsewhere it degrades to err)
 //            flip   flip one bit of the written payload (persistence
 //                   sites; elsewhere it degrades to err)
+//            delay  sleep for a wall-clock delay, then succeed — models a
+//                   slow device or a cold cache instead of a failure. The
+//                   first parameter is the delay in milliseconds and is
+//                   required: `site=delay@ms` or `site=delay@ms@param`
+//                   with the usual probability/nth selector second.
 //            off    disarm the site
 //   param    omitted    fire on every hit
 //            p in (0,1) fire with probability p — deterministic in the
@@ -52,6 +57,7 @@ enum class Action : unsigned char {
   kAllocFail,  ///< Status::ResourceExhausted
   kTornWrite,  ///< persist a prefix, then fail (persistence sites)
   kBitFlip,    ///< flip one bit of the payload (persistence sites)
+  kDelay,      ///< sleep delay_ms, then proceed normally (slow I/O)
 };
 
 const char* ToString(Action action);
@@ -61,6 +67,9 @@ struct FireResult {
   Action action = Action::kOff;
   /// Deterministic per-fire seed for torn/flip payload decisions.
   std::uint64_t seed = 0;
+  /// The configured sleep for kDelay fires. Informational: the sleep has
+  /// already happened inside Hit() by the time the caller sees this.
+  double delay_ms = 0.0;
 };
 
 /// Hit/fire counters of one armed site (for sweeps and reports).
@@ -97,7 +106,10 @@ class FaultInjector {
 
   /// Records one hit of `site` and decides whether it fires. Sites that
   /// are not armed return kOff (but the process-wide hit is not tracked;
-  /// only armed sites count).
+  /// only armed sites count). A kDelay fire performs its sleep here —
+  /// after the registry latch is released, so only the hitting thread
+  /// stalls — which is what lets every site support `delay` without
+  /// call-site changes (call sites treat kDelay like kOff).
   FireResult Hit(const char* site) TAR_EXCLUDES(mu_);
 
   /// Counters of every armed site.
@@ -117,6 +129,7 @@ class FaultInjector {
     Action action = Action::kOff;
     double probability = -1.0;  ///< fire chance; < 0 means "not probabilistic"
     std::uint64_t nth = 0;      ///< fire on exactly this hit; 0 = every hit
+    double delay_ms = 0.0;      ///< sleep per kDelay fire
     std::uint64_t hits = 0;
     std::uint64_t fires = 0;
   };

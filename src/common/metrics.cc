@@ -270,6 +270,7 @@ std::string MetricsRegistry::ToText() const {
 }
 
 QueryTrace::Phase* QueryTrace::AddPhase(std::string name) {
+  if (on_phase) on_phase(name);
   phases.emplace_back();
   phases.back().name = std::move(name);
   return &phases.back();

@@ -31,6 +31,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -200,6 +201,13 @@ struct QueryTrace {
   std::vector<Phase> phases;
   double total_micros = 0.0;
   std::size_t num_results = 0;
+
+  /// Invoked (when set) with the phase name at every AddPhase call —
+  /// i.e. at each phase transition of a traced query. Tracing is already
+  /// a cold, caller-opted path, so the indirect call costs nothing on
+  /// untraced queries; tests use it to trip a CancelToken at a chosen
+  /// transition and probe the abort path of every query engine.
+  std::function<void(const std::string&)> on_phase;
 
   Phase* AddPhase(std::string name);
 

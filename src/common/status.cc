@@ -23,6 +23,14 @@ const char* CodeName(Status::Code code) {
       return "AlreadyExists";
     case Status::Code::kIoError:
       return "IoError";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

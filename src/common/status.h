@@ -27,6 +27,10 @@ class [[nodiscard]] Status {
     kResourceExhausted,
     kAlreadyExists,
     kIoError,
+    kDeadlineExceeded,
+    kCancelled,
+    kUnavailable,
+    kFailedPrecondition,
   };
 
   Status() = default;
@@ -56,6 +60,18 @@ class [[nodiscard]] Status {
   static Status IoError(std::string msg) {
     return Status(Code::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -69,6 +85,14 @@ class [[nodiscard]] Status {
   }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
 
   const std::string& message() const { return msg_; }
 

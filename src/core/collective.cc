@@ -25,10 +25,11 @@ double MicrosSince(Clock::time_point start) {
 Status ProcessIndividually(const TarTree& tree,
                            const std::vector<KnntaQuery>& queries,
                            std::vector<std::vector<KnntaResult>>* results,
-                           AccessStats* stats) {
+                           AccessStats* stats, QueryDeadline* deadline) {
   results->assign(queries.size(), {});
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    TAR_RETURN_NOT_OK(tree.Query(queries[i], &(*results)[i], stats));
+    TAR_RETURN_NOT_OK(
+        tree.Query(queries[i], &(*results)[i], stats, nullptr, deadline));
   }
   return Status::OK();
 }
@@ -67,7 +68,8 @@ struct QueryState {
 Status ProcessCollectively(const TarTree& tree,
                            const std::vector<KnntaQuery>& queries,
                            std::vector<std::vector<KnntaResult>>* results,
-                           AccessStats* stats, QueryTrace* trace) {
+                           AccessStats* stats, QueryTrace* trace,
+                           QueryDeadline* deadline) {
   results->assign(queries.size(), {});
   for (const KnntaQuery& q : queries) {
     if (q.k == 0) return Status::InvalidArgument("k must be positive");
@@ -114,8 +116,9 @@ Status ProcessCollectively(const TarTree& tree,
           std::make_pair(aligned.start, aligned.end), group_ctx.size());
       if (inserted) {
         // One context (and one charged gmax lookup) per interval group.
-        TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
-                             tree.MakeContext(queries[i], phase_stats));
+        TAR_ASSIGN_OR_RETURN(
+            TarTree::QueryContext ctx,
+            tree.MakeContext(queries[i], phase_stats, nullptr, deadline));
         group_ctx.push_back(std::move(ctx));
       }
       QueryState& qs = states[i];
@@ -149,6 +152,7 @@ Status ProcessCollectively(const TarTree& tree,
     auto expand_node = [&](TarTree::NodeId node_id,
                            const std::vector<std::size_t>& members)
         -> Status {
+      if (deadline != nullptr) TAR_RETURN_NOT_OK(deadline->PollNode());
       const TarTree::Node& node = tree.node(node_id);
       if (phase_stats != nullptr) ++phase_stats->rtree_node_reads;
       // group id -> per-entry normalized aggregate complement s1.
@@ -160,9 +164,11 @@ Status ProcessCollectively(const TarTree& tree,
         if (inserted) {
           s1s.reserve(node.entries.size());
           for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
+            TAR_CHECK_CANCEL(deadline);
             const auto& e = node.entries[ei];
             if (phase_stats != nullptr) ++phase_stats->entries_scanned;
-            auto agg = e.tia->Aggregate(qs.ctx.interval, phase_stats);
+            auto agg = e.tia->Aggregate(qs.ctx.interval, phase_stats,
+                                        deadline);
             if (!agg.ok()) {
               return agg.status().WithContext(
                   "node:" + std::to_string(node_id) + "/entry[" +
@@ -173,6 +179,7 @@ Status ProcessCollectively(const TarTree& tree,
           }
         }
         for (std::size_t ei = 0; ei < node.entries.size(); ++ei) {
+          TAR_CHECK_CANCEL(deadline);
           const auto& e = node.entries[ei];
           double s0 = MinDistToBox(qs.ctx.q, e.box) / qs.ctx.dmax;
           double s1 = s1s[ei];
@@ -197,12 +204,17 @@ Status ProcessCollectively(const TarTree& tree,
     TAR_RETURN_NOT_OK(expand_node(tree.root(), everyone));
 
     for (;;) {
+      // A direct return is safe here: the enclosing lambda's caller runs
+      // end_phase() (the stats fold) and the audit closes any still-open
+      // states on the abort path below.
+      TAR_CHECK_CANCEL(deadline);
       // Eject POIs (no node accesses) until each front is an internal
       // entry.
       for (QueryState& qs : states) {
         if (qs.done) continue;
         while (!qs.queue.empty() && qs.out->size() < qs.k &&
                qs.queue.top().is_poi) {
+          TAR_CHECK_CANCEL(deadline);
           const Item& item = qs.queue.top();
           qs.out->push_back(
               KnntaResult{item.poi, item.score, item.dist, item.aggregate});
@@ -222,6 +234,10 @@ Status ProcessCollectively(const TarTree& tree,
               cert.kind = PruneCertificate::Kind::kBound;
               cert.kth_best = qs.out->back().score;
               cert.kth_poi = qs.out->back().poi;
+              // Post-retirement certification in audit builds only: this
+              // query's answer is already complete, and cutting the drain
+              // short would lose the certificates the auditor verifies.
+              // tar-lint: allow(cancel-poll) audit-only post-completion
               while (!qs.queue.empty()) {
                 const Item& item = qs.queue.top();
                 cert.node =
@@ -253,6 +269,9 @@ Status ProcessCollectively(const TarTree& tree,
           best = it;
         }
       }
+      // One pop per sharing query: bounded by the batch size, not the
+      // data, and the enclosing search loop polls every round.
+      // tar-lint: allow(cancel-poll) batch-sized, enclosing loop polls
       for (std::size_t qi : best->second) {
         states[qi].queue.pop();
         if (phase != nullptr) ++phase->heap_pops;
@@ -262,6 +281,19 @@ Status ProcessCollectively(const TarTree& tree,
     return Status::OK();
   }();
   end_phase();
+#ifdef TAR_QUERY_AUDIT
+  if (!search_st.ok()) {
+    if (QueryAuditSink* sink = CurrentQueryAuditSink()) {
+      // Deadline/cancel/error abort: close every still-open query record
+      // so certificates emitted before the cut stay attached to a closed
+      // query and the auditor can verify them (a retired state was
+      // already closed when it finished).
+      for (const QueryState& qs : states) {
+        if (!qs.done) sink->EndQuery(&qs);
+      }
+    }
+  }
+#endif
 
   if (trace != nullptr) {
     trace->total_micros = MicrosSince(total_start);

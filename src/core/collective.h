@@ -19,7 +19,8 @@ namespace tar {
 Status ProcessIndividually(const TarTree& tree,
                            const std::vector<KnntaQuery>& queries,
                            std::vector<std::vector<KnntaResult>>* results,
-                           AccessStats* stats = nullptr);
+                           AccessStats* stats = nullptr,
+                           QueryDeadline* deadline = nullptr);
 
 /// \brief Processes the batch collectively, sharing node accesses and
 /// aggregate computations. Produces exactly the same per-query results as
@@ -28,10 +29,17 @@ Status ProcessIndividually(const TarTree& tree,
 /// An optional trace records two phases — "context/gmax" (one context per
 /// interval group) and "collective search" — whose stats sum to exactly
 /// what the call adds to `stats` (see QueryTrace in common/metrics.h).
+///
+/// `deadline` (optional) covers the whole batch and is polled at every
+/// cooperative check point; a trip aborts the batch with
+/// kDeadlineExceeded/kCancelled (abort-only: per-query partial prefixes
+/// of a collectively processed batch are not supported), preserving the
+/// trace/stats invariant on the abort path.
 Status ProcessCollectively(const TarTree& tree,
                            const std::vector<KnntaQuery>& queries,
                            std::vector<std::vector<KnntaResult>>* results,
                            AccessStats* stats = nullptr,
-                           QueryTrace* trace = nullptr);
+                           QueryTrace* trace = nullptr,
+                           QueryDeadline* deadline = nullptr);
 
 }  // namespace tar

@@ -15,6 +15,7 @@
 // metrics-disabled query is bit-identical to the uninstrumented code.
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <queue>
 
 #include "core/query_audit.h"
@@ -67,9 +68,9 @@ Box2 TarTree::QuerySpace() const {
   return space;
 }
 
-Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
-                                                   AccessStats* stats,
-                                                   QueryTrace* trace) const {
+Result<TarTree::QueryContext> TarTree::MakeContext(
+    const KnntaQuery& query, AccessStats* stats, QueryTrace* trace,
+    QueryDeadline* deadline) const {
   if (poisoned_) return PoisonedError("query");
   // With a trace, the phase collects its own stats; they are folded into
   // the caller's stats on exit so the caller-visible totals are unchanged.
@@ -90,7 +91,7 @@ Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
 
   ctx.dmax = SpatialNormalizer(QuerySpace());
 
-  auto gmax = MaxAggregateTraced(ctx.interval, phase_stats, phase);
+  auto gmax = MaxAggregateTraced(ctx.interval, phase_stats, phase, deadline);
   if (phase != nullptr) {
     phase->micros = MicrosSince(start);
     if (stats != nullptr) *stats += phase->stats;
@@ -101,14 +102,15 @@ Result<TarTree::QueryContext> TarTree::MakeContext(const KnntaQuery& query,
 }
 
 Result<std::int64_t> TarTree::MaxAggregate(const TimeInterval& iq,
-                                           AccessStats* stats) const {
+                                           AccessStats* stats,
+                                           QueryDeadline* deadline) const {
   if (poisoned_) return PoisonedError("query");
-  return MaxAggregateTraced(iq, stats, nullptr);
+  return MaxAggregateTraced(iq, stats, nullptr, deadline);
 }
 
 Result<std::int64_t> TarTree::MaxAggregateTraced(
-    const TimeInterval& iq, AccessStats* stats,
-    QueryTrace::Phase* phase) const {
+    const TimeInterval& iq, AccessStats* stats, QueryTrace::Phase* phase,
+    QueryDeadline* deadline) const {
   if (root_ == kInvalidNodeId) return std::int64_t{0};
   // Best-first on the aggregate upper bound: a leaf entry's aggregate is
   // exact, so the first POI popped is the maximum.
@@ -125,6 +127,7 @@ Result<std::int64_t> TarTree::MaxAggregateTraced(
   };
   std::priority_queue<AggItem> queue;
   auto push_entries = [&](NodeId node_id) -> Status {
+    if (deadline != nullptr) TAR_RETURN_NOT_OK(deadline->PollNode());
     const Node& node = *nodes_[node_id];
     if (stats != nullptr) {
       ++stats->rtree_node_reads;
@@ -132,11 +135,12 @@ Result<std::int64_t> TarTree::MaxAggregateTraced(
     }
     const std::string node_path = "node:" + std::to_string(node_id);
     for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      TAR_CHECK_CANCEL(deadline);
       const Entry& e = node.entries[i];
       if (stats != nullptr) ++stats->entries_scanned;
       Result<std::int64_t> agg = [&] {
         TiaTimer timer(phase);
-        return e.tia->Aggregate(iq, stats);
+        return e.tia->Aggregate(iq, stats, deadline);
       }();
       if (!agg.ok()) {
         return agg.status().WithContext(EntryPath(node_path, i));
@@ -148,6 +152,7 @@ Result<std::int64_t> TarTree::MaxAggregateTraced(
   };
   TAR_RETURN_NOT_OK(push_entries(root_));
   while (!queue.empty()) {
+    TAR_CHECK_CANCEL(deadline);
     AggItem item = queue.top();
     queue.pop();
     if (phase != nullptr) ++phase->heap_pops;
@@ -158,20 +163,21 @@ Result<std::int64_t> TarTree::MaxAggregateTraced(
 }
 
 Status TarTree::EntryComponents(const Entry& entry, const QueryContext& ctx,
-                                double* s0, double* s1,
-                                AccessStats* stats) const {
+                                double* s0, double* s1, AccessStats* stats,
+                                QueryDeadline* deadline) const {
   *s0 = MinDistToBox(ctx.q, entry.box) / ctx.dmax;
   TAR_ASSIGN_OR_RETURN(std::int64_t agg,
-                       entry.tia->Aggregate(ctx.interval, stats));
+                       entry.tia->Aggregate(ctx.interval, stats, deadline));
   *s1 = 1.0 - std::min(1.0, static_cast<double>(agg) / ctx.gmax);
   return Status::OK();
 }
 
 Result<double> TarTree::EntryScore(const Entry& entry, const QueryContext& ctx,
-                                   AccessStats* stats) const {
+                                   AccessStats* stats,
+                                   QueryDeadline* deadline) const {
   double s0 = 0.0;
   double s1 = 0.0;
-  TAR_RETURN_NOT_OK(EntryComponents(entry, ctx, &s0, &s1, stats));
+  TAR_RETURN_NOT_OK(EntryComponents(entry, ctx, &s0, &s1, stats, deadline));
   return ctx.alpha0 * s0 + ctx.alpha1 * s1;
 }
 
@@ -198,9 +204,11 @@ struct QueueItem {
 }  // namespace
 
 Status TarTree::Query(const KnntaQuery& query,
-                      std::vector<KnntaResult>* results,
-                      AccessStats* stats, QueryTrace* trace) const {
+                      std::vector<KnntaResult>* results, AccessStats* stats,
+                      QueryTrace* trace, QueryDeadline* deadline,
+                      PartialResult* partial) const {
   results->clear();
+  if (partial != nullptr) *partial = PartialResult{};
   if (poisoned_) return PoisonedError("query");
   if (query.k == 0) return Status::InvalidArgument("k must be positive");
   if (query.alpha0 <= 0.0 || query.alpha0 >= 1.0) {
@@ -218,9 +226,16 @@ Status TarTree::Query(const KnntaQuery& query,
   Clock::time_point query_start;
   if (timed) query_start = Clock::now();
 
+  // A sound lower bound on the score of every POI not yet returned,
+  // maintained as the search runs so an `allow_partial` cut can stamp it
+  // into the PartialResult. Until the root expansion completes nothing is
+  // known about the frontier, hence -inf (a cut during context/gmax
+  // computation degrades to an empty prefix with the trivial bound).
+  double cut_bound = -std::numeric_limits<double>::infinity();
+
   Status st = [&]() -> Status {
     TAR_ASSIGN_OR_RETURN(QueryContext ctx,
-                         MakeContext(query, stats, trace));
+                         MakeContext(query, stats, trace, deadline));
     TAR_AUDIT(BeginQuery(results, "knnta", ctx));
 
     QueryTrace::Phase* phase = nullptr;
@@ -237,6 +252,7 @@ Status TarTree::Query(const KnntaQuery& query,
         queue;
 
     auto push_node_entries = [&](NodeId node_id) -> Status {
+      if (deadline != nullptr) TAR_RETURN_NOT_OK(deadline->PollNode());
       const Node& node = *nodes_[node_id];
       if (phase_stats != nullptr) {
         ++phase_stats->rtree_node_reads;
@@ -244,13 +260,14 @@ Status TarTree::Query(const KnntaQuery& query,
       }
       const std::string node_path = "node:" + std::to_string(node_id);
       for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        TAR_CHECK_CANCEL(deadline);
         const Entry& e = node.entries[i];
         if (phase_stats != nullptr) ++phase_stats->entries_scanned;
         double s0 = 0.0;
         double s1 = 0.0;
         Status entry_st = [&] {
           TiaTimer timer(phase);
-          return EntryComponents(e, ctx, &s0, &s1, phase_stats);
+          return EntryComponents(e, ctx, &s0, &s1, phase_stats, deadline);
         }();
         if (!entry_st.ok()) {
           return entry_st.WithContext(EntryPath(node_path, i));
@@ -278,6 +295,11 @@ Status TarTree::Query(const KnntaQuery& query,
     Status search_st = push_node_entries(root_);
     while (search_st.ok() && !queue.empty() &&
            results->size() < query.k) {
+      // The queue is the complete frontier here, so its minimum bounds
+      // everything not yet returned (Property 1).
+      cut_bound = queue.top().score;
+      TAR_CHECK_CANCEL_TO(deadline, search_st);
+      if (!search_st.ok()) break;
       QueueItem item = queue.top();
       queue.pop();
       if (phase != nullptr) ++phase->heap_pops;
@@ -285,6 +307,9 @@ Status TarTree::Query(const KnntaQuery& query,
         results->push_back(
             KnntaResult{item.poi, item.score, item.dist, item.aggregate});
       } else {
+        // While `item` is being expanded its children are missing from
+        // the queue, but all of them score >= item.score, which is also
+        // <= queue.top(): item.score stays a sound frontier bound.
         search_st = push_node_entries(item.node);
       }
     }
@@ -303,6 +328,10 @@ Status TarTree::Query(const KnntaQuery& query,
         cert.kind = PruneCertificate::Kind::kBound;
         cert.kth_best = results->back().score;
         cert.kth_poi = results->back().poi;
+        // Post-search certification in audit builds only: the answer is
+        // already complete, and cutting the drain short would lose the
+        // certificates the auditor verifies.
+        // tar-lint: allow(cancel-poll) audit-only post-completion drain
         while (!queue.empty()) {
           const QueueItem& item = queue.top();
           cert.node = item.is_poi ? kInvalidNodeId : item.node;
@@ -318,6 +347,21 @@ Status TarTree::Query(const KnntaQuery& query,
     return search_st;
   }();
 
+  // Graceful degradation: with `partial` opted in, a deadline/cancel trip
+  // in any phase converts into an OK status carrying the exact prefix
+  // found so far plus the frontier gap bound. Real errors (I/O,
+  // corruption) still fail hard.
+  if (partial != nullptr && !st.ok() &&
+      (st.IsDeadlineExceeded() || st.IsCancelled())) {
+    partial->completed = false;
+    partial->cause = st;
+    partial->score_bound = cut_bound;
+    st = Status::OK();
+  }
+  // A hard failure returns no results: the prefix collected before the
+  // abort is only surfaced through the labeled partial form above.
+  if (!st.ok()) results->clear();
+
   if (trace != nullptr) {
     trace->total_micros = MicrosSince(query_start);
     trace->num_results = results->size();
@@ -330,9 +374,14 @@ Status TarTree::Query(const KnntaQuery& query,
         registry.GetCounter("query.knnta.failures");
     static LatencyHistogram* const latency_metric =
         registry.GetHistogram("query.knnta.latency_us");
+    static Counter* const partials_metric =
+        registry.GetCounter("query.knnta.partials");
     queries_metric->Increment();
     if (st.ok()) {
       latency_metric->Record(MicrosSince(query_start));
+      if (partial != nullptr && !partial->completed) {
+        partials_metric->Increment();
+      }
     } else {
       failures_metric->Increment();
     }

@@ -90,9 +90,10 @@ namespace {
 /// Exact components of every top-k POI of `query`.
 Status TopKComponents(const TarTree& tree, const KnntaQuery& query,
                       const TarTree::QueryContext& ctx,
-                      std::vector<ScoredPoi>* top, AccessStats* stats) {
+                      std::vector<ScoredPoi>* top, AccessStats* stats,
+                      QueryDeadline* deadline) {
   std::vector<KnntaResult> results;
-  TAR_RETURN_NOT_OK(tree.Query(query, &results, stats));
+  TAR_RETURN_NOT_OK(tree.Query(query, &results, stats, nullptr, deadline));
   top->clear();
   for (const KnntaResult& r : results) {
     double s0 = r.dist / ctx.dmax;
@@ -133,20 +134,24 @@ const ScoredPoi* SkyDominator(const std::vector<ScoredPoi>& sky, double s0,
 
 Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
                    const std::vector<PoiId>& exclude,
-                   std::vector<ScoredPoi>* out, AccessStats* stats) {
+                   std::vector<ScoredPoi>* out, AccessStats* stats,
+                   QueryDeadline* deadline) {
   out->clear();
   if (tree.empty()) return Status::OK();
 
   std::priority_queue<BbsItem, std::vector<BbsItem>, std::greater<BbsItem>>
       queue;
   auto push_entries = [&](TarTree::NodeId node_id) -> Status {
+    if (deadline != nullptr) TAR_RETURN_NOT_OK(deadline->PollNode());
     const TarTree::Node& node = tree.node(node_id);
     if (stats != nullptr) ++stats->rtree_node_reads;
     for (const auto& e : node.entries) {
+      TAR_CHECK_CANCEL(deadline);
       if (stats != nullptr) ++stats->entries_scanned;
       double s0 = 0.0;
       double s1 = 0.0;
-      TAR_RETURN_NOT_OK(tree.EntryComponents(e, ctx, &s0, &s1, stats));
+      TAR_RETURN_NOT_OK(
+          tree.EntryComponents(e, ctx, &s0, &s1, stats, deadline));
       if (node.is_leaf()) {
         if (std::binary_search(exclude.begin(), exclude.end(), e.poi)) {
           continue;
@@ -160,9 +165,14 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
     return Status::OK();
   };
 
+  // Status accumulation instead of early returns from here on: the audit
+  // EndQuery below must run on the abort path too, so certificates
+  // emitted before a deadline cut stay attached to a closed query record.
   TAR_AUDIT(BeginQuery(out, "mwa/skyline", ctx));
-  TAR_RETURN_NOT_OK(push_entries(tree.root()));
-  while (!queue.empty()) {
+  Status sky_st = push_entries(tree.root());
+  while (sky_st.ok() && !queue.empty()) {
+    TAR_CHECK_CANCEL_TO(deadline, sky_st);
+    if (!sky_st.ok()) break;
     BbsItem item = queue.top();
     queue.pop();
     if (const ScoredPoi* dom = SkyDominator(*out, item.s0, item.s1)) {
@@ -188,10 +198,11 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
     if (item.is_poi) {
       out->push_back(ScoredPoi{item.poi, item.s0, item.s1});
     } else {
-      TAR_RETURN_NOT_OK(push_entries(item.node));
+      sky_st = push_entries(item.node);
     }
   }
   TAR_AUDIT(EndQuery(out));
+  TAR_RETURN_NOT_OK(sky_st);
   std::sort(out->begin(), out->end(),
             [](const ScoredPoi& a, const ScoredPoi& b) {
               if (a.s0 != b.s0) return a.s0 < b.s0;
@@ -201,12 +212,13 @@ Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
 }
 
 Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
-                             MwaResult* out, AccessStats* stats) {
+                             MwaResult* out, AccessStats* stats,
+                             QueryDeadline* deadline) {
   *out = MwaResult{};
   TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
-                       tree.MakeContext(query, stats));
+                       tree.MakeContext(query, stats, nullptr, deadline));
   std::vector<ScoredPoi> top;
-  TAR_RETURN_NOT_OK(TopKComponents(tree, query, ctx, &top, stats));
+  TAR_RETURN_NOT_OK(TopKComponents(tree, query, ctx, &top, stats, deadline));
   if (top.empty()) return Status::OK();
   std::vector<PoiId> top_ids;
   for (const ScoredPoi& p : top) top_ids.push_back(p.poi);
@@ -214,19 +226,27 @@ Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
 
   // For each top-k POI, traverse the tree skipping everything it dominates
   // (the only pruning the baseline has), folding in each surviving lower-
-  // ranked POI.
+  // ranked POI. Status accumulation (no early returns): the audit
+  // EndQuery below must also run on the deadline-abort path.
   TAR_AUDIT(BeginQuery(out, "mwa/enumerate", ctx));
+  Status walk_st = Status::OK();
   for (const ScoredPoi& p : top) {
+    if (!walk_st.ok()) break;
     std::vector<TarTree::NodeId> stack{tree.root()};
-    while (!stack.empty()) {
+    while (walk_st.ok() && !stack.empty()) {
+      TAR_CHECK_CANCEL_TO(deadline, walk_st);
+      if (!walk_st.ok()) break;
       const TarTree::Node& node = tree.node(stack.back());
       stack.pop_back();
       if (stats != nullptr) ++stats->rtree_node_reads;
       for (const auto& e : node.entries) {
+        TAR_CHECK_CANCEL_TO(deadline, walk_st);
+        if (!walk_st.ok()) break;
         if (stats != nullptr) ++stats->entries_scanned;
         double s0 = 0.0;
         double s1 = 0.0;
-        TAR_RETURN_NOT_OK(tree.EntryComponents(e, ctx, &s0, &s1, stats));
+        walk_st = tree.EntryComponents(e, ctx, &s0, &s1, stats, deadline);
+        if (!walk_st.ok()) break;
         // p dominates the (lower bounds of the) entry: no child can flip
         // with p.
         if (p.s0 <= s0 && p.s1 <= s1) {
@@ -259,18 +279,19 @@ Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
     }
   }
   TAR_AUDIT(EndQuery(out));
-  return Status::OK();
+  return walk_st;
 }
 
 Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
                           std::size_t steps, bool increase,
                           std::vector<double>* boundaries,
-                          AccessStats* stats) {
+                          AccessStats* stats, QueryDeadline* deadline) {
   boundaries->clear();
   KnntaQuery q = query;
   for (std::size_t step = 0; step < steps; ++step) {
     MwaResult mwa;
-    TAR_RETURN_NOT_OK(ComputeMwaPruning(tree, q, &mwa, stats));
+    TAR_RETURN_NOT_OK(
+        ComputeMwaPruning(tree, q, &mwa, stats, nullptr, deadline));
     auto gamma = increase ? mwa.upper : mwa.lower;
     if (!gamma.has_value()) break;
     boundaries->push_back(*gamma);
@@ -286,7 +307,7 @@ Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
 
 Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
                          MwaResult* out, AccessStats* stats,
-                         QueryTrace* trace) {
+                         QueryTrace* trace, QueryDeadline* deadline) {
   *out = MwaResult{};
   Clock::time_point total_start;
   if (trace != nullptr) total_start = Clock::now();
@@ -294,7 +315,7 @@ Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
   Status st = [&]() -> Status {
     // MakeContext contributes the "context/gmax" phase when tracing.
     TAR_ASSIGN_OR_RETURN(TarTree::QueryContext ctx,
-                         tree.MakeContext(query, stats, trace));
+                         tree.MakeContext(query, stats, trace, deadline));
 
     // Each subsequent phase collects into phase-local stats and folds
     // them into the caller's stats at phase end, so trace.Totals()
@@ -308,7 +329,8 @@ Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
       start = Clock::now();
     }
     std::vector<ScoredPoi> top;
-    Status topk_st = TopKComponents(tree, query, ctx, &top, phase_stats);
+    Status topk_st =
+        TopKComponents(tree, query, ctx, &top, phase_stats, deadline);
     if (phase != nullptr) {
       phase->micros = MicrosSince(start);
       if (stats != nullptr) *stats += phase->stats;
@@ -330,7 +352,8 @@ Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
     // lower-ranked POIs via BBS on the tree, (iii) the pairwise crossovers.
     std::vector<ScoredPoi> top_sky = ReversedSkyline(top);
     std::vector<ScoredPoi> rest_sky;
-    Status sky_st = TreeSkyline(tree, ctx, top_ids, &rest_sky, phase_stats);
+    Status sky_st =
+        TreeSkyline(tree, ctx, top_ids, &rest_sky, phase_stats, deadline);
     if (sky_st.ok()) AccumulateMwa(top_sky, rest_sky, query.alpha0, out);
     if (phase != nullptr) {
       phase->micros = MicrosSince(start);

@@ -62,16 +62,24 @@ void AccumulateMwa(const std::vector<ScoredPoi>& top,
 /// \brief MWA by the enumerating baseline: for each top-k POI, continue the
 /// best-first search over the whole tree, skipping subtrees it dominates.
 Status ComputeMwaEnumerating(const TarTree& tree, const KnntaQuery& query,
-                             MwaResult* out, AccessStats* stats = nullptr);
+                             MwaResult* out, AccessStats* stats = nullptr,
+                             QueryDeadline* deadline = nullptr);
 
 /// \brief MWA by the pruning algorithm (two skylines).
 ///
 /// An optional trace records three phases — "context/gmax", "top-k
 /// query" and "skyline" — whose stats sum to exactly what the call adds
 /// to `stats` (see QueryTrace in common/metrics.h).
+///
+/// `deadline` (optional) is polled at every cooperative check point; a
+/// trip aborts with kDeadlineExceeded/kCancelled. MWA has no partial
+/// form — a half-explored skyline bounds nothing — so degradation is
+/// abort-only, with the trace/stats invariant preserved on the abort
+/// path.
 Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
                          MwaResult* out, AccessStats* stats = nullptr,
-                         QueryTrace* trace = nullptr);
+                         QueryTrace* trace = nullptr,
+                         QueryDeadline* deadline = nullptr);
 
 /// \brief Successive weight boundaries in one direction (the extension the
 /// paper sketches: adjustments that change multiple top-k POIs).
@@ -82,7 +90,8 @@ Status ComputeMwaPruning(const TarTree& tree, const KnntaQuery& query,
 Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
                           std::size_t steps, bool increase,
                           std::vector<double>* boundaries,
-                          AccessStats* stats = nullptr);
+                          AccessStats* stats = nullptr,
+                          QueryDeadline* deadline = nullptr);
 
 /// BBS (branch-and-bound skyline, Papadias et al.) over the TAR-tree in the
 /// (s0, s1) component space of `ctx`, excluding the POIs in `exclude`
@@ -90,6 +99,7 @@ Status ComputeMwaSequence(const TarTree& tree, const KnntaQuery& query,
 /// byproduct of its R-tree structure.
 Status TreeSkyline(const TarTree& tree, const TarTree::QueryContext& ctx,
                    const std::vector<PoiId>& exclude,
-                   std::vector<ScoredPoi>* out, AccessStats* stats = nullptr);
+                   std::vector<ScoredPoi>* out, AccessStats* stats = nullptr,
+                   QueryDeadline* deadline = nullptr);
 
 }  // namespace tar

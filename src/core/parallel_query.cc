@@ -1,7 +1,9 @@
 #include "core/parallel_query.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "common/mutex.h"
@@ -29,6 +31,30 @@ Status RunParallelQueries(const TarTree& tree,
   report->results.resize(queries.size());
   report->statuses.assign(queries.size(), Status::OK());
   report->query_micros.assign(queries.size(), 0.0);
+  if (options.allow_partial) {
+    report->partial_info.assign(queries.size(), PartialResult{});
+  }
+
+  // Admission control: the bounded queue is the batch itself. Queries past
+  // the depth limit are shed before any worker starts, with a retry hint
+  // sized to the expected drain time of the admitted backlog.
+  const std::size_t admitted =
+      options.max_queue_depth > 0
+          ? std::min(queries.size(), options.max_queue_depth)
+          : queries.size();
+  if (admitted < queries.size()) {
+    const double per_query_ms = std::max(options.budget.deadline_ms, 1.0);
+    const auto retry_ms = static_cast<unsigned long long>(std::max(
+        1.0, static_cast<double>(admitted) * per_query_ms /
+                 static_cast<double>(options.num_threads)));
+    char hint[96];
+    std::snprintf(hint, sizeof(hint),
+                  "admission queue full (depth %zu); retry-after-ms=%llu",
+                  options.max_queue_depth, retry_ms);
+    for (std::size_t i = admitted; i < queries.size(); ++i) {
+      report->statuses[i] = Status::Unavailable(hint);
+    }
+  }
 
   // Claimed-index work queue: each worker owns the slots it claims, so the
   // per-query vectors need no lock. Only the merged totals do.
@@ -44,13 +70,33 @@ Status RunParallelQueries(const TarTree& tree,
     AccessStats local;
     LatencySnapshot local_latency;
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < queries.size();
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
+         i < admitted; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      // In-flight budget: once the batch has spent its wall budget,
+      // starting another query only deepens the overload — shed it.
+      // Queries already started run on under their per-query deadline.
+      if (options.batch_budget_ms > 0.0 &&
+          MicrosSince(batch_start) > options.batch_budget_ms * 1000.0) {
+        char hint[96];
+        std::snprintf(hint, sizeof(hint),
+                      "batch wall budget exhausted (%.0f ms); "
+                      "retry-after-ms=%.0f",
+                      options.batch_budget_ms,
+                      std::max(options.budget.deadline_ms, 1.0));
+        report->statuses[i] = Status::Unavailable(hint);
+        continue;
+      }
       const auto start = std::chrono::steady_clock::now();
-      report->statuses[i] =
-          tree.Query(queries[i], &report->results[i], &local);
+      QueryDeadline deadline(options.budget, options.cancel);
+      QueryDeadline* dptr = deadline.armed() ? &deadline : nullptr;
+      PartialResult* pptr =
+          options.allow_partial ? &report->partial_info[i] : nullptr;
+      report->statuses[i] = tree.Query(queries[i], &report->results[i],
+                                       &local, nullptr, dptr, pptr);
       report->query_micros[i] = MicrosSince(start);
-      local_latency.Record(report->query_micros[i]);
+      if (report->statuses[i].ok() &&
+          (pptr == nullptr || pptr->completed)) {
+        local_latency.Record(report->query_micros[i]);
+      }
     }
     MutexLock lock(&merge_mu);
     total += local;
@@ -81,11 +127,22 @@ Status RunParallelQueries(const TarTree& tree,
   }
   double sum_micros = 0.0;
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    if (report->statuses[i].ok()) {
+    const Status& st = report->statuses[i];
+    if (st.ok()) {
       ++report->queries_ok;
+      if (options.allow_partial && !report->partial_info[i].completed) {
+        ++report->partials;
+      }
     } else {
       ++report->queries_failed;
-      ++report->failures_by_code[report->statuses[i].code()];
+      ++report->failures_by_code[st.code()];
+      if (st.IsUnavailable()) {
+        ++report->sheds;
+      } else if (st.IsDeadlineExceeded()) {
+        ++report->timeouts;
+      } else if (st.IsCancelled()) {
+        ++report->cancels;
+      }
     }
     sum_micros += report->query_micros[i];
     report->max_query_micros =
@@ -94,6 +151,20 @@ Status RunParallelQueries(const TarTree& tree,
   if (!queries.empty()) {
     report->mean_query_micros =
         sum_micros / static_cast<double>(queries.size());
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter* const sheds_metric = registry.GetCounter("query.sheds");
+    static Counter* const timeouts_metric =
+        registry.GetCounter("query.timeouts");
+    static Counter* const cancels_metric =
+        registry.GetCounter("query.cancels");
+    static Counter* const partials_metric =
+        registry.GetCounter("query.partials");
+    sheds_metric->Increment(report->sheds);
+    timeouts_metric->Increment(report->timeouts);
+    cancels_metric->Increment(report->cancels);
+    partials_metric->Increment(report->partials);
   }
   return Status::OK();
 }

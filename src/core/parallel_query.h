@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -27,6 +28,34 @@ struct ParallelQueryOptions {
   /// Worker threads. 1 runs the batch inline on the calling thread (the
   /// determinism baseline); must be >= 1.
   std::size_t num_threads = 4;
+
+  /// Per-query budget: wall-clock deadline plus node-visit and TIA-page
+  /// ceilings (see QueryBudget in common/deadline.h). The deadline clock
+  /// arms when a worker *starts* the query, not at submission; queueing
+  /// delay is governed by max_queue_depth / batch_budget_ms instead.
+  QueryBudget budget;
+
+  /// Admission control: when > 0, at most this many queries are admitted
+  /// and the rest are shed up front with kUnavailable carrying a
+  /// "retry-after-ms=N" hint (the expected drain time of the admitted
+  /// backlog). 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+
+  /// Batch-wide wall budget: a query *claimed* after this much wall time
+  /// has elapsed is shed with kUnavailable instead of started (it would
+  /// only deepen the overload). Queries already in flight finish under
+  /// their own per-query budget. 0 = unbounded.
+  double batch_budget_ms = 0.0;
+
+  /// Degrade instead of failing: a query whose budget trips mid-search
+  /// returns its current top-k prefix with OK status, and
+  /// report->partial_info[i] carries the cut (completed = false plus the
+  /// Property-1 score bound; see PartialResult in common/deadline.h).
+  bool allow_partial = false;
+
+  /// Optional batch-wide cancel switch, observed by every in-flight query
+  /// at its cooperative check points. Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Per-query and aggregate outcome of a parallel batch.
@@ -49,11 +78,31 @@ struct ParallelQueryReport {
   double max_query_micros = 0.0;
   double mean_query_micros = 0.0;
 
-  /// Per-query latency distribution over the batch (every query, OK or
-  /// not). Workers accumulate thread-private snapshots that are merged
-  /// under the same lock as total_stats; percentiles (P50/P95/P99) come
-  /// from the merged histogram.
+  /// Per-query latency distribution over the *completed* queries only: a
+  /// query that was shed, timed out, was cancelled, or degraded to a
+  /// partial prefix is counted in the outcome counters below instead, so
+  /// the percentiles describe service time rather than failure time.
+  /// Workers accumulate thread-private snapshots that are merged under the
+  /// same lock as total_stats; percentiles (P50/P95/P99) come from the
+  /// merged histogram.
   LatencySnapshot latency;
+
+  /// partial_info[i] describes query i's degradation cut when
+  /// options.allow_partial is set: completed == false means results[i] is
+  /// a correct prefix of the full answer and every unreported POI scores
+  /// >= score_bound. Completed queries keep the default (completed ==
+  /// true). Empty unless allow_partial.
+  std::vector<PartialResult> partial_info;
+
+  /// Outcome counters for the degradation matrix: queries shed by
+  /// admission control or the batch budget (kUnavailable), aborted by
+  /// their per-query deadline/work budget (kDeadlineExceeded), cancelled
+  /// via options.cancel (kCancelled), and degraded to a partial prefix
+  /// (OK status, partial_info[i].completed == false).
+  std::size_t sheds = 0;
+  std::size_t timeouts = 0;
+  std::size_t cancels = 0;
+  std::size_t partials = 0;
 
   /// TIA buffer-pool counters at batch start, and their advance across
   /// the batch. The pool counters are cumulative over the tree's lifetime
@@ -83,7 +132,8 @@ struct ParallelQueryReport {
 /// Executes `queries` against `tree` with a pool of
 /// `options.num_threads` workers. Work is claimed from a shared atomic
 /// cursor, so the assignment of queries to threads is load-balanced (and
-/// deliberately unspecified). Individual query failures are recorded in
+/// deliberately unspecified). Individual query failures — including
+/// deadline trips, cancellation, and admission sheds — are recorded in
 /// `report->statuses` without aborting the batch; the returned Status is
 /// non-OK only for invalid options.
 Status RunParallelQueries(const TarTree& tree,

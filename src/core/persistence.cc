@@ -268,6 +268,8 @@ Status EmitSection(std::ostream& out, std::uint32_t tag, std::string payload,
       break;
     case fail::Action::kTornWrite:
       break;  // handled below, once the frame is assembled
+    case fail::Action::kDelay:
+      break;  // the sleep already happened inside Hit
   }
 
   std::string frame;

@@ -58,7 +58,8 @@ Status ScanBaseline::RemovePoi(PoiId poi) {
 }
 
 Status ScanBaseline::Query(const KnntaQuery& query,
-                           std::vector<KnntaResult>* results) const {
+                           std::vector<KnntaResult>* results,
+                           QueryDeadline* deadline) const {
   results->clear();
   if (query.k == 0) return Status::InvalidArgument("k must be positive");
   if (query.alpha0 <= 0.0 || query.alpha0 >= 1.0) {
@@ -85,6 +86,7 @@ Status ScanBaseline::Query(const KnntaQuery& query,
   std::vector<std::int64_t> aggs(pois_.size(), 0);
   std::int64_t gmax_i = 0;
   for (std::size_t i = 0; i < pois_.size(); ++i) {
+    TAR_CHECK_CANCEL(deadline);
     for (const Record& r : pois_[i].records) {
       if (r.epoch >= first && r.epoch <= last) aggs[i] += r.count;
     }
@@ -95,6 +97,7 @@ Status ScanBaseline::Query(const KnntaQuery& query,
   std::vector<KnntaResult> scored;
   scored.reserve(pois_.size());
   for (std::size_t i = 0; i < pois_.size(); ++i) {
+    TAR_CHECK_CANCEL(deadline);
     const Item& item = pois_[i];
     double dist = Distance(item.poi.pos, query.point);
     // Same expression shape as TarTree::EntryScore so that scores agree
@@ -123,7 +126,7 @@ Status ScanBaseline::Query(const KnntaQuery& query,
 }
 
 Result<std::unique_ptr<ScanBaseline>> BuildScanBaselineFromTree(
-    const TarTree& tree) {
+    const TarTree& tree, QueryDeadline* deadline) {
   // TarTree::QuerySpace already resolves the configured-space-or-root-MBR
   // fallback MakeContext normalizes against; using it keeps scan scores
   // bit-comparable with index scores by construction.
@@ -133,10 +136,12 @@ Result<std::unique_ptr<ScanBaseline>> BuildScanBaselineFromTree(
 
   std::vector<TarTree::NodeId> stack{tree.root()};
   while (!stack.empty()) {
+    TAR_CHECK_CANCEL(deadline);
     TarTree::NodeId node_id = stack.back();
     stack.pop_back();
     const TarTree::Node& node = tree.node(node_id);
     for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      TAR_CHECK_CANCEL(deadline);
       const auto& e = node.entries[i];
       if (!e.is_leaf_entry()) {
         stack.push_back(e.child);

@@ -35,8 +35,10 @@ class ScanBaseline {
   /// as-is, mirroring the TAR-tree whose global TIA never shrinks.
   Status RemovePoi(PoiId poi);
 
-  Status Query(const KnntaQuery& query,
-               std::vector<KnntaResult>* results) const;
+  /// `deadline` (optional) is polled across the scan loops; a trip aborts
+  /// with kDeadlineExceeded/kCancelled (the oracle has no partial form).
+  Status Query(const KnntaQuery& query, std::vector<KnntaResult>* results,
+               QueryDeadline* deadline = nullptr) const;
 
   std::size_t num_pois() const { return pois_.size(); }
 
@@ -64,6 +66,6 @@ class ScanBaseline {
 /// through the same storage layer, so the build itself can fail; the
 /// Status then carries the failing entry's node path.
 Result<std::unique_ptr<ScanBaseline>> BuildScanBaselineFromTree(
-    const TarTree& tree);
+    const TarTree& tree, QueryDeadline* deadline = nullptr);
 
 }  // namespace tar

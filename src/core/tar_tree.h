@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/geometry.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -189,9 +190,27 @@ class TarTree {
   /// independent of the global metrics flag — the caller asked for this
   /// query — and costs two clock reads per scored entry, so it is meant
   /// for diagnostics, not for every production query.
+  ///
+  /// `deadline` (optional) is polled at every cooperative check point
+  /// (node expansion, per scored entry, inside TIA page loops). On a trip
+  /// the search aborts with kDeadlineExceeded/kCancelled, `results` holds
+  /// whatever prefix had been emitted, and the trace/stats invariant
+  /// above still holds — the abort path folds phase stats exactly like
+  /// the success path.
+  ///
+  /// `partial` (optional) opts into graceful degradation: a deadline/
+  /// cancel/budget trip during the best-first search then returns OK with
+  /// the current top-k prefix and stamps `*partial` (completed = false,
+  /// cause = the would-be abort status, score_bound = the minimum score
+  /// in the remaining frontier). The returned prefix is exact — identical
+  /// to the full answer's first entries — and every POI not returned
+  /// scores >= score_bound (Property 1). A trip before the search phase
+  /// (validation, context/gmax) still fails hard: there is no prefix to
+  /// return. On a complete run `*partial` keeps its defaults.
   Status Query(const KnntaQuery& query, std::vector<KnntaResult>* results,
-               AccessStats* stats = nullptr,
-               QueryTrace* trace = nullptr) const;
+               AccessStats* stats = nullptr, QueryTrace* trace = nullptr,
+               QueryDeadline* deadline = nullptr,
+               PartialResult* partial = nullptr) const;
 
   // --- Introspection (cost analysis, MWA, collective processing, tests) ---
 
@@ -215,26 +234,30 @@ class TarTree {
   /// gmax heap traffic and access breakdown of the normalizer search.
   Result<QueryContext> MakeContext(const KnntaQuery& query,
                                    AccessStats* stats = nullptr,
-                                   QueryTrace* trace = nullptr) const;
+                                   QueryTrace* trace = nullptr,
+                                   QueryDeadline* deadline = nullptr) const;
 
   /// Maximum aggregate of any single POI over `iq` (0 on an empty tree or
   /// an interval with no check-ins). Exact; runs a best-first search
   /// guided by the internal TIA upper bounds. A TIA read failure aborts
   /// the search with the failing entry's node path in the Status.
   Result<std::int64_t> MaxAggregate(const TimeInterval& iq,
-                                    AccessStats* stats = nullptr) const;
+                                    AccessStats* stats = nullptr,
+                                    QueryDeadline* deadline = nullptr) const;
 
   /// Ranking score f(e) of an entry: exact for leaf entries, a consistent
   /// lower bound for internal entries (Property 1).
   Result<double> EntryScore(const Entry& entry, const QueryContext& ctx,
-                            AccessStats* stats = nullptr) const;
+                            AccessStats* stats = nullptr,
+                            QueryDeadline* deadline = nullptr) const;
 
   /// Both normalized components of an entry's score: the normalized spatial
   /// distance s0 and normalized aggregate complement s1 (f = a0*s0 + a1*s1).
   /// On failure s0/s1 are unspecified and the TIA error is propagated.
   Status EntryComponents(const Entry& entry, const QueryContext& ctx,
                          double* s0, double* s1,
-                         AccessStats* stats = nullptr) const;
+                         AccessStats* stats = nullptr,
+                         QueryDeadline* deadline = nullptr) const;
 
   /// The spatial extent every query normalizes against: options().space,
   /// or the root node's spatial MBR when no space was configured. Feed it
@@ -384,7 +407,8 @@ class TarTree {
   /// time go to `phase` when non-null (stats go to `stats` as usual).
   Result<std::int64_t> MaxAggregateTraced(const TimeInterval& iq,
                                           AccessStats* stats,
-                                          QueryTrace::Phase* phase) const;
+                                          QueryTrace::Phase* phase,
+                                          QueryDeadline* deadline) const;
 
   /// Per-version load paths behind Load's magic/version dispatch. Both
   /// receive the stream positioned just past the 8-byte preamble.

@@ -317,9 +317,15 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
   return writer;
 }
 
+Status WalWriter::DeadGateLocked() const {
+  if (dead_.ok()) return Status::OK();
+  return Status::FailedPrecondition("WAL writer is dead: " +
+                                    dead_.ToString());
+}
+
 Result<Lsn> WalWriter::Append(const WalRecord& record) {
   MutexLock lock(&mu_);
-  TAR_RETURN_NOT_OK(dead_);
+  TAR_RETURN_NOT_OK(DeadGateLocked());
   TAR_INJECT_FAULT("wal.append");
 
   const std::size_t before = pending_.size();
@@ -350,7 +356,7 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::SyncLocked() {
-  TAR_RETURN_NOT_OK(dead_);
+  TAR_RETURN_NOT_OK(DeadGateLocked());
   if (pending_.empty()) return Status::OK();
 
   // The torn/flip site models damage to the physical write of the batch;
@@ -377,6 +383,8 @@ Status WalWriter::SyncLocked() {
         pending_[bit / 8] ^= static_cast<char>(1u << (bit % 8));
         break;
       }
+      case fail::Action::kDelay:
+        break;  // the sleep already happened inside Hit
       case fail::Action::kError:
       case fail::Action::kAllocFail:
         dead_ = Status::IoError("injected I/O error at failpoint wal.torn");
@@ -409,7 +417,7 @@ Status WalWriter::SyncLocked() {
 
 Status WalWriter::Truncate() {
   MutexLock lock(&mu_);
-  TAR_RETURN_NOT_OK(dead_);
+  TAR_RETURN_NOT_OK(DeadGateLocked());
   // Truncation is a durability point of the checkpoint protocol, so it
   // shares the sync failpoint.
   TAR_INJECT_FAULT("wal.sync");

@@ -151,8 +151,12 @@ class WalWriter {
   Result<Lsn> Append(const WalRecord& record) TAR_EXCLUDES(mu_);
 
   /// Writes and flushes all buffered frames. A failure kills the writer:
-  /// the file may end in a torn frame, so every later Append/Sync/Truncate
-  /// returns the original error and the log must go through recovery.
+  /// the file may end in a torn frame, so the log must go through
+  /// recovery. The failing call returns the original I/O error; every
+  /// *later* Append/Sync/Truncate returns kFailedPrecondition with that
+  /// original failure attached, so callers can tell the root cause (one
+  /// I/O error) from the stuck-writer symptom (N gated calls) and report
+  /// it once.
   Status Sync() TAR_EXCLUDES(mu_);
 
   /// Empties the log file (the checkpoint made its records redundant).
@@ -181,6 +185,12 @@ class WalWriter {
   /// The sync body; Append calls it with the latch already held when a
   /// group-commit budget fills.
   Status SyncLocked() TAR_REQUIRES(mu_);
+
+  /// OK while the writer is alive; kFailedPrecondition wrapping the
+  /// original sync failure once it is dead (the entry gate of every
+  /// mutating call — the call that *caused* the death returns the
+  /// original error itself).
+  Status DeadGateLocked() const TAR_REQUIRES(mu_);
 
   const std::string path_;
   const WalWriterOptions options_;

@@ -120,12 +120,29 @@ Status Tia::RaiseTo(const TimeInterval& extent, std::int64_t aggregate) {
 }
 
 Result<std::int64_t> Tia::Aggregate(const TimeInterval& iq,
-                                    AccessStats* stats) const {
-  if (stats != nullptr) ++stats->aggregate_calls;
+                                    AccessStats* stats,
+                                    QueryDeadline* deadline) const {
+  TAR_CHECK_CANCEL(deadline);
+  // The TIA-page budget is charged from the stats delta across the scan;
+  // when the caller passed no stats, a scratch block keeps the accounting
+  // without changing what the caller observes.
+  AccessStats scratch;
+  AccessStats* counted = stats;
+  if (counted == nullptr && deadline != nullptr &&
+      deadline->wants_tia_accounting()) {
+    counted = &scratch;
+  }
+  if (counted != nullptr) ++counted->aggregate_calls;
+  const std::uint64_t pages_before =
+      counted != nullptr ? counted->tia_page_reads : 0;
   std::vector<std::pair<std::int64_t, std::int64_t>> hits;
-  TAR_RETURN_NOT_OK(ScanRecords(iq.start, iq.end, &hits, stats));
+  TAR_RETURN_NOT_OK(ScanRecords(iq.start, iq.end, &hits, counted));
+  if (deadline != nullptr && counted != nullptr) {
+    deadline->ChargeTiaPages(counted->tia_page_reads - pages_before);
+  }
   std::int64_t sum = 0;
   for (const auto& [ts, value] : hits) {
+    TAR_CHECK_CANCEL(deadline);  // Poll() amortizes the clock internally
     TiaRecord rec = Unpack(ts, value);
     if (rec.extent.end <= iq.end) sum += rec.aggregate;
   }

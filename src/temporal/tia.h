@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -71,8 +72,14 @@ class Tia {
   /// Sum of `agg` over all records whose extent is contained in iq.
   /// Callers align iq outward to epoch boundaries first (EpochGrid), which
   /// turns the paper's "epoch intersects Iq" into containment.
+  ///
+  /// `deadline` (optional) is polled cooperatively: before the backend
+  /// scan and amortized across the record loop, and the scan's page reads
+  /// are charged against its TIA-page budget. A trip surfaces as
+  /// kDeadlineExceeded/kCancelled.
   Result<std::int64_t> Aggregate(const TimeInterval& iq,
-                                 AccessStats* stats = nullptr) const;
+                                 AccessStats* stats = nullptr,
+                                 QueryDeadline* deadline = nullptr) const;
 
   /// All records in time order.
   Status Records(std::vector<TiaRecord>* out,

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "core/collective.h"
 #include "core/mwa.h"
@@ -114,6 +115,49 @@ INSTANTIATE_TEST_SUITE_P(
         Config{GroupingStrategy::kIntegral3D, TiaBackend::kBpTree},
         Config{GroupingStrategy::kSpatial, TiaBackend::kBpTree},
         Config{GroupingStrategy::kAggregate, TiaBackend::kBpTree}));
+
+TEST(PruneAuditAbortTest, AbortedQueriesLeaveAVerifiableCorpus) {
+  // Queries cut by a work budget — failing hard and degrading to a
+  // partial prefix — still announce/close their audit records, and every
+  // certificate emitted before the cut must verify: an abort is not a
+  // license to record unprovable prunes.
+  Fixture fx(31, GroupingStrategy::kIntegral3D, TiaBackend::kMvbt);
+  PruningAuditor audit;
+  {
+    ScopedQueryAudit scope(&audit);
+    for (int trial = 0; trial < 20; ++trial) {
+      KnntaQuery q = fx.RandomQuery();
+      QueryBudget budget;
+      budget.max_node_visits = 1 + trial % 8;
+      QueryDeadline deadline(budget);
+      std::vector<KnntaResult> results;
+      if (trial % 2 == 0) {
+        Status st =
+            fx.tree->Query(q, &results, nullptr, nullptr, &deadline);
+        ASSERT_TRUE(st.ok() || st.IsDeadlineExceeded()) << st.ToString();
+      } else {
+        PartialResult partial;
+        ASSERT_TRUE(fx.tree
+                        ->Query(q, &results, nullptr, nullptr, &deadline,
+                                &partial)
+                        .ok());
+      }
+    }
+    // The collective path's abort closes every still-open query record.
+    std::vector<KnntaQuery> batch;
+    for (int i = 0; i < 6; ++i) batch.push_back(fx.RandomQuery());
+    QueryBudget budget;
+    budget.max_node_visits = 12;
+    QueryDeadline deadline(budget);
+    std::vector<std::vector<KnntaResult>> coll;
+    Status st = ProcessCollectively(*fx.tree, batch, &coll, nullptr,
+                                    nullptr, &deadline);
+    ASSERT_TRUE(st.ok() || st.IsDeadlineExceeded()) << st.ToString();
+  }
+  AuditReport report;
+  Status verdict = audit.VerifyAll(*fx.tree, &report);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+}
 
 #ifdef TAR_QUERY_AUDIT
 

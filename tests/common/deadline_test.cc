@@ -1,0 +1,193 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tar {
+namespace {
+
+TEST(CancelTokenTest, StartsUncancelledWithEmptyCause) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.cause(), "");
+}
+
+TEST(CancelTokenTest, FirstCancelWinsTheCause) {
+  CancelToken token;
+  token.Cancel("first");
+  token.Cancel("second");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause(), "first");
+}
+
+TEST(CancelTokenTest, ConcurrentCancelsPublishExactlyOneCause) {
+  CancelToken token;
+  std::vector<std::thread> racers;
+  racers.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    racers.emplace_back(
+        [&token, i] { token.Cancel("racer " + std::to_string(i)); });
+  }
+  for (std::thread& t : racers) t.join();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.cause().rfind("racer ", 0), 0u) << token.cause();
+}
+
+TEST(QueryBudgetTest, DefaultIsUnlimited) {
+  QueryBudget budget;
+  EXPECT_TRUE(budget.Unlimited());
+  budget.deadline_ms = 5.0;
+  EXPECT_FALSE(budget.Unlimited());
+  budget = QueryBudget{};
+  budget.max_node_visits = 1;
+  EXPECT_FALSE(budget.Unlimited());
+  budget = QueryBudget{};
+  budget.max_tia_page_reads = 1;
+  EXPECT_FALSE(budget.Unlimited());
+}
+
+TEST(QueryDeadlineTest, DefaultConstructedIsUnarmedAndAlwaysOk) {
+  QueryDeadline deadline;
+  EXPECT_FALSE(deadline.armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(deadline.PollNode().ok());
+  }
+  // Work is still counted so callers can report it.
+  EXPECT_EQ(deadline.node_visits(), 1000u);
+}
+
+TEST(QueryDeadlineTest, UnlimitedBudgetWithoutTokenStaysUnarmed) {
+  QueryDeadline deadline((QueryBudget()));
+  EXPECT_FALSE(deadline.armed());
+}
+
+TEST(QueryDeadlineTest, TokenAloneArms) {
+  CancelToken token;
+  QueryDeadline deadline(QueryBudget{}, &token);
+  EXPECT_TRUE(deadline.armed());
+  EXPECT_TRUE(deadline.Poll().ok());
+  token.Cancel("user hit ^C");
+  Status st = deadline.Poll();
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_EQ(st.message(), "user hit ^C");
+}
+
+TEST(QueryDeadlineTest, NodeVisitCeilingIsInclusive) {
+  QueryBudget budget;
+  budget.max_node_visits = 3;
+  QueryDeadline deadline(budget);
+  EXPECT_TRUE(deadline.armed());
+  // Exactly `limit` visits are allowed; the visit past the limit trips.
+  EXPECT_TRUE(deadline.PollNode().ok());
+  EXPECT_TRUE(deadline.PollNode().ok());
+  EXPECT_TRUE(deadline.PollNode().ok());
+  Status st = deadline.PollNode();
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_NE(st.message().find("node-visit budget"), std::string::npos);
+}
+
+TEST(QueryDeadlineTest, TiaPageCeilingChargesInBulk) {
+  QueryBudget budget;
+  budget.max_tia_page_reads = 10;
+  QueryDeadline deadline(budget);
+  EXPECT_TRUE(deadline.wants_tia_accounting());
+  deadline.ChargeTiaPages(10);
+  EXPECT_TRUE(deadline.Poll().ok());
+  deadline.ChargeTiaPages(1);
+  Status st = deadline.Poll();
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_NE(st.message().find("TIA page-read budget"), std::string::npos);
+  EXPECT_EQ(deadline.tia_page_reads(), 11u);
+}
+
+TEST(QueryDeadlineTest, NoTiaAccountingWantedWithoutPageCeiling) {
+  QueryBudget budget;
+  budget.max_node_visits = 5;
+  QueryDeadline deadline(budget);
+  EXPECT_FALSE(deadline.wants_tia_accounting());
+}
+
+TEST(QueryDeadlineTest, ExpiredDeadlineTripsWithinOneClockStride) {
+  QueryBudget budget;
+  budget.deadline_ms = 1.0;
+  QueryDeadline deadline(budget);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The clock is read only every kClockStride polls, so a single poll may
+  // still report OK; within one full stride the trip must surface.
+  Status st = Status::OK();
+  for (int i = 0; i < 64 && st.ok(); ++i) st = deadline.Poll();
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_NE(st.message().find("deadline exceeded"), std::string::npos);
+}
+
+TEST(QueryDeadlineTest, CancellationOutranksBudgetTrips) {
+  CancelToken token;
+  QueryBudget budget;
+  budget.max_node_visits = 1;
+  QueryDeadline deadline(budget, &token);
+  token.Cancel("stop");
+  (void)deadline.PollNode();  // charge two visits past the ceiling
+  (void)deadline.PollNode();
+  // Both the token and the visit ceiling have fired; the cancel wins so
+  // the caller learns the query was abandoned, not slow.
+  EXPECT_TRUE(deadline.Poll().IsCancelled());
+}
+
+TEST(CheckCancelMacroTest, NullDeadlineIsANoOp) {
+  auto body = []() -> Status {
+    QueryDeadline* deadline = nullptr;
+    TAR_CHECK_CANCEL(deadline);
+    return Status::OK();
+  };
+  EXPECT_TRUE(body().ok());
+}
+
+TEST(CheckCancelMacroTest, ReturnsTheTrip) {
+  CancelToken token;
+  token.Cancel("cut");
+  auto body = [&token]() -> Status {
+    QueryDeadline deadline(QueryBudget{}, &token);
+    QueryDeadline* dptr = &deadline;
+    TAR_CHECK_CANCEL(dptr);
+    return Status::OK();
+  };
+  EXPECT_TRUE(body().IsCancelled());
+}
+
+TEST(CheckCancelMacroTest, FoldingVariantPreservesFirstError) {
+  CancelToken token;
+  token.Cancel("cut");
+  QueryDeadline deadline(QueryBudget{}, &token);
+  QueryDeadline* dptr = &deadline;
+
+  Status st = Status::OK();
+  TAR_CHECK_CANCEL_TO(dptr, st);
+  EXPECT_TRUE(st.IsCancelled());
+
+  Status prior = Status::Corruption("bad page");
+  TAR_CHECK_CANCEL_TO(dptr, prior);
+  EXPECT_TRUE(prior.IsCorruption()) << "a later poll must not mask the "
+                                       "original failure";
+
+  QueryDeadline* null_deadline = nullptr;
+  Status untouched = Status::OK();
+  TAR_CHECK_CANCEL_TO(null_deadline, untouched);
+  EXPECT_TRUE(untouched.ok());
+}
+
+TEST(PartialResultTest, DefaultMeansCompleted) {
+  PartialResult partial;
+  EXPECT_TRUE(partial.completed);
+  EXPECT_TRUE(partial.cause.ok());
+  EXPECT_TRUE(std::isinf(partial.score_bound));
+  EXPECT_GT(partial.score_bound, 0.0);
+}
+
+}  // namespace
+}  // namespace tar

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -129,6 +130,43 @@ TEST_F(FailpointTest, TornAndFlipCarryPerFireSeeds) {
   // Outside a payload site both degrade to a plain I/O error.
   ASSERT_TRUE(inj.Configure("page_file.read=flip").ok());
   EXPECT_TRUE(InjectedFault("page_file.read").IsIoError());
+}
+
+TEST_F(FailpointTest, DelayNeedsAMillisecondsParameter) {
+  auto& inj = FaultInjector::Global();
+  EXPECT_TRUE(inj.Configure("page_file.read=delay").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("page_file.read=delay@0").IsInvalidArgument());
+  EXPECT_TRUE(
+      inj.Configure("page_file.read=delay@5@0.5@2").IsInvalidArgument());
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST_F(FailpointTest, DelaySleepsThenSucceeds) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("page_file.read=delay@30").ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  FireResult fire = inj.Hit("page_file.read");
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(fire.action, Action::kDelay);
+  EXPECT_DOUBLE_EQ(fire.delay_ms, 30.0);
+  // sleep_for guarantees at least the requested duration; the sleep has
+  // already happened inside Hit by the time the caller sees the result.
+  EXPECT_GE(waited_ms, 29.0);
+  // A delay models slowness, not failure: the operation itself succeeds.
+  EXPECT_TRUE(InjectedFault("page_file.read").ok());
+  EXPECT_EQ(inj.fires("page_file.read"), 2u);
+}
+
+TEST_F(FailpointTest, DelayComposesWithTheNthSelector) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("page_file.read=delay@10@2").ok());
+  EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);
+  EXPECT_EQ(inj.Hit("page_file.read").action, Action::kDelay);
+  EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);
+  EXPECT_EQ(inj.fires("page_file.read"), 1u);
 }
 
 TEST_F(FailpointTest, SnapshotReportsCounters) {

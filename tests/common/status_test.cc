@@ -30,6 +30,24 @@ TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
   EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, ExecutionCodesHaveDistinctNames) {
+  // The chaos harness and the parallel-query report bucket failures by
+  // code name; the execution-control codes must not alias.
+  EXPECT_STREQ(StatusCodeName(Status::DeadlineExceeded("x").code()),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(Status::Cancelled("x").code()), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(Status::Unavailable("x").code()),
+               "Unavailable");
+  EXPECT_STREQ(StatusCodeName(Status::FailedPrecondition("x").code()),
+               "FailedPrecondition");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
 }
 
 Status Fails() { return Status::NotFound("missing"); }

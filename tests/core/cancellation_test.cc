@@ -1,0 +1,284 @@
+// Cooperative-cancellation contract tests: a deadline or cancel trip must
+// be honored on every query path, must keep the trace/stats reconciliation
+// invariant intact on the abort path, must never leak an unlabeled result
+// prefix, and — with the partial opt-in — must return an exact prefix with
+// a sound frontier gap bound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+#include "core/collective.h"
+#include "core/mwa.h"
+#include "core/scan_baseline.h"
+#include "core/tar_tree.h"
+
+namespace tar {
+namespace {
+
+std::uint32_t Mix(std::uint32_t x) { return x * 2654435761u; }
+
+void BuildFixture(TarTree* tree, int pois = 160, int epochs = 20) {
+  for (int i = 0; i < pois; ++i) {
+    Poi poi;
+    poi.id = static_cast<PoiId>(i);
+    std::uint32_t hx = Mix(static_cast<std::uint32_t>(i) * 2 + 1);
+    std::uint32_t hy = Mix(static_cast<std::uint32_t>(i) * 2 + 2);
+    poi.pos = {(i % 16) * 6.0 + (hx % 1000) / 250.0,
+               (i / 16) * 6.0 + (hy % 1000) / 250.0};
+    std::vector<std::int32_t> history(epochs, 0);
+    for (int e = 0; e < epochs; ++e) {
+      std::uint32_t h = Mix(static_cast<std::uint32_t>(i * epochs + e));
+      history[e] = (h % 3 == 0) ? 0 : static_cast<std::int32_t>(h % 40 + 1);
+    }
+    ASSERT_TRUE(tree->InsertPoi(poi, history).ok());
+  }
+}
+
+TarTreeOptions FixtureOptions() {
+  TarTreeOptions opt;
+  opt.strategy = GroupingStrategy::kIntegral3D;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  opt.space.lo = {0.0, 0.0};
+  opt.space.hi = {100.0, 62.0};
+  return opt;
+}
+
+KnntaQuery FixtureQuery() {
+  KnntaQuery q;
+  q.point = {50.0, 30.0};
+  q.interval = {10 * 7 * kSecondsPerDay, 18 * 7 * kSecondsPerDay - 1};
+  q.k = 8;
+  q.alpha0 = 0.3;
+  return q;
+}
+
+void ExpectStatsEq(const AccessStats& a, const AccessStats& b) {
+  EXPECT_EQ(a.rtree_node_reads, b.rtree_node_reads);
+  EXPECT_EQ(a.rtree_leaf_reads, b.rtree_leaf_reads);
+  EXPECT_EQ(a.tia_page_reads, b.tia_page_reads);
+  EXPECT_EQ(a.tia_buffer_hits, b.tia_buffer_hits);
+  EXPECT_EQ(a.entries_scanned, b.entries_scanned);
+  EXPECT_EQ(a.aggregate_calls, b.aggregate_calls);
+}
+
+class CancellationTest : public ::testing::Test {
+ protected:
+  CancellationTest() : tree_(FixtureOptions()) {}
+  void SetUp() override { BuildFixture(&tree_); }
+
+  /// Trace whose on_phase hook cancels `token` at the `n`-th AddPhase
+  /// call, so the abort lands at a chosen phase transition.
+  void ArmPhaseTrip(QueryTrace* trace, CancelToken* token, int n) {
+    transitions_ = 0;
+    trace->on_phase = [this, token, n](const std::string&) {
+      if (++transitions_ == n) token->Cancel("phase trip " + std::to_string(n));
+    };
+  }
+
+  TarTree tree_;
+  int transitions_ = 0;
+};
+
+TEST_F(CancellationTest, PreCancelledTokenAbortsImmediately) {
+  CancelToken token;
+  token.Cancel("already gone");
+  QueryDeadline deadline(QueryBudget{}, &token);
+  std::vector<KnntaResult> results;
+  Status st = tree_.Query(FixtureQuery(), &results, nullptr, nullptr,
+                          &deadline);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+  EXPECT_EQ(st.message(), "already gone");
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(CancellationTest, KnntaAbortsAtEveryPhaseTransition) {
+  // The kNNTA path has two phases (context/gmax, best-first); tripping
+  // the token at each transition must abort with kCancelled, leave no
+  // unlabeled results, and keep Totals() == the caller's stats delta.
+  for (int n = 1; n <= 2; ++n) {
+    CancelToken token;
+    QueryTrace trace;
+    ArmPhaseTrip(&trace, &token, n);
+    QueryDeadline deadline(QueryBudget{}, &token);
+    std::vector<KnntaResult> results;
+    AccessStats stats;
+    Status st =
+        tree_.Query(FixtureQuery(), &results, &stats, &trace, &deadline);
+    EXPECT_TRUE(st.IsCancelled()) << "n=" << n << ": " << st.ToString();
+    EXPECT_TRUE(results.empty()) << "n=" << n;
+    ExpectStatsEq(trace.Totals(), stats);
+  }
+}
+
+TEST_F(CancellationTest, MwaAbortsAtEveryPhaseTransition) {
+  for (int n = 1; n <= 3; ++n) {
+    CancelToken token;
+    QueryTrace trace;
+    ArmPhaseTrip(&trace, &token, n);
+    QueryDeadline deadline(QueryBudget{}, &token);
+    MwaResult mwa;
+    AccessStats stats;
+    Status st = ComputeMwaPruning(tree_, FixtureQuery(), &mwa, &stats,
+                                  &trace, &deadline);
+    EXPECT_TRUE(st.IsCancelled()) << "n=" << n << ": " << st.ToString();
+    ExpectStatsEq(trace.Totals(), stats);
+  }
+}
+
+TEST_F(CancellationTest, CollectiveAbortsAtEveryPhaseTransition) {
+  std::vector<KnntaQuery> queries;
+  for (int i = 0; i < 6; ++i) {
+    KnntaQuery q = FixtureQuery();
+    q.point = {10.0 + 13.0 * i, 5.0 + 8.0 * i};
+    queries.push_back(q);
+  }
+  for (int n = 1; n <= 2; ++n) {
+    CancelToken token;
+    QueryTrace trace;
+    ArmPhaseTrip(&trace, &token, n);
+    QueryDeadline deadline(QueryBudget{}, &token);
+    std::vector<std::vector<KnntaResult>> results;
+    AccessStats stats;
+    Status st = ProcessCollectively(tree_, queries, &results, &stats,
+                                    &trace, &deadline);
+    EXPECT_TRUE(st.IsCancelled()) << "n=" << n << ": " << st.ToString();
+    ExpectStatsEq(trace.Totals(), stats);
+  }
+}
+
+TEST_F(CancellationTest, NodeVisitBudgetTripsAndClearsResults) {
+  QueryBudget budget;
+  budget.max_node_visits = 1;
+  QueryDeadline deadline(budget);
+  std::vector<KnntaResult> results;
+  results.push_back(KnntaResult{});  // stale caller state must not survive
+  Status st = tree_.Query(FixtureQuery(), &results, nullptr, nullptr,
+                          &deadline);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_TRUE(results.empty())
+      << "a hard deadline failure must not leak a result prefix";
+}
+
+TEST_F(CancellationTest, TiaPageBudgetTrips) {
+  QueryBudget budget;
+  budget.max_tia_page_reads = 1;
+  QueryDeadline deadline(budget);
+  ASSERT_TRUE(deadline.wants_tia_accounting());
+  std::vector<KnntaResult> results;
+  Status st = tree_.Query(FixtureQuery(), &results, nullptr, nullptr,
+                          &deadline);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_NE(st.message().find("TIA page-read budget"), std::string::npos);
+  EXPECT_GT(deadline.tia_page_reads(), 1u);
+}
+
+TEST_F(CancellationTest, GenerousBudgetChangesNothing) {
+  std::vector<KnntaResult> plain;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &plain).ok());
+
+  QueryBudget budget;
+  budget.deadline_ms = 60000.0;
+  budget.max_node_visits = 1u << 30;
+  budget.max_tia_page_reads = 1u << 30;
+  QueryDeadline deadline(budget);
+  ASSERT_TRUE(deadline.armed());
+  std::vector<KnntaResult> budgeted;
+  PartialResult partial;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &budgeted, nullptr, nullptr,
+                          &deadline, &partial)
+                  .ok());
+  EXPECT_TRUE(partial.completed);
+  EXPECT_EQ(partial.score_bound, std::numeric_limits<double>::infinity());
+  ASSERT_EQ(budgeted.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(budgeted[i].poi, plain[i].poi);
+    EXPECT_EQ(budgeted[i].score, plain[i].score);
+  }
+}
+
+TEST_F(CancellationTest, PartialPrefixIsExactAndBoundIsSound) {
+  std::vector<KnntaResult> full;
+  ASSERT_TRUE(tree_.Query(FixtureQuery(), &full).ok());
+  ASSERT_EQ(full.size(), FixtureQuery().k);
+
+  // Sweep the visit ceiling from "almost nothing" to "nearly done": every
+  // cut must yield an exact prefix of the full answer and a bound no
+  // better than any hidden venue's score.
+  for (std::uint64_t limit = 1; limit <= 32; limit *= 2) {
+    QueryBudget budget;
+    budget.max_node_visits = limit;
+    QueryDeadline deadline(budget);
+    std::vector<KnntaResult> results;
+    PartialResult partial;
+    Status st = tree_.Query(FixtureQuery(), &results, nullptr, nullptr,
+                            &deadline, &partial);
+    ASSERT_TRUE(st.ok()) << "limit=" << limit << ": " << st.ToString();
+    if (partial.completed) {
+      ASSERT_EQ(results.size(), full.size());
+      continue;
+    }
+    EXPECT_TRUE(partial.cause.IsDeadlineExceeded())
+        << "limit=" << limit << ": " << partial.cause.ToString();
+    ASSERT_LE(results.size(), full.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].poi, full[i].poi) << "limit=" << limit;
+      EXPECT_EQ(results[i].score, full[i].score) << "limit=" << limit;
+    }
+    for (std::size_t j = results.size(); j < full.size(); ++j) {
+      EXPECT_GE(full[j].score, partial.score_bound)
+          << "limit=" << limit << " hidden result " << j;
+    }
+  }
+}
+
+TEST_F(CancellationTest, PartialOnCancelCarriesTheCause) {
+  CancelToken token;
+  QueryTrace trace;
+  ArmPhaseTrip(&trace, &token, 2);  // cut at the start of best-first
+  QueryDeadline deadline(QueryBudget{}, &token);
+  std::vector<KnntaResult> results;
+  PartialResult partial;
+  Status st = tree_.Query(FixtureQuery(), &results, nullptr, &trace,
+                          &deadline, &partial);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_FALSE(partial.completed);
+  EXPECT_TRUE(partial.cause.IsCancelled()) << partial.cause.ToString();
+}
+
+TEST_F(CancellationTest, ScanBaselineHonorsTheDeadline) {
+  Result<std::unique_ptr<ScanBaseline>> oracle =
+      BuildScanBaselineFromTree(tree_);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  CancelToken token;
+  token.Cancel("cut the scan");
+  QueryDeadline deadline(QueryBudget{}, &token);
+  std::vector<KnntaResult> results;
+  Status st = oracle.ValueOrDie()->Query(FixtureQuery(), &results, &deadline);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+
+  // The cancelled baseline *build* must trip too: the oracle's flat copy
+  // walk is itself a data-sized scan.
+  Result<std::unique_ptr<ScanBaseline>> cut =
+      BuildScanBaselineFromTree(tree_, &deadline);
+  EXPECT_FALSE(cut.ok());
+  EXPECT_TRUE(cut.status().IsCancelled()) << cut.status().ToString();
+}
+
+TEST_F(CancellationTest, ProcessIndividuallyHonorsTheDeadline) {
+  std::vector<KnntaQuery> queries(4, FixtureQuery());
+  CancelToken token;
+  token.Cancel("batch abandoned");
+  QueryDeadline deadline(QueryBudget{}, &token);
+  std::vector<std::vector<KnntaResult>> results;
+  Status st =
+      ProcessIndividually(tree_, queries, &results, nullptr, &deadline);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace tar

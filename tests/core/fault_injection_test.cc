@@ -110,7 +110,9 @@ TEST_F(FaultInjectionTest, EverySiteFailsCleanlyAcrossTheLifecycle) {
     {
       std::stringstream out;
       Status st = tree->Save(out);
-      if (!st.ok()) EXPECT_FALSE(st.message().empty()) << st.ToString();
+      if (!st.ok()) {
+        EXPECT_FALSE(st.message().empty()) << st.ToString();
+      }
     }
 
     // Load clean bytes under fire.

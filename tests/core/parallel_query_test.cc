@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/parallel_query.h"
@@ -132,6 +134,144 @@ TEST(ParallelQueryTest, BadQueriesFailIndividually) {
   EXPECT_TRUE(report.statuses[3].IsInvalidArgument());
   EXPECT_TRUE(report.statuses[7].IsInvalidArgument());
   EXPECT_TRUE(report.statuses[0].ok());
+}
+
+TEST(ParallelQueryTest, AdmissionControlShedsBeyondQueueDepth) {
+  TarTreeOptions opt;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  TarTree tree(opt);
+  BuildFixture(&tree, 150);
+
+  const std::vector<KnntaQuery> queries = MakeQueries(20);
+  ParallelQueryOptions popt;
+  popt.num_threads = 4;
+  popt.max_queue_depth = 12;
+  ParallelQueryReport report;
+  ASSERT_TRUE(RunParallelQueries(tree, queries, popt, &report).ok());
+
+  EXPECT_EQ(report.sheds, 8u);
+  EXPECT_EQ(report.queries_ok, 12u);
+  EXPECT_EQ(report.failures_by_code[Status::Code::kUnavailable], 8u);
+  std::size_t shed_seen = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (report.statuses[i].ok()) continue;
+    ++shed_seen;
+    EXPECT_TRUE(report.statuses[i].IsUnavailable())
+        << report.statuses[i].ToString();
+    // The hint is machine-readable and positive: an overloaded client can
+    // back off by exactly the advertised drain estimate.
+    const std::string& msg = report.statuses[i].message();
+    const std::size_t at = msg.find("retry-after-ms=");
+    ASSERT_NE(at, std::string::npos) << msg;
+    EXPECT_GT(std::atof(msg.c_str() + at + 15), 0.0) << msg;
+    EXPECT_TRUE(report.results[i].empty());
+  }
+  EXPECT_EQ(shed_seen, 8u);
+  // Shed queries must not pollute the service-time percentiles.
+  EXPECT_EQ(report.latency.count, report.queries_ok);
+}
+
+TEST(ParallelQueryTest, BudgetTripsAreTimeoutsNotLatencySamples) {
+  TarTreeOptions opt;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  TarTree tree(opt);
+  BuildFixture(&tree, 150);
+
+  const std::vector<KnntaQuery> queries = MakeQueries(16);
+  ParallelQueryOptions popt;
+  popt.num_threads = 4;
+  popt.budget.max_node_visits = 1;  // trips before any leaf is reached
+  ParallelQueryReport report;
+  ASSERT_TRUE(RunParallelQueries(tree, queries, popt, &report).ok());
+
+  EXPECT_EQ(report.timeouts, queries.size());
+  EXPECT_EQ(report.queries_ok, 0u);
+  EXPECT_EQ(report.queries_failed, queries.size());
+  EXPECT_EQ(report.failures_by_code[Status::Code::kDeadlineExceeded],
+            queries.size());
+  EXPECT_EQ(report.latency.count, 0u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(report.statuses[i].IsDeadlineExceeded());
+    EXPECT_TRUE(report.results[i].empty());
+  }
+}
+
+TEST(ParallelQueryTest, AllowPartialDegradesInsteadOfFailing) {
+  TarTreeOptions opt;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  TarTree tree(opt);
+  BuildFixture(&tree, 150);
+
+  const std::vector<KnntaQuery> queries = MakeQueries(16);
+  ParallelQueryOptions popt;
+  popt.num_threads = 4;
+  popt.budget.max_node_visits = 1;
+  popt.allow_partial = true;
+  ParallelQueryReport report;
+  ASSERT_TRUE(RunParallelQueries(tree, queries, popt, &report).ok());
+
+  ASSERT_EQ(report.partial_info.size(), queries.size());
+  EXPECT_EQ(report.partials, queries.size());
+  EXPECT_EQ(report.timeouts, 0u);
+  EXPECT_EQ(report.queries_ok, queries.size());
+  EXPECT_EQ(report.queries_failed, 0u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(report.statuses[i].ok());
+    EXPECT_FALSE(report.partial_info[i].completed);
+    EXPECT_TRUE(report.partial_info[i].cause.IsDeadlineExceeded())
+        << report.partial_info[i].cause.ToString();
+  }
+  // A degraded prefix is not a completed service: keep it out of the
+  // latency percentiles.
+  EXPECT_EQ(report.latency.count, 0u);
+}
+
+TEST(ParallelQueryTest, CancelTokenAbortsEveryQuery) {
+  TarTreeOptions opt;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  TarTree tree(opt);
+  BuildFixture(&tree, 150);
+
+  const std::vector<KnntaQuery> queries = MakeQueries(12);
+  CancelToken cancel;
+  cancel.Cancel("client disconnected");
+  ParallelQueryOptions popt;
+  popt.num_threads = 4;
+  popt.cancel = &cancel;
+  ParallelQueryReport report;
+  ASSERT_TRUE(RunParallelQueries(tree, queries, popt, &report).ok());
+
+  EXPECT_EQ(report.cancels, queries.size());
+  EXPECT_EQ(report.latency.count, 0u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(report.statuses[i].IsCancelled());
+    EXPECT_EQ(report.statuses[i].message(), "client disconnected");
+  }
+}
+
+TEST(ParallelQueryTest, BatchBudgetShedsLateClaims) {
+  TarTreeOptions opt;
+  opt.grid = EpochGrid(0, 7 * kSecondsPerDay);
+  TarTree tree(opt);
+  BuildFixture(&tree, 150);
+
+  const std::vector<KnntaQuery> queries = MakeQueries(8);
+  ParallelQueryOptions popt;
+  popt.num_threads = 2;
+  // A budget far below any achievable claim time: every query is claimed
+  // after the batch budget is spent and must be shed, not started.
+  popt.batch_budget_ms = 1e-6;
+  ParallelQueryReport report;
+  ASSERT_TRUE(RunParallelQueries(tree, queries, popt, &report).ok());
+
+  EXPECT_EQ(report.sheds, queries.size());
+  EXPECT_EQ(report.queries_ok, 0u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(report.statuses[i].IsUnavailable());
+    EXPECT_NE(report.statuses[i].message().find("batch wall budget"),
+              std::string::npos)
+        << report.statuses[i].message();
+  }
 }
 
 TEST(ParallelQueryTest, RejectsZeroThreads) {

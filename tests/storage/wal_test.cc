@@ -284,10 +284,15 @@ TEST_F(WalTest, SyncFaultKillsTheWriter) {
   EXPECT_TRUE(wal->Sync().IsIoError());
   injector().Clear();
 
-  // Sticky: the file may end mid-frame, so every later call must refuse.
-  EXPECT_TRUE(wal->Append(WalRecord::MakeCheckpoint(0)).status().IsIoError());
-  EXPECT_TRUE(wal->Sync().IsIoError());
-  EXPECT_TRUE(wal->Truncate().IsIoError());
+  // Sticky: the file may end mid-frame, so every later call must refuse —
+  // with the dedicated dead-writer code, the original I/O failure
+  // attached so callers can report the root cause once.
+  const Status gated = wal->Append(WalRecord::MakeCheckpoint(0)).status();
+  EXPECT_TRUE(gated.IsFailedPrecondition()) << gated.ToString();
+  EXPECT_NE(gated.message().find("wal.sync"), std::string::npos)
+      << gated.ToString();
+  EXPECT_TRUE(wal->Sync().IsFailedPrecondition());
+  EXPECT_TRUE(wal->Truncate().IsFailedPrecondition());
 }
 
 TEST_F(WalTest, TornSyncLeavesARecoverablePrefix) {
@@ -298,7 +303,9 @@ TEST_F(WalTest, TornSyncLeavesARecoverablePrefix) {
   ASSERT_TRUE(injector().Configure("wal.torn=torn;seed=11").ok());
   EXPECT_TRUE(wal->Sync().IsIoError());
   injector().Clear();
-  EXPECT_TRUE(wal->Append(WalRecord::MakeCheckpoint(3)).status().IsIoError());
+  EXPECT_TRUE(wal->Append(WalRecord::MakeCheckpoint(3))
+                  .status()
+                  .IsFailedPrecondition());
 
   // The first three frames survive; the torn batch is never a complete
   // frame, so the scan ends clean (nothing written) or torn (a partial

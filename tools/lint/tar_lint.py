@@ -27,6 +27,9 @@ Checks (see `list-checks` for one-liners):
                      tie-break (src/core ranking discipline)
   audit-coverage     every pruning/early-exit site in the query engines
                      registers a certificate with the query-audit hooks
+  cancel-poll        every data-sized loop in the scoring files contains a
+                     reachable TAR_CHECK_CANCEL poll, so a deadline or
+                     cancellation can cut any unbounded scan short
 
 A finding can be suppressed with a comment on the same or preceding line:
 
@@ -920,6 +923,85 @@ def check_audit_coverage(ctx: Context, findings: List[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# cancel-poll: data-sized loops in the scoring files must poll the
+# cooperative deadline, or a query can overrun its budget unboundedly.
+# ---------------------------------------------------------------------------
+
+# Work that scales with the tree or the data: walking node entries, scoring
+# them, aggregating TIA pages, draining best-first queues or DFS stacks,
+# and the oracle's record scans. A loop whose body does any of these can
+# run for the size of the dataset and must contain a reachable
+# TAR_CHECK_CANCEL / TAR_CHECK_CANCEL_TO (matched by common prefix). A poll
+# inside a nested loop satisfies the enclosing loop too: the outer body
+# textually contains it.
+CANCEL_WORK_RE = re.compile(
+    r"\.entries\b|EntryScore\s*\(|EntryComponents\s*\(|\bAggregate\s*\(|"
+    r"queue\.pop\b|stack\.pop_back\b|\bpois_\b"
+)
+CANCEL_POLL_TOKEN = "TAR_CHECK_CANCEL"
+
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+
+def _loop_bodies(code: str) -> Iterable[Tuple[int, str]]:
+    """Yields (header_offset, body_text) for every for/while loop with a
+    braced body. Single-statement bodies are skipped: no scan loop in the
+    scoring files is (or should be) written without braces."""
+    n = len(code)
+    for m in LOOP_HEADER_RE.finditer(code):
+        i = m.end() - 1  # at the condition's '('
+        depth = 0
+        while i < n:
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < n and code[j] in " \t\n":
+            j += 1
+        if j >= n or code[j] != "{":
+            continue
+        depth = 1
+        k = j + 1
+        while k < n and depth > 0:
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+            k += 1
+        yield m.start(), code[j:k]
+
+
+def check_cancel_poll(ctx: Context, findings: List[Finding]) -> None:
+    for f in ctx.files:
+        if f.path not in SCORE_FILES and not f.path.startswith(TESTDATA_PREFIX):
+            continue
+        for off, body in _loop_bodies(f.code):
+            if not CANCEL_WORK_RE.search(body):
+                continue
+            if CANCEL_POLL_TOKEN in body:
+                continue
+            line = f.line_of(off)
+            if f.is_suppressed("cancel-poll", line):
+                continue
+            findings.append(
+                Finding(
+                    "cancel-poll",
+                    f.path,
+                    line,
+                    "data-sized loop (entries / scores / pages / queue "
+                    "drain) contains no TAR_CHECK_CANCEL poll; a deadline "
+                    "or cancellation could not cut this scan short (see "
+                    "docs/internals.md, \"Deadlines, admission control, "
+                    "and degradation\")",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
@@ -932,6 +1014,7 @@ CHECKS = {
     "hot-section": "no allocation / ungated clock reads in phased sections",
     "float-bound": "no raw ==/!= on score doubles outside the tie-break idiom",
     "audit-coverage": "every pruning site registers a query-audit certificate",
+    "cancel-poll": "data-sized scoring loops contain a TAR_CHECK_CANCEL poll",
 }
 
 DEFAULT_DIRS = ("src", "tests")
@@ -978,6 +1061,8 @@ def run_checks(
         check_float_bound(ctx, findings)
     if "audit-coverage" in checks:
         check_audit_coverage(ctx, findings)
+    if "cancel-poll" in checks:
+        check_cancel_poll(ctx, findings)
     findings.sort(key=lambda v: (v.path, v.line, v.check))
     return findings
 
@@ -1038,6 +1123,7 @@ def cmd_selftest(args: argparse.Namespace) -> int:
         ("hot-section", "tools/lint/testdata/bad_hot_section.cc"),
         ("float-bound", "tools/lint/testdata/bad_float_bound.cc"),
         ("audit-coverage", "tools/lint/testdata/bad_audit_coverage.cc"),
+        ("cancel-poll", "tools/lint/testdata/bad_cancel_poll.cc"),
     ]
     ok = True
     for check, path in expected:

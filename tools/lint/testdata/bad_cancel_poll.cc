@@ -1,0 +1,22 @@
+// tar-lint selftest fixture — never compiled. Seeds a data-sized scan
+// loop in score-file shape with no TAR_CHECK_CANCEL poll: a deadline or
+// cancellation could never cut this walk short.
+#include "core/tar_tree.h"
+
+namespace tar::lintfixture {
+
+double SumEntryBounds(const TarTree& tree, TarTree::NodeId root) {
+  double acc = 0.0;
+  std::vector<TarTree::NodeId> stack = {root};
+  while (!stack.empty()) {
+    const TarTree::NodeId id = stack.back();
+    stack.pop_back();
+    for (const auto& entry : tree.NodeRef(id).entries) {
+      acc += entry.agg_upper;
+      if (!entry.is_leaf) stack.push_back(entry.child);
+    }
+  }
+  return acc;
+}
+
+}  // namespace tar::lintfixture

@@ -72,6 +72,24 @@
 //       --metrics additionally enables the global metrics registry and
 //       dumps it after the run.
 //
+//   tartool chaos [--seed N | --seeds N] [--threads T] [--deadline-ms D]
+//           [--delay-ms M] [--path P]
+//       Deadline/overload storm harness. Every seed deterministically
+//       expands into a small store, its sequential-scan oracle and a
+//       query batch, then runs the batch through the parallel driver
+//       under injected slow-I/O delays (failpoint delay action) with
+//       per-query deadlines, bounded admission, partial degradation on
+//       alternating seeds and a mid-batch cancellation on every third
+//       seed. Checks: every query completes bit-identically to the
+//       oracle, returns a labeled partial whose prefix and score bound
+//       the oracle verifies, or fails with kDeadlineExceeded/kCancelled/
+//       kUnavailable — within deadline+eps, never hanging, never an
+//       unlabeled truncation. Each round also streams a concurrent WAL
+//       ingest under append delays and proves the store recovers
+//       bit-identically; the metrics registry must account for every
+//       shed/timeout/cancel/partial. Exit 0: clean sweep; 1: a
+//       violation; 2: setup error.
+//
 //   tartool audit [--seed N | --seeds N] [--queries M] [--pois P]
 //           [--epochs E]
 //       Query-soundness oracle sweep. Every seed deterministically
@@ -84,6 +102,7 @@
 //       builds every pruning certificate is additionally proven. --seed
 //       runs one seed, --seeds N (default 50) sweeps 1..N; each failure
 //       prints a one-line repro command. Exit 0 when all seeds pass.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +112,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -100,6 +120,7 @@
 #include "analysis/query_checker.h"
 #include "analysis/structure_verifier.h"
 #include "common/crc32c.h"
+#include "common/deadline.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/random.h"
@@ -351,14 +372,22 @@ int QueryCmd(const std::map<std::string, std::string>& flags) {
   q.alpha0 = std::atof(Flag(flags, "alpha", "0.3").c_str());
 
   const bool want_trace = flags.count("trace") != 0;
+  QueryBudget budget;
+  budget.deadline_ms = std::atof(Flag(flags, "deadline-ms", "0").c_str());
+  const bool allow_partial = flags.count("allow-partial") != 0;
+  QueryDeadline deadline(budget);
+  QueryDeadline* dptr = deadline.armed() ? &deadline : nullptr;
   std::vector<KnntaResult> results;
   AccessStats stats;
   QueryTrace trace;
+  PartialResult partial;
   bool degraded = false;
-  Status st =
-      tree.Query(q, &results, &stats, want_trace ? &trace : nullptr);
-  if (!st.ok() && !st.IsInvalidArgument() &&
-      flags.count("fallback-scan") != 0) {
+  Status st = tree.Query(q, &results, &stats, want_trace ? &trace : nullptr,
+                         dptr, allow_partial ? &partial : nullptr);
+  // A deadline trip must not degrade to a full sequential scan — that
+  // would spend strictly more time than the traversal it cut short.
+  if (!st.ok() && !st.IsInvalidArgument() && !st.IsDeadlineExceeded() &&
+      !st.IsCancelled() && flags.count("fallback-scan") != 0) {
     // Graceful degradation: answer by sequential scan over the leaf TIAs.
     std::fprintf(stderr,
                  "index query failed (%s); degrading to sequential scan\n",
@@ -383,6 +412,12 @@ int QueryCmd(const std::map<std::string, std::string>& flags) {
   for (const KnntaResult& r : results) {
     std::printf("  venue %-8u dist=%9.4f visits=%6lld score=%.4f\n", r.poi,
                 r.dist, static_cast<long long>(r.aggregate), r.score);
+  }
+  if (allow_partial && !partial.completed) {
+    std::printf("[partial: %zu of %zu requested; every unreported venue "
+                "scores >= %.4f; cause: %s]\n",
+                results.size(), static_cast<std::size_t>(q.k),
+                partial.score_bound, partial.cause.ToString().c_str());
   }
   std::printf("(%s)\n", stats.ToString().c_str());
   if (want_trace && !degraded) {
@@ -613,8 +648,16 @@ int Ingest(const std::map<std::string, std::string>& flags) {
     }
     Status st = tree->InsertPoi(data.pois[id]);
     if (!st.ok()) {
-      std::fprintf(stderr, "insert of POI %u failed: %s\n", id,
-                   st.ToString().c_str());
+      // A dead WAL writer gates every later mutation with the same root
+      // cause attached (kFailedPrecondition); print it once and stop
+      // instead of one error per remaining record.
+      if (st.IsFailedPrecondition()) {
+        std::fprintf(stderr, "ingest aborted at POI %u: %s\n", id,
+                     st.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "insert of POI %u failed: %s\n", id,
+                     st.ToString().c_str());
+      }
       return 1;
     }
     ++inserted;
@@ -650,8 +693,13 @@ int Ingest(const std::map<std::string, std::string>& flags) {
     if (aggs.empty()) continue;
     Status st = tree->AppendEpoch(e, aggs);
     if (!st.ok()) {
-      std::fprintf(stderr, "epoch %lld digest failed: %s\n",
-                   static_cast<long long>(e), st.ToString().c_str());
+      if (st.IsFailedPrecondition()) {
+        std::fprintf(stderr, "ingest aborted at epoch %lld: %s\n",
+                     static_cast<long long>(e), st.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "epoch %lld digest failed: %s\n",
+                     static_cast<long long>(e), st.ToString().c_str());
+      }
       return 1;
     }
     ++appended;
@@ -1368,6 +1416,391 @@ int CrashTest(const std::map<std::string, std::string>& flags) {
 }
 
 // ----------------------------------------------------------------------
+// chaos: seeded slow-I/O storms against deadline-aware query execution.
+// ----------------------------------------------------------------------
+
+/// Run-wide outcome tally, cross-checked against the metrics registry at
+/// the end of the sweep.
+struct ChaosTally {
+  std::size_t completed = 0;
+  std::size_t sheds = 0;
+  std::size_t timeouts = 0;
+  std::size_t cancels = 0;
+  std::size_t partials = 0;
+};
+
+/// Seeded probe batch over the deterministic ingest workload's space.
+std::vector<KnntaQuery> ChaosQueryBatch(const EpochGrid& grid,
+                                        std::uint64_t seed) {
+  Rng rng(seed * 977 + 11);
+  std::vector<KnntaQuery> queries;
+  for (int i = 0; i < 24; ++i) {
+    KnntaQuery q;
+    q.point = {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    const std::int64_t first = rng.UniformInt(0, 3);
+    const std::int64_t last = rng.UniformInt(first, 6);
+    q.interval = {grid.EpochStart(first), grid.EpochEnd(last)};
+    q.k = static_cast<std::size_t>(rng.UniformInt(1, 8));
+    q.alpha0 = 0.2 + 0.1 * static_cast<double>(rng.UniformInt(0, 5));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+/// Audits one storm's report against the fault-free oracle answers. Every
+/// query must either complete bit-identically, return a *labeled* partial
+/// whose prefix and score bound are verified against the oracle, or fail
+/// with kDeadlineExceeded / kCancelled / kUnavailable — and no executed
+/// query may overrun its deadline by more than `eps_ms`.
+void CheckChaosReport(const ParallelQueryReport& report,
+                      const std::vector<std::vector<KnntaResult>>& expected,
+                      const ParallelQueryOptions& popt, double eps_ms,
+                      const char* what, std::uint64_t rseed, int* violations,
+                      ChaosTally* tally) {
+  const unsigned long long rs = static_cast<unsigned long long>(rseed);
+  std::size_t sheds = 0;
+  std::size_t timeouts = 0;
+  std::size_t cancels = 0;
+  std::size_t partials = 0;
+  for (std::size_t i = 0; i < report.statuses.size(); ++i) {
+    const Status& st = report.statuses[i];
+    if (!st.ok()) {
+      if (st.IsUnavailable()) {
+        ++sheds;
+        if (st.message().find("retry-after-ms=") == std::string::npos) {
+          std::fprintf(stderr,
+                       "  %s seed %llu query %zu: shed without a retry "
+                       "hint: %s\n",
+                       what, rs, i, st.ToString().c_str());
+          ++*violations;
+        }
+      } else if (st.IsDeadlineExceeded()) {
+        ++timeouts;
+      } else if (st.IsCancelled()) {
+        ++cancels;
+      } else {
+        std::fprintf(stderr,
+                     "  %s seed %llu query %zu: unexpected failure: %s\n",
+                     what, rs, i, st.ToString().c_str());
+        ++*violations;
+      }
+      if (!report.results[i].empty()) {
+        std::fprintf(stderr,
+                     "  %s seed %llu query %zu: failed query carries %zu "
+                     "results\n",
+                     what, rs, i, report.results[i].size());
+        ++*violations;
+      }
+    } else {
+      const bool partial =
+          !report.partial_info.empty() && !report.partial_info[i].completed;
+      const std::vector<KnntaResult>& got = report.results[i];
+      const std::vector<KnntaResult>& want = expected[i];
+      if (!partial) {
+        // A completed query must match the oracle bit-for-bit; a size
+        // mismatch here is exactly the unlabeled truncation the harness
+        // exists to rule out.
+        if (!SameResults(got, want)) {
+          std::fprintf(stderr,
+                       "  %s seed %llu query %zu: completed result "
+                       "diverges from oracle (%zu vs %zu results)\n",
+                       what, rs, i, got.size(), want.size());
+          ++*violations;
+        }
+      } else {
+        ++partials;
+        if (report.partial_info[i].cause.ok()) {
+          std::fprintf(stderr,
+                       "  %s seed %llu query %zu: partial without a "
+                       "cause\n",
+                       what, rs, i);
+          ++*violations;
+        }
+        if (got.size() > want.size()) {
+          std::fprintf(stderr,
+                       "  %s seed %llu query %zu: partial longer than the "
+                       "oracle answer\n",
+                       what, rs, i);
+          ++*violations;
+        } else {
+          const std::vector<KnntaResult> prefix(want.begin(),
+                                                want.begin() + got.size());
+          if (!SameResults(got, prefix)) {
+            std::fprintf(stderr,
+                         "  %s seed %llu query %zu: partial prefix "
+                         "diverges from oracle\n",
+                         what, rs, i);
+            ++*violations;
+          }
+          // Property-1 soundness of the cut: every unreported POI must
+          // score at or above the reported frontier bound.
+          const double bound = report.partial_info[i].score_bound;
+          for (std::size_t j = got.size(); j < want.size(); ++j) {
+            if (want[j].score < bound) {
+              std::fprintf(stderr,
+                           "  %s seed %llu query %zu: unsound partial "
+                           "bound %.17g > hidden score %.17g\n",
+                           what, rs, i, bound, want[j].score);
+              ++*violations;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (popt.budget.deadline_ms > 0.0 &&
+        report.query_micros[i] >
+            (popt.budget.deadline_ms + eps_ms) * 1000.0) {
+      std::fprintf(stderr,
+                   "  %s seed %llu query %zu: overran deadline: %.0f us > "
+                   "(%.0f + %.0f) ms\n",
+                   what, rs, i, report.query_micros[i],
+                   popt.budget.deadline_ms, eps_ms);
+      ++*violations;
+    }
+  }
+  if (report.sheds != sheds || report.timeouts != timeouts ||
+      report.cancels != cancels || report.partials != partials) {
+    std::fprintf(stderr,
+                 "  %s seed %llu: report counters (%zu/%zu/%zu/%zu) "
+                 "disagree with statuses (%zu/%zu/%zu/%zu)\n",
+                 what, rs, report.sheds, report.timeouts, report.cancels,
+                 report.partials, sheds, timeouts, cancels, partials);
+    ++*violations;
+  }
+  tally->completed += report.queries_ok - partials;
+  tally->sheds += sheds;
+  tally->timeouts += timeouts;
+  tally->cancels += cancels;
+  tally->partials += partials;
+}
+
+/// One chaos round: a deterministic store, its sequential-scan oracle, a
+/// delay storm over the TIA read path with per-query deadlines, bounded
+/// admission and (on alternating seeds) partial degradation or mid-batch
+/// cancellation — then a concurrent-ingest storm whose store must recover
+/// bit-identically to an uninterrupted run.
+int ChaosRound(std::uint64_t rseed, std::size_t threads, double deadline_ms,
+               double delay_ms, const std::string& base, int* violations,
+               ChaosTally* tally) {
+  const unsigned long long rs = static_cast<unsigned long long>(rseed);
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  const TiaBackend backend =
+      rseed % 2 == 0 ? TiaBackend::kMvbt : TiaBackend::kBpTree;
+  const TarTreeOptions opt = IngestMatrixOptions(backend);
+  const std::vector<IngestOp> ops = MakeIngestOps(rseed);
+  std::unique_ptr<TarTree> tree = IngestRefTree(opt, ops, ops.size());
+  if (tree == nullptr) {
+    std::fprintf(stderr, "chaos seed %llu: cannot build tree\n", rs);
+    return 2;
+  }
+
+  // Fault-free oracle answers from the sequential-scan baseline, which
+  // answers bit-identically to the tree (the audit verb's differential
+  // guarantee).
+  auto bres = BuildScanBaselineFromTree(*tree);
+  if (!bres.ok()) {
+    std::fprintf(stderr, "chaos seed %llu: cannot build oracle\n", rs);
+    return 2;
+  }
+  std::unique_ptr<ScanBaseline> baseline = std::move(bres).ValueOrDie();
+  const std::vector<KnntaQuery> queries =
+      ChaosQueryBatch(tree->grid(), rseed);
+  std::vector<std::vector<KnntaResult>> expected(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!baseline->Query(queries[i], &expected[i]).ok()) return 2;
+  }
+
+  // Worst cooperative-check slack: up to one clock stride of polls, each
+  // of which may sit behind a delayed page fetch, plus generous headroom
+  // for a loaded CI machine.
+  const double eps_ms = 500.0 + 64.0 * delay_ms;
+
+  // Storm A: slow TIA reads + per-query deadlines + bounded admission.
+  {
+    const double probability =
+        0.3 + 0.1 * static_cast<double>(rseed % 5);  // 0.3 .. 0.7
+    char spec[96];
+    std::snprintf(spec, sizeof(spec),
+                  "buffer_pool.fetch=delay@%.1f@%.1f;seed=%llu", delay_ms,
+                  probability, rs);
+    if (!injector.Configure(spec).ok()) return 2;
+    ParallelQueryOptions popt;
+    popt.num_threads = threads;
+    popt.budget.deadline_ms = deadline_ms;
+    popt.allow_partial = rseed % 2 == 1;
+    popt.max_queue_depth = queries.size() - 4;
+    CancelToken cancel;
+    std::thread canceller;
+    if (rseed % 3 == 0) {
+      popt.cancel = &cancel;
+      canceller = std::thread([&cancel, deadline_ms] {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(deadline_ms / 2.0));
+        cancel.Cancel("chaos mid-batch cancel");
+      });
+    }
+    ParallelQueryReport report;
+    Status st = RunParallelQueries(*tree, queries, popt, &report);
+    injector.Clear();
+    if (canceller.joinable()) canceller.join();
+    if (!st.ok()) {
+      std::fprintf(stderr, "chaos seed %llu: batch driver failed: %s\n", rs,
+                   st.ToString().c_str());
+      return 2;
+    }
+    CheckChaosReport(report, expected, popt, eps_ms, "storm", rseed,
+                     violations, tally);
+    if (report.sheds != 4) {
+      std::fprintf(stderr,
+                   "chaos seed %llu: admission shed %zu queries, wanted "
+                   "the 4 past the depth limit\n",
+                   rs, report.sheds);
+      ++*violations;
+    }
+  }
+
+  // Storm B: concurrent WAL ingest under an append-delay storm while
+  // deadline readers run against the shared-registry process state; the
+  // store must then recover bit-identically to an uninterrupted run.
+  {
+    const std::string snap = base + ".tart";
+    const std::string walp = base + ".wal";
+    std::remove(snap.c_str());
+    std::remove(walp.c_str());
+    TarTree store(opt);
+    if (!store.SaveToFile(snap).ok()) return 2;
+    WalWriterOptions wopt;
+    wopt.group_commit_records = 1;
+    auto wres = WalWriter::Open(walp, wopt);
+    if (!wres.ok()) return 2;
+    std::unique_ptr<WalWriter> wal = std::move(wres).ValueOrDie();
+    store.AttachWal(wal.get());
+    char spec[96];
+    std::snprintf(spec, sizeof(spec), "wal.append=delay@%.1f@0.3;seed=%llu",
+                  delay_ms / 4.0, rs + 1);
+    if (!injector.Configure(spec).ok()) return 2;
+    Status ingest_st = Status::OK();
+    std::thread ingester([&] {
+      for (const IngestOp& op : ops) {
+        Status ap = ApplyIngestOp(&store, op);
+        if (!ap.ok()) {
+          ingest_st = ap;
+          return;
+        }
+      }
+      ingest_st = wal->Sync();
+    });
+    ParallelQueryOptions popt;
+    popt.num_threads = threads;
+    popt.budget.deadline_ms = deadline_ms;
+    popt.batch_budget_ms = deadline_ms * 4.0;
+    popt.allow_partial = true;
+    ParallelQueryReport report;
+    Status st = RunParallelQueries(*tree, queries, popt, &report);
+    ingester.join();
+    injector.Clear();
+    store.AttachWal(nullptr);
+    if (!st.ok() || !ingest_st.ok()) {
+      std::fprintf(stderr, "chaos seed %llu: concurrent ingest failed: %s\n",
+                   rs, (!st.ok() ? st : ingest_st).ToString().c_str());
+      return 2;
+    }
+    CheckChaosReport(report, expected, popt, eps_ms, "ingest-storm", rseed,
+                     violations, tally);
+
+    auto rec = Recover(snap, walp, TarTree::LoadOptions());
+    if (!rec.ok()) {
+      std::fprintf(stderr, "chaos seed %llu: recovery failed: %s\n", rs,
+                   rec.status().ToString().c_str());
+      ++*violations;
+    } else if (!SameQueryAnswers(*rec.ValueOrDie(), *tree, "chaos recovery",
+                                 rseed)) {
+      ++*violations;
+    }
+    std::remove(snap.c_str());
+    std::remove(walp.c_str());
+  }
+  return 0;
+}
+
+int Chaos(const std::map<std::string, std::string>& flags) {
+  std::uint64_t first = 1;
+  std::uint64_t last =
+      std::strtoull(Flag(flags, "seeds", "8").c_str(), nullptr, 10);
+  if (flags.count("seed") != 0) {
+    first = last =
+        std::strtoull(Flag(flags, "seed", "1").c_str(), nullptr, 10);
+  }
+  const std::size_t threads =
+      std::atoll(Flag(flags, "threads", "4").c_str());
+  const double deadline_ms =
+      std::atof(Flag(flags, "deadline-ms", "25").c_str());
+  const double delay_ms = std::atof(Flag(flags, "delay-ms", "15").c_str());
+  const std::string base = Flag(flags, "path", "chaos.store");
+  if (last < first || threads == 0 || deadline_ms <= 0.0 ||
+      delay_ms <= 0.0) {
+    std::fprintf(stderr, "chaos: bad flags\n");
+    return 2;
+  }
+
+  // The registry assertions below need collection on, and a clean slate.
+  SetMetricsEnabled(true);
+  MetricsRegistry::Global().ResetAll();
+  int violations = 0;
+  ChaosTally tally;
+  for (std::uint64_t seed = first; seed <= last; ++seed) {
+    const int before = violations;
+    const int rc = ChaosRound(seed, threads, deadline_ms, delay_ms, base,
+                              &violations, &tally);
+    if (rc != 0) return rc;
+    if (violations > before) {
+      std::fprintf(stderr,
+                   "chaos: FAILED\n  reproduce with: tartool chaos --seed "
+                   "%llu --threads %zu --deadline-ms %.0f --delay-ms %.0f\n",
+                   static_cast<unsigned long long>(seed), threads,
+                   deadline_ms, delay_ms);
+    }
+  }
+
+  // Overload must be visible in monitoring, not silent: the registry has
+  // to account for every outcome the run observed.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const struct {
+    const char* name;
+    std::size_t want;
+  } counters[] = {{"query.sheds", tally.sheds},
+                  {"query.timeouts", tally.timeouts},
+                  {"query.cancels", tally.cancels},
+                  {"query.partials", tally.partials}};
+  for (const auto& c : counters) {
+    const std::uint64_t got = reg.GetCounter(c.name)->value();
+    if (got != c.want) {
+      std::fprintf(stderr, "chaos: metrics %s = %llu, observed %zu\n",
+                   c.name, static_cast<unsigned long long>(got), c.want);
+      ++violations;
+    }
+  }
+  if (tally.timeouts + tally.partials == 0 && last > first) {
+    // A sweep whose storms never produced deadline pressure proves
+    // nothing about degradation behaviour.
+    std::fprintf(stderr, "chaos: storms produced no deadline pressure\n");
+    ++violations;
+  }
+
+  std::printf("chaos: %llu seed(s): %zu completed, %zu partial, %zu timed "
+              "out, %zu cancelled, %zu shed\n",
+              static_cast<unsigned long long>(last - first + 1),
+              tally.completed, tally.partials, tally.timeouts, tally.cancels,
+              tally.sheds);
+  if (violations > 0) {
+    std::fprintf(stderr, "chaos: %d violation(s)\n", violations);
+    return 1;
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------------
 // audit: differential/metamorphic query-soundness sweep.
 // ----------------------------------------------------------------------
 
@@ -1430,7 +1863,7 @@ int Audit(const std::map<std::string, std::string>& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: tartool <generate|build|info|check|query|stress|"
-               "ingest|recover|crashtest|audit> [--flags]\n"
+               "ingest|recover|crashtest|chaos|audit> [--flags]\n"
                "  generate --preset gw|gs|nyc|la --scale S --out FILE\n"
                "  build    --input FILE --out INDEX [--strategy tar|spa|agg]"
                " [--threshold N] [--epoch-days D] [--backend mvbt|bptree]\n"
@@ -1438,6 +1871,7 @@ int Usage() {
                "  check    INDEX [--samples N] [--shallow]\n"
                "  query    --index INDEX --x X --y Y --days D [--k K]"
                " [--alpha A] [--mwa] [--fallback-scan] [--trace]\n"
+               "           [--deadline-ms D] [--allow-partial]\n"
                "  stress   --index INDEX --threads N --queries M [--k K]"
                " [--days D] [--alpha A] [--seed S] [--metrics]\n"
                "  ingest   --input FILE --store PREFIX [--strategy tar|spa|"
@@ -1446,6 +1880,8 @@ int Usage() {
                " [--checkpoint-every K] [--metrics]\n"
                "  recover  --store PREFIX [--checkpoint] [--shallow]\n"
                "  crashtest [--rounds N] [--seed S] [--scale F] [--path P]\n"
+               "  chaos    [--seed N | --seeds N] [--threads T]"
+               " [--deadline-ms D] [--delay-ms M] [--path P]\n"
                "  audit    [--seed N | --seeds N] [--queries M] [--pois P]"
                " [--epochs E]\n");
   return 2;
@@ -1470,6 +1906,7 @@ int main(int argc, char** argv) {
   if (cmd == "ingest") return Ingest(flags);
   if (cmd == "recover") return RecoverCmd(flags);
   if (cmd == "crashtest") return CrashTest(flags);
+  if (cmd == "chaos") return Chaos(flags);
   if (cmd == "audit") return Audit(flags);
   return Usage();
 }
