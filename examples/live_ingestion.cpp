@@ -2,16 +2,23 @@
 //
 // POIs are registered as soon as they clear the effective threshold, and
 // at the end of every epoch the check-in counts are digested in a batch
-// (Section 4.2 "Inserting Check-ins"). The example queries the live index
-// as the network grows and finishes with a Rebuild() — the maintenance the
-// paper suggests when the integral-3D grouping drifts.
+// (Section 4.2 "Inserting Check-ins"). The index lives behind a
+// SnapshotStore, so every query runs on a pinned read snapshot while
+// ingestion keeps publishing new versions — the pattern a live deployment
+// needs (the old form of this example queried the tree directly between
+// AppendEpoch calls, which is only safe single-threaded and silently
+// wrong the moment a second thread appears). The example finishes by
+// asserting that a mid-stream query re-run after all ingestion returns
+// bit-identical results: its interval closed before the later epochs, so
+// the snapshot it saw and the final store must agree exactly.
 //
 // Build & run:  ./build/examples/live_ingestion
 #include <cstdio>
+#include <cstring>
 #include <unordered_map>
 
-#include "core/tar_tree.h"
 #include "data/generator.h"
+#include "storage/snapshot_store.h"
 
 using namespace tar;
 
@@ -22,16 +29,23 @@ int main() {
   EpochGrid grid(0, 7 * kSecondsPerDay);
   std::int64_t num_epochs = grid.NumEpochs(city.t_end);
 
-  TarTreeOptions options;
-  options.grid = grid;
-  options.space = city.bounds;
-  TarTree tree(options);
+  SnapshotStoreOptions options;
+  options.tree.grid = grid;
+  options.tree.space = city.bounds;
+  auto opened = SnapshotStore::Open(options);
+  if (!opened.ok()) return 1;
+  std::unique_ptr<SnapshotStore> store = std::move(opened).ValueOrDie();
 
   // Replay the check-in stream epoch by epoch.
   std::vector<std::int64_t> totals(city.pois.size(), 0);
   std::vector<std::vector<std::int32_t>> history(city.pois.size());
   std::size_t cursor = 0;
   std::size_t ingested = 0;
+
+  // The mid-stream probe re-checked after ingestion finishes.
+  KnntaQuery probe;
+  std::vector<KnntaResult> probe_results;
+  bool have_probe = false;
 
   for (std::int64_t epoch = 0; epoch < num_epochs; ++epoch) {
     // Collect this epoch's check-ins.
@@ -53,7 +67,7 @@ int main() {
     for (const auto& [poi, cnt] : batch) {
       if (totals[poi] >= cfg.effective_threshold &&
           totals[poi] - cnt < cfg.effective_threshold) {
-        if (!tree.InsertPoi(city.pois[poi], history[poi]).ok()) return 1;
+        if (!store->InsertPoi(city.pois[poi], history[poi]).ok()) return 1;
       }
     }
     // Digest the epoch for venues already in the index.
@@ -64,7 +78,10 @@ int main() {
         indexed_batch.emplace(poi, cnt);
       }
     }
-    if (!tree.AppendEpoch(epoch, indexed_batch).ok()) return 1;
+    if (!indexed_batch.empty() &&
+        !store->AppendEpoch(epoch, indexed_batch).ok()) {
+      return 1;
+    }
 
     if ((epoch + 1) % 20 == 0 || epoch == num_epochs - 1) {
       KnntaQuery q;
@@ -75,10 +92,15 @@ int main() {
       q.alpha0 = 0.3;
       std::vector<KnntaResult> results;
       AccessStats stats;
-      if (!tree.Query(q, &results, &stats).ok()) return 1;
-      std::printf("epoch %3lld: %6zu check-ins ingested, %5zu venues "
-                  "indexed; top venue last month: ",
-                  static_cast<long long>(epoch), ingested, tree.num_pois());
+      // Pin a snapshot for the read: ingestion (on another thread, in a
+      // real deployment) keeps publishing while this version stays put.
+      TreeSnapshot snap = store->Acquire();
+      if (!snap.tree().Query(q, &results, &stats).ok()) return 1;
+      std::printf("epoch %3lld (v%llu): %6zu check-ins ingested, %5zu "
+                  "venues indexed; top venue last month: ",
+                  static_cast<long long>(epoch),
+                  static_cast<unsigned long long>(snap.version()), ingested,
+                  snap.tree().num_pois());
       if (results.empty()) {
         std::printf("(none)\n");
       } else {
@@ -86,15 +108,50 @@ int main() {
                     static_cast<long long>(results[0].aggregate),
                     static_cast<unsigned long long>(stats.NodeAccesses()));
       }
+      if (!have_probe && !results.empty()) {
+        // Remember one mid-stream query; its interval closes at this
+        // epoch, so later appends must never change its answer.
+        probe = q;
+        probe_results = results;
+        have_probe = true;
+      }
     }
   }
 
-  // Periodic maintenance: rebuild with the final popularity profile.
-  std::printf("\nRebuilding the index (refreshes the z grouping)... ");
-  if (!tree.Rebuild().ok()) return 1;
-  Status st = tree.CheckInvariants();
-  std::printf("done, invariants %s, %zu nodes, height %zu\n",
-              st.ok() ? "OK" : st.ToString().c_str(), tree.num_nodes(),
-              tree.height());
+  // The assertion the snapshot contract makes: re-running the mid-stream
+  // probe against the fully ingested store returns bit-identical results
+  // (every later epoch lies outside the probe's closed interval).
+  if (have_probe) {
+    std::vector<KnntaResult> again;
+    TreeSnapshot snap = store->Acquire();
+    if (!snap.tree().Query(probe, &again).ok()) return 1;
+    if (again.size() != probe_results.size()) {
+      std::printf("FAIL: post-ingest re-query returned %zu results, "
+                  "mid-stream saw %zu\n",
+                  again.size(), probe_results.size());
+      return 1;
+    }
+    for (std::size_t i = 0; i < again.size(); ++i) {
+      if (again[i].poi != probe_results[i].poi ||
+          std::memcmp(&again[i].score, &probe_results[i].score,
+                      sizeof(double)) != 0 ||
+          again[i].aggregate != probe_results[i].aggregate) {
+        std::printf("FAIL: post-ingest re-query diverges at rank %zu\n", i);
+        return 1;
+      }
+    }
+    std::printf("\npost-ingest re-query matches the mid-stream snapshot "
+                "(%zu results, bit-identical)\n",
+                again.size());
+  }
+
+  TreeSnapshot final_snap = store->Acquire();
+  Status st = final_snap.tree().CheckInvariants();
+  std::printf("final store: invariants %s, %zu venues, %zu nodes, "
+              "height %zu, version %llu\n",
+              st.ok() ? "OK" : st.ToString().c_str(),
+              final_snap.tree().num_pois(), final_snap.tree().num_nodes(),
+              final_snap.tree().height(),
+              static_cast<unsigned long long>(final_snap.version()));
   return st.ok() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "core/query_audit.h"
 #include "core/ranking.h"
 #include "core/scan_baseline.h"
+#include "core/sharded_store.h"
 #include "core/tar_tree.h"
 
 namespace tar::analysis {
@@ -249,6 +250,28 @@ Status RunQuerySoundnessCheck(const QueryCheckOptions& opt,
   TAR_RETURN_NOT_OK(BuildTestBed(opt, rng, &bed).WithContext(seed_label));
   const EpochGrid& grid = bed.options.grid;
 
+  // The sharded twin: the same data partitioned over N snapshot-isolated
+  // shards (the seed walks 1..4, covering the single-shard degenerate).
+  // The space is pinned to the bulk tree's query space so the shared
+  // fan-out context normalizes exactly like the unsharded processors even
+  // on the unconfigured-space seeds.
+  ShardedStoreOptions so;
+  so.num_shards = static_cast<std::size_t>(opt.seed % 4) + 1;
+  so.tree = bed.options;
+  so.tree.space = bed.bulk->QuerySpace();
+  std::unique_ptr<ShardedStore> sharded;
+  {
+    auto opened = ShardedStore::Open(so);
+    TAR_RETURN_NOT_OK(
+        opened.status().WithContext(seed_label + " sharded open"));
+    sharded = std::move(opened).ValueOrDie();
+    for (std::size_t i = 0; i < opt.num_pois; ++i) {
+      TAR_RETURN_NOT_OK(sharded->InsertPoi(bed.pois[i], bed.history[i])
+                            .WithContext("sharded insert"));
+    }
+  }
+  std::vector<std::vector<KnntaResult>> sharded_results(opt.num_queries);
+
   // One auditor per tree: certificates name node ids, which only resolve
   // in the tree that recorded them. Outside audited builds the auditors
   // stay empty and VerifyAll is a no-op.
@@ -284,6 +307,15 @@ Status RunQuerySoundnessCheck(const QueryCheckOptions& opt,
     ++rep->differential_checks;
     TAR_RETURN_NOT_OK(CompareResults(label, "streamed tree",
                                      streamed_results[qi], "scan", r_scan));
+    ++rep->differential_checks;
+    // Sharded fan-out/merge == bulk tree, bit for bit (the shared-context
+    // normalization contract). No audit sink here: prune certificates
+    // name node ids inside replicas the snapshot stores swap.
+    TAR_RETURN_NOT_OK(
+        sharded->Query(q, &sharded_results[qi]).WithContext(label));
+    TAR_RETURN_NOT_OK(CompareResults(label, "sharded store",
+                                     sharded_results[qi], "bulk tree",
+                                     bulk_results[qi]));
     ++rep->differential_checks;
 
     // --- Metamorphic: top-k is a prefix of top-(k+1). ---
@@ -488,6 +520,11 @@ Status RunQuerySoundnessCheck(const QueryCheckOptions& opt,
     if (extra.empty()) extra[bed.pois[0].id] = 7;
     TAR_RETURN_NOT_OK(bed.streamed->AppendEpoch(opt.num_epochs, extra)
                           .WithContext(seed_label + " extra epoch"));
+    // The sharded store digests the same batch: closed intervals must be
+    // invariant under appends there too, across the snapshot flip every
+    // shard performs when it publishes the new epoch.
+    TAR_RETURN_NOT_OK(sharded->AppendEpoch(opt.num_epochs, extra)
+                          .WithContext(seed_label + " sharded extra epoch"));
     const Timestamp cutoff = grid.EpochStart(opt.num_epochs);
     for (std::size_t qi = 0; qi < queries.size(); ++qi) {
       if (grid.AlignOutward(queries[qi].interval).end >= cutoff) continue;
@@ -501,6 +538,14 @@ Status RunQuerySoundnessCheck(const QueryCheckOptions& opt,
           seed_label + " query[" + std::to_string(qi) + "] " +
               FormatQuery(queries[qi]) + " after epoch append",
           "re-run", r, "original", streamed_results[qi]));
+      ++rep->metamorphic_checks;
+      std::vector<KnntaResult> rs;
+      TAR_RETURN_NOT_OK(sharded->Query(queries[qi], &rs)
+                            .WithContext(seed_label + " sharded re-append"));
+      TAR_RETURN_NOT_OK(CompareResults(
+          seed_label + " query[" + std::to_string(qi) + "] " +
+              FormatQuery(queries[qi]) + " after sharded epoch append",
+          "sharded re-run", rs, "original", sharded_results[qi]));
       ++rep->metamorphic_checks;
     }
   }

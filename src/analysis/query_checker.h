@@ -2,22 +2,25 @@
 // query-soundness oracle (the other half is the pruning-certificate
 // auditor in analysis/prune_audit.h).
 //
-// One seed deterministically expands into a dataset, three processors
+// One seed deterministically expands into a dataset, four processors
 // over it (a bulk-built TAR-tree, a streamed TAR-tree fed epoch by epoch,
-// and the ScanBaseline oracle) and a query workload. The checker then
-// asserts properties no correct implementation may violate:
+// a ShardedStore partitioning the same POIs over 1-4 snapshot-isolated
+// shards, and the ScanBaseline oracle) and a query workload. The checker
+// then asserts properties no correct implementation may violate:
 //
-//  differential — bulk tree, streamed tree and sequential scan agree
-//    bit-for-bit on every query result (same normalizer derivation, same
-//    score arithmetic, same documented tie-break), and collective
-//    processing agrees with individual processing;
+//  differential — bulk tree, streamed tree, sharded fan-out/merge and
+//    sequential scan agree bit-for-bit on every query result (same
+//    normalizer derivation, same score arithmetic, same documented
+//    tie-break), and collective processing agrees with individual
+//    processing;
 //
 //  metamorphic — top-k is a prefix of top-(k+1); alpha0 -> 1 degenerates
 //    to the pure-distance order and alpha0 -> 0 to the pure-aggregate
 //    order; MaxAggregate is exact against recomputed ground truth and
 //    monotone under interval widening; MWA pruning matches the
 //    enumerating baseline; appending an epoch outside a query's interval
-//    leaves its results bit-identical.
+//    leaves its results bit-identical (on the streamed tree and across
+//    the sharded store's snapshot publishes alike).
 //
 // In audited builds every tree query additionally runs under a
 // PruningAuditor whose certificates are proven before the check passes.

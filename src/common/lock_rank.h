@@ -37,8 +37,24 @@ enum class LockRank : std::uint16_t {
   /// Result/latency merge latch of the parallel-query worker pool.
   kParallelMerge = 100,
 
-  /// Reserved: per-tree writer exclusion for the sharded server (today
-  /// TarTree mutations use a debug CAS guard, not a Mutex).
+  /// ShardedServer ingestion queue (serve.ingest_queue). Never held across
+  /// a store call: the ingest thread pops under the latch, releases, then
+  /// applies.
+  kServeIngestQueue = 110,
+
+  /// ShardedServer rolling service stats (serve.stats): latency snapshot
+  /// and outcome counters. Taken briefly after a query completes, never
+  /// while any other latch is held.
+  kServeStats = 120,
+
+  /// ShardedStore cross-shard writer latch (sharded_store.writer): held
+  /// while a mutation or checkpoint walks the shards, so it must rank
+  /// below every per-shard snapshot.writer latch it acquires.
+  kShardedWriter = 140,
+
+  /// SnapshotStore per-shard writer latch (snapshot.writer): serializes
+  /// log-append, replica apply and publish. Held across WAL and storage
+  /// calls, hence below kWalWriter and the storage latches.
   kTarTreeWriter = 150,
 
   /// WalWriter's internal latch (group-commit buffer, LSN counter).

@@ -207,6 +207,25 @@ Status TarTree::Query(const KnntaQuery& query,
                       std::vector<KnntaResult>* results, AccessStats* stats,
                       QueryTrace* trace, QueryDeadline* deadline,
                       PartialResult* partial) const {
+  return QueryInternal(query, nullptr, results, stats, trace, deadline,
+                       partial);
+}
+
+Status TarTree::QueryWithContext(const KnntaQuery& query,
+                                 const QueryContext& ctx,
+                                 std::vector<KnntaResult>* results,
+                                 AccessStats* stats, QueryTrace* trace,
+                                 QueryDeadline* deadline,
+                                 PartialResult* partial) const {
+  return QueryInternal(query, &ctx, results, stats, trace, deadline, partial);
+}
+
+Status TarTree::QueryInternal(const KnntaQuery& query,
+                              const QueryContext* shared_ctx,
+                              std::vector<KnntaResult>* results,
+                              AccessStats* stats, QueryTrace* trace,
+                              QueryDeadline* deadline,
+                              PartialResult* partial) const {
   results->clear();
   if (partial != nullptr) *partial = PartialResult{};
   if (poisoned_) return PoisonedError("query");
@@ -234,8 +253,14 @@ Status TarTree::Query(const KnntaQuery& query,
   double cut_bound = -std::numeric_limits<double>::infinity();
 
   Status st = [&]() -> Status {
-    TAR_ASSIGN_OR_RETURN(QueryContext ctx,
-                         MakeContext(query, stats, trace, deadline));
+    // A shared context (sharded fan-out) is used verbatim: every shard must
+    // normalize with the same dmax/gmax or merged scores are incomparable.
+    QueryContext ctx;
+    if (shared_ctx != nullptr) {
+      ctx = *shared_ctx;
+    } else {
+      TAR_ASSIGN_OR_RETURN(ctx, MakeContext(query, stats, trace, deadline));
+    }
     TAR_AUDIT(BeginQuery(results, "knnta", ctx));
 
     QueryTrace::Phase* phase = nullptr;

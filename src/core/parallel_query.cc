@@ -20,6 +20,18 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+double EstimateRetryAfterMs(std::size_t backlog, std::size_t num_threads,
+                            double observed_query_ms, double deadline_ms) {
+  double per_query_ms = observed_query_ms;
+  if (per_query_ms <= 0.0) per_query_ms = deadline_ms;
+  if (per_query_ms <= 0.0) per_query_ms = kRetryHintFloorPerQueryMs;
+  const double threads =
+      static_cast<double>(std::max<std::size_t>(1, num_threads));
+  const double drain_ms =
+      static_cast<double>(backlog) * per_query_ms / threads;
+  return std::min(kRetryHintMaxMs, std::max(kRetryHintMinMs, drain_ms));
+}
+
 Status RunParallelQueries(const TarTree& tree,
                           const std::vector<KnntaQuery>& queries,
                           const ParallelQueryOptions& options,
@@ -43,10 +55,13 @@ Status RunParallelQueries(const TarTree& tree,
           ? std::min(queries.size(), options.max_queue_depth)
           : queries.size();
   if (admitted < queries.size()) {
-    const double per_query_ms = std::max(options.budget.deadline_ms, 1.0);
-    const auto retry_ms = static_cast<unsigned long long>(std::max(
-        1.0, static_cast<double>(admitted) * per_query_ms /
-                 static_cast<double>(options.num_threads)));
+    // The hint is the expected drain of the admitted backlog. On a first
+    // batch (no observed latency, maybe no deadline) the estimate used to
+    // degenerate to ~1 ms; EstimateRetryAfterMs floors and clamps it.
+    const auto retry_ms = static_cast<unsigned long long>(
+        EstimateRetryAfterMs(admitted, options.num_threads,
+                             options.observed_query_ms,
+                             options.budget.deadline_ms));
     char hint[96];
     std::snprintf(hint, sizeof(hint),
                   "admission queue full (depth %zu); retry-after-ms=%llu",
@@ -81,7 +96,8 @@ Status RunParallelQueries(const TarTree& tree,
                       "batch wall budget exhausted (%.0f ms); "
                       "retry-after-ms=%.0f",
                       options.batch_budget_ms,
-                      std::max(options.budget.deadline_ms, 1.0));
+                      EstimateRetryAfterMs(1, 1, options.observed_query_ms,
+                                           options.budget.deadline_ms));
         report->statuses[i] = Status::Unavailable(hint);
         continue;
       }

@@ -1,0 +1,253 @@
+#include "core/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "core/parallel_query.h"
+
+namespace tar {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(ShardedStore* store, const ServeOptions& options)
+    : store_(store), options_(options) {}
+
+ShardedServer::~ShardedServer() { Stop(); }
+
+void ShardedServer::Start() {
+  if (started_.exchange(true)) return;
+  stop_.store(false, std::memory_order_release);
+  ingest_thread_ = std::thread([this] { IngestLoop(); });
+}
+
+void ShardedServer::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  WaitForIngest();
+  stop_.store(true, std::memory_order_release);
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  started_.store(false, std::memory_order_release);
+}
+
+Status ShardedServer::Query(const KnntaQuery& query,
+                            std::vector<KnntaResult>* results) {
+  // Admission: claim a slot before doing any work; over the cap, shed
+  // with a drain estimate from the rolling observed latency (the PR-8
+  // contract — kUnavailable means "back off retry-after-ms, then retry").
+  const std::int64_t inflight =
+      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (options_.max_inflight > 0 &&
+      inflight > static_cast<std::int64_t>(options_.max_inflight)) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    double observed_ms = 0.0;
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.queries_shed;
+      observed_ms = stats_.latency.Mean() / 1000.0;
+    }
+    const double retry_ms = EstimateRetryAfterMs(
+        /*backlog=*/options_.max_inflight, /*num_threads=*/
+        options_.max_inflight, observed_ms, options_.budget.deadline_ms);
+    char hint[96];
+    std::snprintf(hint, sizeof(hint),
+                  "server at max-inflight (%zu); retry-after-ms=%.0f",
+                  options_.max_inflight, retry_ms);
+    results->clear();
+    return Status::Unavailable(hint);
+  }
+
+  const auto start = Clock::now();
+  QueryDeadline deadline(options_.budget, /*cancel=*/nullptr);
+  QueryDeadline* dptr = deadline.armed() ? &deadline : nullptr;
+  Status st = store_->Query(query, results, /*stats=*/nullptr, dptr);
+  const bool overlapped = write_in_flight_.load(std::memory_order_acquire);
+  const double micros = MillisSince(start) * 1000.0;
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  MutexLock lock(&stats_mu_);
+  if (st.ok()) {
+    ++stats_.queries_ok;
+    stats_.latency.Record(micros);
+    if (overlapped) ++stats_.reads_during_write;
+  } else {
+    ++stats_.queries_failed;
+  }
+  return st;
+}
+
+Status ShardedServer::SubmitEpoch(
+    std::int64_t epoch, std::unordered_map<PoiId, std::int64_t> aggs) {
+  MutexLock lock(&queue_mu_);
+  TAR_RETURN_NOT_OK(ingest_status_);
+  queue_.push_back(EpochBatch{epoch, std::move(aggs)});
+  ++queued_or_applying_;
+  return Status::OK();
+}
+
+void ShardedServer::WaitForIngest() {
+  for (;;) {
+    {
+      MutexLock lock(&queue_mu_);
+      if (queued_or_applying_ == 0 || !ingest_status_.ok()) return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ShardedServer::IngestLoop() {
+  std::uint64_t since_checkpoint = 0;
+  while (true) {
+    EpochBatch batch;
+    bool have = false;
+    {
+      MutexLock lock(&queue_mu_);
+      if (!queue_.empty() && ingest_status_.ok()) {
+        batch = std::move(queue_.front());
+        queue_.pop_front();
+        have = true;
+      }
+    }
+    if (!have) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      SleepMs(0.2);
+      continue;
+    }
+    // Apply outside the queue latch: AppendEpoch takes the cross-shard
+    // writer latch and can block on reader drain.
+    write_in_flight_.store(true, std::memory_order_release);
+    Status st = store_->AppendEpoch(batch.epoch, batch.aggs);
+    if (st.ok()) {
+      ++since_checkpoint;
+      if (options_.checkpoint_every > 0 &&
+          since_checkpoint >= options_.checkpoint_every &&
+          !store_->options().store_prefix.empty()) {
+        st = store_->Checkpoint();
+        if (st.ok()) {
+          since_checkpoint = 0;
+          MutexLock lock(&stats_mu_);
+          ++stats_.checkpoints;
+        }
+      }
+    }
+    write_in_flight_.store(false, std::memory_order_release);
+    if (st.ok()) {
+      MutexLock lock(&stats_mu_);
+      ++stats_.epochs_ingested;
+    }
+    MutexLock lock(&queue_mu_);
+    --queued_or_applying_;
+    if (!st.ok() && ingest_status_.ok()) ingest_status_ = st;
+  }
+}
+
+ServerStats ShardedServer::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+Status ShardedServer::ingest_status() const {
+  MutexLock lock(&queue_mu_);
+  return ingest_status_;
+}
+
+std::string MixedLoadReport::ToJson(const std::string& label,
+                                    std::size_t shards,
+                                    std::size_t reader_threads) const {
+  std::ostringstream out;
+  out << "{\"name\":\"" << label << "\""
+      << ",\"shards\":" << shards
+      << ",\"reader_threads\":" << reader_threads
+      << ",\"wall_ms\":" << wall_ms
+      << ",\"reads_ok\":" << reads_ok
+      << ",\"reads_shed\":" << reads_shed
+      << ",\"reads_failed\":" << reads_failed
+      << ",\"writes\":" << writes
+      << ",\"reads_during_write\":" << reads_during_write
+      << ",\"checkpoints\":" << checkpoints
+      << ",\"read_qps\":" << read_qps
+      << ",\"write_qps\":" << write_qps
+      << ",\"read_latency\":" << read_latency.ToJson() << "}";
+  return out.str();
+}
+
+Status RunMixedLoad(ShardedServer* server, const MixedLoadOptions& options,
+                    MixedLoadReport* report) {
+  *report = MixedLoadReport{};
+  if (options.queries.empty()) {
+    return Status::InvalidArgument("mixed load needs at least one query");
+  }
+  if (options.reader_threads == 0) {
+    return Status::InvalidArgument("reader_threads must be >= 1");
+  }
+  const ServerStats before = server->stats();
+  const auto start = Clock::now();
+  std::atomic<bool> done{false};
+
+  // The paced write stream: cycle the batches with strictly increasing
+  // epoch indices so every submission digests a fresh epoch.
+  std::thread writer([&] {
+    std::int64_t epoch = options.first_epoch;
+    std::size_t i = 0;
+    while (!done.load(std::memory_order_acquire) &&
+           !options.epoch_batches.empty()) {
+      Status st = server->SubmitEpoch(
+          epoch++, options.epoch_batches[i % options.epoch_batches.size()]);
+      if (!st.ok()) break;  // ingestion died; readers keep going
+      ++i;
+      SleepMs(options.write_interval_ms);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(options.reader_threads);
+  for (std::size_t t = 0; t < options.reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<KnntaResult> results;
+      std::size_t i = t;  // stagger the starting query per thread
+      while (MillisSince(start) < options.duration_ms) {
+        (void)server->Query(options.queries[i % options.queries.size()],
+                            &results);
+        ++i;
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  done.store(true, std::memory_order_release);
+  writer.join();
+  server->WaitForIngest();
+  report->wall_ms = MillisSince(start);
+
+  const ServerStats after = server->stats();
+  report->reads_ok = after.queries_ok - before.queries_ok;
+  report->reads_shed = after.queries_shed - before.queries_shed;
+  report->reads_failed = after.queries_failed - before.queries_failed;
+  report->writes = after.epochs_ingested - before.epochs_ingested;
+  report->reads_during_write =
+      after.reads_during_write - before.reads_during_write;
+  report->checkpoints = after.checkpoints - before.checkpoints;
+  report->read_latency = after.latency;
+  if (report->wall_ms > 0.0) {
+    report->read_qps =
+        1e3 * static_cast<double>(report->reads_ok) / report->wall_ms;
+    report->write_qps =
+        1e3 * static_cast<double>(report->writes) / report->wall_ms;
+  }
+  return server->ingest_status();
+}
+
+}  // namespace tar

@@ -1,0 +1,222 @@
+#include "core/sharded_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "core/ranking.h"
+#include "temporal/tia.h"
+
+namespace tar {
+
+namespace {
+
+/// gx as close to sqrt(n) as exactly divides n, so the grid is gx x (n/gx)
+/// with no leftover cells.
+std::size_t GridColumns(std::size_t n) {
+  std::size_t gx = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  if (gx == 0) gx = 1;
+  while (n % gx != 0) --gx;
+  return gx;
+}
+
+}  // namespace
+
+ShardedStore::ShardedStore(const ShardedStoreOptions& options)
+    : options_(options) {}
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    const ShardedStoreOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (options.tree.space.empty()) {
+    return Status::InvalidArgument(
+        "sharded store requires a configured space: it is the partition "
+        "domain and the shared spatial normalizer");
+  }
+  std::unique_ptr<ShardedStore> store(new ShardedStore(options));
+  store->gx_ = GridColumns(options.num_shards);
+  store->gy_ = options.num_shards / store->gx_;
+  for (std::size_t i = 0; i < options.num_shards; ++i) {
+    SnapshotStoreOptions shard;
+    shard.tree = options.tree;
+    shard.wal = options.wal;
+    shard.load = options.load;
+    if (!options.store_prefix.empty()) {
+      const std::string base =
+          options.store_prefix + ".shard" + std::to_string(i);
+      shard.snapshot_path = base + ".snapshot";
+      shard.wal_path = base + ".wal";
+    }
+    auto opened = SnapshotStore::Open(shard);
+    TAR_RETURN_NOT_OK(opened.status());
+    store->shards_.push_back(std::move(opened).ValueOrDie());
+  }
+  MutexLock lock(&store->writer_mu_);
+  TAR_RETURN_NOT_OK(store->RebuildRouting());
+  return store;
+}
+
+Status ShardedStore::RebuildRouting() {
+  poi_shard_.clear();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    TreeSnapshot snap = shards_[i]->Acquire();
+    const TarTree& tree = snap.tree();
+    if (tree.root() == TarTree::kInvalidNodeId) continue;
+    std::function<Status(TarTree::NodeId)> walk =
+        [&](TarTree::NodeId id) -> Status {
+      const TarTree::Node& node = tree.node(id);
+      for (const TarTree::Entry& e : node.entries) {
+        if (node.is_leaf()) {
+          auto [it, inserted] =
+              poi_shard_.emplace(e.poi, static_cast<std::uint32_t>(i));
+          if (!inserted) {
+            return Status::Corruption("POI indexed by two shards");
+          }
+        } else {
+          TAR_RETURN_NOT_OK(walk(e.child));
+        }
+      }
+      return Status::OK();
+    };
+    TAR_RETURN_NOT_OK(walk(tree.root()));
+  }
+  return Status::OK();
+}
+
+std::size_t ShardedStore::ShardOf(const Vec2& pos) const {
+  const Box2& space = options_.tree.space;
+  const double wx = space.hi[0] - space.lo[0];
+  const double wy = space.hi[1] - space.lo[1];
+  auto cell = [](double offset, double width, std::size_t n) -> std::size_t {
+    if (width <= 0.0 || n <= 1) return 0;
+    const double f = offset / width * static_cast<double>(n);
+    if (f <= 0.0) return 0;
+    const std::size_t c = static_cast<std::size_t>(f);
+    return std::min(c, n - 1);  // boundary/outside positions clamp inward
+  };
+  const std::size_t cx = cell(pos.x - space.lo[0], wx, gx_);
+  const std::size_t cy = cell(pos.y - space.lo[1], wy, gy_);
+  return cy * gx_ + cx;
+}
+
+Status ShardedStore::InsertPoi(const Poi& poi,
+                               const std::vector<std::int32_t>& history) {
+  const std::size_t shard = ShardOf(poi.pos);
+  MutexLock lock(&writer_mu_);
+  if (poi_shard_.count(poi.id) != 0) {
+    return Status::AlreadyExists("POI already indexed");
+  }
+  TAR_RETURN_NOT_OK(shards_[shard]->InsertPoi(poi, history));
+  poi_shard_[poi.id] = static_cast<std::uint32_t>(shard);
+  return Status::OK();
+}
+
+Status ShardedStore::AppendEpoch(
+    std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
+  MutexLock lock(&writer_mu_);
+  // Validate the whole batch before any shard mutates, so a bad batch is
+  // all-or-nothing across shards (mirrors TarTree::PrevalidateEpoch).
+  if (epoch < 0) return Status::InvalidArgument("negative epoch index");
+  const TimeInterval extent = options_.tree.grid.EpochExtent(epoch);
+  std::vector<std::unordered_map<PoiId, std::int64_t>> split(shards_.size());
+  for (const auto& [poi, agg] : aggs) {
+    if (agg <= 0) continue;
+    auto it = poi_shard_.find(poi);
+    if (it == poi_shard_.end()) {
+      return Status::InvalidArgument("epoch batch contains unknown POI");
+    }
+    TAR_RETURN_NOT_OK(Tia::CheckPackable(extent, agg));
+    split[it->second][poi] = agg;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (split[i].empty()) continue;  // nothing for this shard this epoch
+    TAR_RETURN_NOT_OK(shards_[i]->AppendEpoch(epoch, split[i]));
+  }
+  return Status::OK();
+}
+
+Status ShardedStore::Checkpoint() {
+  MutexLock lock(&writer_mu_);
+  for (auto& shard : shards_) {
+    TAR_RETURN_NOT_OK(shard->Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status ShardedStore::Flush() {
+  MutexLock lock(&writer_mu_);
+  for (auto& shard : shards_) {
+    TAR_RETURN_NOT_OK(shard->Flush());
+  }
+  return Status::OK();
+}
+
+std::size_t ShardedStore::num_pois() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->Acquire().tree().num_pois();
+  }
+  return total;
+}
+
+Status ShardedStore::Query(const KnntaQuery& query,
+                           std::vector<KnntaResult>* results,
+                           AccessStats* stats,
+                           QueryDeadline* deadline) const {
+  results->clear();
+  // Same validation, in the same order, as TarTree::Query.
+  if (query.k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.alpha0 <= 0.0 || query.alpha0 >= 1.0) {
+    return Status::InvalidArgument("alpha0 must be in (0, 1)");
+  }
+  if (!query.interval.Valid()) {
+    return Status::InvalidArgument("invalid query interval");
+  }
+
+  // Pin one snapshot per shard up front: the fan-out reads a coherent
+  // cut while writers keep publishing new versions underneath.
+  std::vector<TreeSnapshot> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& shard : shards_) snaps.push_back(shard->Acquire());
+
+  // One shared context for every shard (see the file comment): dmax from
+  // the common configured space, gmax from the global maximum aggregate.
+  TarTree::QueryContext ctx;
+  ctx.q = query.point;
+  ctx.interval = options_.tree.grid.AlignOutward(query.interval);
+  ctx.alpha0 = query.alpha0;
+  ctx.alpha1 = 1.0 - query.alpha0;
+  ctx.dmax = SpatialNormalizer(options_.tree.space);
+  std::int64_t gmax = 0;
+  for (const TreeSnapshot& snap : snaps) {
+    auto shard_max = snap.tree().MaxAggregate(ctx.interval, stats, deadline);
+    TAR_RETURN_NOT_OK(shard_max.status());
+    gmax = std::max(gmax, shard_max.ValueOrDie());
+  }
+  ctx.gmax = AggregateNormalizer(gmax);
+
+  // Per-shard top-k suffices: every member of the global top-k is in its
+  // own shard's top-k (scores only depend on the shared context).
+  std::vector<KnntaResult> merged;
+  for (const TreeSnapshot& snap : snaps) {
+    std::vector<KnntaResult> part;
+    TAR_RETURN_NOT_OK(snap.tree().QueryWithContext(query, ctx, &part, stats,
+                                                   /*trace=*/nullptr,
+                                                   deadline,
+                                                   /*partial=*/nullptr));
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const KnntaResult& a, const KnntaResult& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.poi < b.poi;  // the uniform tie-break (PR 7)
+            });
+  if (merged.size() > query.k) merged.resize(query.k);
+  *results = std::move(merged);
+  return Status::OK();
+}
+
+}  // namespace tar

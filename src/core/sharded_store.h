@@ -1,0 +1,132 @@
+// Sharded TAR-tree store: N snapshot-isolated shards over a grid
+// partition of the data space, with a kNNTA fan-out/merge that is
+// bit-identical to one unsharded tree.
+//
+// Partitioning: the configured space is cut into gx x gy equal grid
+// cells (gx * gy == num_shards exactly), HBase-hybrid-index style; a POI
+// belongs to the cell containing its position, clamped to the edge cells
+// for positions on or outside the boundary. Spatial cells keep each
+// shard's R-tree compact, but correctness never depends on the
+// partition: any POI->shard assignment merges to the same answer.
+//
+// Merge correctness: every shard scores entries with ONE shared
+// QueryContext (TarTree::QueryWithContext) whose gmax is the global
+// maximum over all shards and whose dmax comes from the shared
+// configured space. Leaf scores are pure functions of (context, POI
+// data), so each shard's top-k is exactly the unsharded tree's answer
+// restricted to that shard's POIs; merging the per-shard lists with the
+// uniform (score, poi_id) tie-break and truncating to k reproduces the
+// unsharded ranking bit for bit. A per-shard context would silently
+// break this — each shard would normalize aggregates by its local
+// maximum, and merged scores would not be comparable (the shard-merge
+// bug this design exists to prevent).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/tar_tree.h"
+#include "storage/snapshot_store.h"
+
+namespace tar {
+
+/// \brief Construction parameters for a ShardedStore.
+struct ShardedStoreOptions {
+  /// Number of shards (= grid cells). The grid is gx x gy with
+  /// gx * gy == num_shards, gx as close to sqrt(num_shards) as divides it.
+  std::size_t num_shards = 4;
+
+  /// Per-shard tree parameters. `tree.space` must be non-empty: it is
+  /// both the partition domain and the shared spatial normalizer.
+  TarTreeOptions tree;
+
+  /// Non-empty = durable: shard i persists to
+  /// `<store_prefix>.shard<i>.snapshot` / `.shard<i>.wal`.
+  std::string store_prefix;
+
+  /// WAL group-commit knobs (per shard).
+  WalWriterOptions wal;
+
+  /// Verification policy when recovering existing shard snapshots.
+  TarTree::LoadOptions load;
+};
+
+/// \brief The sharded store; see the file comment.
+///
+/// Thread safety: Query is const and safe from any number of threads
+/// concurrently with mutations (each shard serves reads from a pinned
+/// snapshot). Mutations serialize on an internal cross-shard latch.
+class ShardedStore {
+ public:
+  static Result<std::unique_ptr<ShardedStore>> Open(
+      const ShardedStoreOptions& options);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const ShardedStoreOptions& options() const { return options_; }
+
+  /// Grid cell (= shard index) owning position `pos`.
+  std::size_t ShardOf(const Vec2& pos) const;
+
+  /// Routes the POI to its spatial shard.
+  Status InsertPoi(const Poi& poi,
+                   const std::vector<std::int32_t>& history = {});
+
+  /// Splits the epoch batch by shard and applies each sub-batch. The
+  /// whole batch is validated up front so a bad batch mutates nothing.
+  Status AppendEpoch(std::int64_t epoch,
+                     const std::unordered_map<PoiId, std::int64_t>& aggs);
+
+  /// Checkpoints every shard (durable stores only).
+  Status Checkpoint();
+
+  /// Syncs every shard's WAL.
+  Status Flush();
+
+  /// kNNTA over all shards: pins one snapshot per shard, builds the
+  /// shared context, fans out, merges with the (score, poi_id)
+  /// tie-break. `deadline` is shared across the fan-out, so its budgets
+  /// bound the whole query, not each shard.
+  Status Query(const KnntaQuery& query, std::vector<KnntaResult>* results,
+               AccessStats* stats = nullptr,
+               QueryDeadline* deadline = nullptr) const;
+
+  /// Total POIs across one coherent set of shard snapshots.
+  std::size_t num_pois() const;
+
+  /// Direct access to a shard (tests, checkpoint tooling).
+  SnapshotStore* shard(std::size_t i) { return shards_[i].get(); }
+  const SnapshotStore* shard(std::size_t i) const { return shards_[i].get(); }
+
+ private:
+  explicit ShardedStore(const ShardedStoreOptions& options);
+
+  /// Re-derives the POI->shard routing map from recovered shard trees.
+  Status RebuildRouting() TAR_REQUIRES(writer_mu_);
+
+  const ShardedStoreOptions options_;
+  /// Grid shape is fixed in Open before the store is published.
+  // tar-lint: allow(guarded-by) set once before publication, then const
+  std::size_t gx_ = 1;
+  // tar-lint: allow(guarded-by) set once before publication, then const
+  std::size_t gy_ = 1;
+  /// Shard handles are set once in Open and immutable afterwards; all
+  /// concurrency is inside SnapshotStore.
+  // tar-lint: allow(guarded-by) set once before publication, then const
+  std::vector<std::unique_ptr<SnapshotStore>> shards_;
+
+  mutable Mutex writer_mu_{LockRank::kShardedWriter, "sharded_store.writer"};
+  /// Routing map for AppendEpoch (ids only; positions live in the trees).
+  std::unordered_map<PoiId, std::uint32_t> poi_shard_
+      TAR_GUARDED_BY(writer_mu_);
+};
+
+}  // namespace tar

@@ -215,6 +215,31 @@ Status TarTree::PrevalidateEpoch(
   return Status::OK();
 }
 
+Status TarTree::PrevalidateRecord(const WalRecord& record) const {
+  if (poisoned_) return PoisonedError("prevalidate");
+  switch (record.type) {
+    case WalRecord::Type::kCheckpoint:
+      return Status::OK();
+    case WalRecord::Type::kInsertPoi: {
+      TAR_RETURN_NOT_OK(
+          PrevalidateInsert(Poi{record.poi, Vec2{record.x, record.y}}));
+      for (std::size_t e = 0; e < record.history.size(); ++e) {
+        if (record.history[e] <= 0) continue;
+        TAR_RETURN_NOT_OK(Tia::CheckPackable(options_.grid.EpochExtent(e),
+                                             record.history[e]));
+      }
+      return Status::OK();
+    }
+    case WalRecord::Type::kAppendEpoch: {
+      std::unordered_map<PoiId, std::int64_t> aggs;
+      aggs.reserve(record.aggs.size());
+      for (const auto& [poi, agg] : record.aggs) aggs[poi] = agg;
+      return PrevalidateEpoch(record.epoch, aggs);
+    }
+  }
+  return Status::InvalidArgument("unknown WAL record type");
+}
+
 Status TarTree::InsertPoi(const Poi& poi,
                           const std::vector<std::int32_t>& history) {
   SingleWriterGuard guard(this);

@@ -212,6 +212,14 @@ class TarTree {
                QueryDeadline* deadline = nullptr,
                PartialResult* partial = nullptr) const;
 
+  /// Validates a WAL record against the current tree state without
+  /// applying it, mirroring what the logged front doors check before
+  /// appending. The snapshot store calls this before logging a record it
+  /// will apply to both replicas itself — a record that fails semantic
+  /// validation must never reach the log (log-before-mutate requires every
+  /// logged record to replay cleanly). Checkpoint markers always pass.
+  Status PrevalidateRecord(const WalRecord& record) const;
+
   // --- Introspection (cost analysis, MWA, collective processing, tests) ---
 
   /// Normalization and alignment shared by all query-processing code.
@@ -236,6 +244,20 @@ class TarTree {
                                    AccessStats* stats = nullptr,
                                    QueryTrace* trace = nullptr,
                                    QueryDeadline* deadline = nullptr) const;
+
+  /// Query with a caller-supplied context instead of MakeContext. The
+  /// sharded fan-out (core/sharded_store.h) uses this to normalize every
+  /// shard with one shared dmax/gmax: per-shard contexts would make the
+  /// merged scores incomparable and break bit-equality with an unsharded
+  /// tree. `ctx.interval` is used as-is (the caller aligned it once);
+  /// everything else — validation, audit hooks, tracing, partial
+  /// conversion, metrics — behaves exactly like Query.
+  Status QueryWithContext(const KnntaQuery& query, const QueryContext& ctx,
+                          std::vector<KnntaResult>* results,
+                          AccessStats* stats = nullptr,
+                          QueryTrace* trace = nullptr,
+                          QueryDeadline* deadline = nullptr,
+                          PartialResult* partial = nullptr) const;
 
   /// Maximum aggregate of any single POI over `iq` (0 on an empty tree or
   /// an interval with no check-ins). Exact; runs a best-first search
@@ -402,6 +424,14 @@ class TarTree {
   Status AppendEpochUnlogged(
       std::int64_t epoch,
       const std::unordered_map<PoiId, std::int64_t>& aggs);
+
+  /// Shared implementation of Query/QueryWithContext: `shared_ctx` null
+  /// means build the context with MakeContext (inside the partial-
+  /// conversion scope, exactly as before the split).
+  Status QueryInternal(const KnntaQuery& query, const QueryContext* shared_ctx,
+                       std::vector<KnntaResult>* results, AccessStats* stats,
+                       QueryTrace* trace, QueryDeadline* deadline,
+                       PartialResult* partial) const;
 
   /// MaxAggregate with per-phase trace accounting: heap traffic and TIA
   /// time go to `phase` when non-null (stats go to `stats` as usual).

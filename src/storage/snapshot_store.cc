@@ -1,0 +1,191 @@
+#include "storage/snapshot_store.h"
+
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "core/recovery.h"
+
+namespace tar {
+
+void TreeSnapshot::Release() {
+  if (store_ == nullptr) return;
+  store_->slots_[slot_].readers.fetch_sub(1, std::memory_order_release);
+  store_ = nullptr;
+  tree_ = nullptr;
+}
+
+SnapshotStore::SnapshotStore(const SnapshotStoreOptions& options)
+    : options_(options) {}
+
+SnapshotStore::~SnapshotStore() {
+  // Outliving snapshots would dereference freed replicas.
+  TAR_DCHECK(slots_[0].readers.load(std::memory_order_acquire) == 0);
+  TAR_DCHECK(slots_[1].readers.load(std::memory_order_acquire) == 0);
+}
+
+Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
+    const SnapshotStoreOptions& options) {
+  if (options.snapshot_path.empty() != options.wal_path.empty()) {
+    return Status::InvalidArgument(
+        "snapshot_path and wal_path must be set together");
+  }
+  std::unique_ptr<SnapshotStore> store(new SnapshotStore(options));
+  MutexLock lock(&store->writer_mu_);
+  const bool durable = !options.wal_path.empty();
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    if (durable &&
+        std::ifstream(options.snapshot_path, std::ios::binary).is_open()) {
+      // Both replicas replay the same snapshot + log: replay is
+      // deterministic and idempotent by LSN, so they converge on the
+      // same state (the PR-5 double-replay guarantee).
+      auto recovered =
+          Recover(options.snapshot_path, options.wal_path, options.load);
+      TAR_RETURN_NOT_OK(recovered.status());
+      store->slots_[s].tree = std::move(recovered).ValueOrDie();
+    } else {
+      auto tree = std::make_unique<TarTree>(options.tree);
+      if (durable &&
+          std::ifstream(options.wal_path, std::ios::binary).is_open()) {
+        // Crash before the first checkpoint: no snapshot file yet, but
+        // the log may hold mutations. Replay its valid prefix.
+        auto opened = WalReader::Open(options.wal_path);
+        TAR_RETURN_NOT_OK(opened.status());
+        std::unique_ptr<WalReader> reader = std::move(opened).ValueOrDie();
+        WalRecord record;
+        while (reader->Next(&record)) {
+          TAR_RETURN_NOT_OK(tree->ApplyWalRecord(record));
+        }
+      }
+      store->slots_[s].tree = std::move(tree);
+    }
+  }
+  if (durable) {
+    auto wal = WalWriter::Open(options.wal_path, options.wal,
+                               store->slots_[0].tree->applied_lsn());
+    TAR_RETURN_NOT_OK(wal.status());
+    store->wal_ = std::move(wal).ValueOrDie();
+  }
+  return store;
+}
+
+TreeSnapshot SnapshotStore::Acquire() const {
+  for (;;) {
+    const std::uint32_t s = live_.load(std::memory_order_acquire);
+    slots_[s].readers.fetch_add(1, std::memory_order_acq_rel);
+    if (live_.load(std::memory_order_acquire) == s) {
+      TreeSnapshot snap;
+      snap.store_ = this;
+      snap.tree_ = slots_[s].tree.get();
+      snap.slot_ = s;
+      // Per-slot, not the global counter: the writer may have published a
+      // newer version on the other replica since we pinned this one.
+      snap.version_ = slots_[s].version.load(std::memory_order_acquire);
+      return snap;
+    }
+    // Lost the race with a publish: the writer may already be mutating
+    // this replica behind the drain it observed. Unpin without ever
+    // having dereferenced the tree and retry on the new live slot.
+    slots_[s].readers.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void SnapshotStore::WaitForDrain(std::uint32_t slot) const {
+  // Terminates: `live_` no longer names `slot` at every call site (either
+  // it points at the other replica, or — for the pre-publish standby
+  // drain — it never did), so only pre-flip stragglers hold pins and
+  // each unpin is permanent.
+  while (slots_[slot].readers.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+Status SnapshotStore::ApplyBoth(WalRecord record) {
+  TAR_RETURN_NOT_OK(dead_);
+  const std::uint32_t old_live = live_.load(std::memory_order_acquire);
+  const std::uint32_t standby = 1u - old_live;
+  // Prevalidate before logging: every logged record must replay cleanly
+  // on both replicas, or a semantic rejection would poison them.
+  TAR_RETURN_NOT_OK(slots_[standby].tree->PrevalidateRecord(record));
+  if (wal_ != nullptr) {
+    TAR_ASSIGN_OR_RETURN(record.lsn, wal_->Append(record));
+  } else {
+    record.lsn = next_lsn_++;
+  }
+  // The standby is invisible to new readers, but a straggler that pinned
+  // it before the previous publish may still be reading it.
+  WaitForDrain(standby);
+  Status st = slots_[standby].tree->ApplyWalRecord(record);
+  if (!st.ok()) {
+    dead_ = st.WithContext("snapshot store: standby apply failed");
+    return dead_;
+  }
+  // Publish: readers switch to the freshly mutated replica; stragglers
+  // drain off the old one, after which it is caught up with the same
+  // record so the next mutation finds an identical standby.
+  ++next_version_;
+  slots_[standby].version.store(next_version_, std::memory_order_release);
+  live_.store(standby, std::memory_order_release);
+  version_.store(next_version_, std::memory_order_release);
+  WaitForDrain(old_live);
+  st = slots_[old_live].tree->ApplyWalRecord(record);
+  if (!st.ok()) {
+    dead_ = st.WithContext("snapshot store: catch-up apply failed");
+    return dead_;
+  }
+  return Status::OK();
+}
+
+Status SnapshotStore::InsertPoi(const Poi& poi,
+                                const std::vector<std::int32_t>& history) {
+  MutexLock lock(&writer_mu_);
+  return ApplyBoth(
+      WalRecord::MakeInsertPoi(poi.id, poi.pos.x, poi.pos.y, history));
+}
+
+Status SnapshotStore::AppendEpoch(
+    std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
+  std::vector<std::pair<std::uint32_t, std::int64_t>> pairs;
+  pairs.reserve(aggs.size());
+  for (const auto& [poi, agg] : aggs) {
+    if (agg > 0) pairs.emplace_back(poi, agg);
+  }
+  MutexLock lock(&writer_mu_);
+  return ApplyBoth(WalRecord::MakeAppendEpoch(epoch, std::move(pairs)));
+}
+
+Status SnapshotStore::Checkpoint() {
+  MutexLock lock(&writer_mu_);
+  TAR_RETURN_NOT_OK(dead_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("in-memory store cannot checkpoint");
+  }
+  // The standby replica is fully caught up (ApplyBoth leaves both
+  // replicas identical) and invisible to new readers; after the drain it
+  // is a quiescent copy to serialize, so reads continue on the live
+  // replica throughout the checkpoint.
+  const std::uint32_t standby = 1u - live_.load(std::memory_order_acquire);
+  WaitForDrain(standby);
+  return ::tar::Checkpoint(*slots_[standby].tree, options_.snapshot_path,
+                           wal_.get());
+}
+
+Status SnapshotStore::Flush() {
+  MutexLock lock(&writer_mu_);
+  TAR_RETURN_NOT_OK(dead_);
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+Status SnapshotStore::dead_status() const {
+  MutexLock lock(&writer_mu_);
+  return dead_;
+}
+
+Lsn SnapshotStore::applied_lsn() const {
+  TreeSnapshot snap = Acquire();
+  return snap.tree().applied_lsn();
+}
+
+}  // namespace tar

@@ -89,8 +89,12 @@ class IngestRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
     fail::FaultInjector::Global().Clear();
-    snap_ = ::testing::TempDir() + "/ingest_recovery.tart";
-    wal_ = ::testing::TempDir() + "/ingest_recovery.wal";
+    // Unique per test: ctest runs sibling tests as concurrent processes,
+    // so a shared path would let them clobber each other's files.
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    snap_ = ::testing::TempDir() + "/ingest_recovery_" + name + ".tart";
+    wal_ = ::testing::TempDir() + "/ingest_recovery_" + name + ".wal";
     std::remove(snap_.c_str());
     std::remove(wal_.c_str());
   }

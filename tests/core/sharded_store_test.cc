@@ -1,0 +1,314 @@
+// Sharded store: grid routing, all-or-nothing cross-shard batches, and
+// the merge-correctness contract — the sharded fan-out answers every
+// query bit-identically to one unsharded tree, including duplicate-score
+// ties straddling shard boundaries (the shard-merge bug this PR fixes:
+// per-shard normalizers would make merged scores incomparable).
+#include "core/sharded_store.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/tar_tree.h"
+
+namespace tar {
+namespace {
+
+constexpr Timestamp kEpochLen = 7 * kSecondsPerDay;
+
+TarTreeOptions TreeOptions() {
+  TarTreeOptions opt;
+  opt.node_size_bytes = 512;
+  opt.grid = EpochGrid(0, kEpochLen);
+  opt.space =
+      Box2::Union(Box2::FromPoint({0, 0}), Box2::FromPoint({100, 100}));
+  return opt;
+}
+
+ShardedStoreOptions StoreOptions(std::size_t shards) {
+  ShardedStoreOptions opt;
+  opt.num_shards = shards;
+  opt.tree = TreeOptions();
+  return opt;
+}
+
+std::unique_ptr<ShardedStore> OpenStore(std::size_t shards) {
+  auto opened = ShardedStore::Open(StoreOptions(shards));
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(opened).ValueOrDie();
+}
+
+std::vector<std::int32_t> MakeHistory(PoiId id, int epochs) {
+  std::vector<std::int32_t> h(epochs);
+  for (int e = 0; e < epochs; ++e) {
+    h[e] = static_cast<std::int32_t>((id * 7 + e * 3) % 20 + 1);
+  }
+  return h;
+}
+
+/// A fixture whose POIs include mirror pairs around the space center:
+/// equal distance from (50, 50) and identical histories, so their scores
+/// are bit-identical while a 2x2 (or finer) grid routes them to
+/// different shards. The merged ranking must break these ties by poi_id
+/// exactly like the unsharded tree does.
+struct Fixture {
+  std::vector<Poi> pois;
+  std::vector<std::vector<std::int32_t>> histories;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  PoiId next = 1;
+  // Four mirror pairs: same center distance, same history -> same score.
+  const double mirrors[][4] = {{30, 30, 70, 70},
+                               {30, 70, 70, 30},
+                               {20, 50, 80, 50},
+                               {50, 15, 50, 85}};
+  for (const double* m : mirrors) {
+    const std::vector<std::int32_t> shared = MakeHistory(next, 6);
+    f.pois.push_back(Poi{next, {m[0], m[1]}});
+    f.histories.push_back(shared);
+    ++next;
+    f.pois.push_back(Poi{next, {m[2], m[3]}});
+    f.histories.push_back(shared);
+    ++next;
+  }
+  // Background population scattered over all quadrants.
+  for (int i = 0; i < 40; ++i) {
+    Poi p{next, {static_cast<double>((i * 37 + 11) % 100),
+                 static_cast<double>((i * 61 + 29) % 100)}};
+    f.pois.push_back(p);
+    f.histories.push_back(MakeHistory(next, 6));
+    ++next;
+  }
+  return f;
+}
+
+std::vector<KnntaQuery> ProbeQueries() {
+  std::vector<KnntaQuery> queries;
+  // The center query sees every mirror pair as an exact tie.
+  for (double alpha0 : {0.3, 0.5, 0.7}) {
+    KnntaQuery q;
+    q.point = {50.0, 50.0};
+    q.interval = {0, 6 * kEpochLen - 1};
+    q.k = 20;
+    q.alpha0 = alpha0;
+    queries.push_back(q);
+  }
+  // Off-center and sub-interval probes.
+  for (int i = 0; i < 8; ++i) {
+    KnntaQuery q;
+    q.point = {static_cast<double>((i * 31) % 100),
+               static_cast<double>((i * 17) % 100)};
+    const std::int64_t first = i % 4;
+    q.interval = {first * kEpochLen, (first + 2) * kEpochLen - 1};
+    q.k = 1 + i;
+    q.alpha0 = 0.2 + 0.1 * (i % 6);
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void ExpectBitIdentical(const std::vector<KnntaResult>& got,
+                        const std::vector<KnntaResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].poi, want[i].poi) << "rank " << i;
+    EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(double)), 0)
+        << "rank " << i;
+    EXPECT_EQ(std::memcmp(&got[i].dist, &want[i].dist, sizeof(double)), 0)
+        << "rank " << i;
+    EXPECT_EQ(got[i].aggregate, want[i].aggregate) << "rank " << i;
+  }
+}
+
+TEST(ShardedStoreTest, MergedRankingMatchesUnshardedTreeBitExactly) {
+  const Fixture f = MakeFixture();
+  TarTree reference(TreeOptions());
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(reference.InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+
+  for (std::size_t shards : {1u, 2u, 3u, 4u, 6u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    std::unique_ptr<ShardedStore> store = OpenStore(shards);
+    for (std::size_t i = 0; i < f.pois.size(); ++i) {
+      ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+    }
+    ASSERT_EQ(store->num_pois(), f.pois.size());
+
+    for (const KnntaQuery& q : ProbeQueries()) {
+      std::vector<KnntaResult> want;
+      std::vector<KnntaResult> got;
+      ASSERT_TRUE(reference.Query(q, &want).ok());
+      ASSERT_TRUE(store->Query(q, &got).ok());
+      ExpectBitIdentical(got, want);
+    }
+  }
+}
+
+TEST(ShardedStoreTest, CrossShardTieBreaksByPoiIdInTheMergedRanking) {
+  const Fixture f = MakeFixture();
+  std::unique_ptr<ShardedStore> store = OpenStore(4);
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+  // The mirror pairs straddle shards by construction.
+  ASSERT_NE(store->ShardOf({30, 30}), store->ShardOf({70, 70}));
+
+  KnntaQuery q;
+  q.point = {50.0, 50.0};
+  q.interval = {0, 6 * kEpochLen - 1};
+  q.k = f.pois.size();
+  q.alpha0 = 0.4;
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(store->Query(q, &results).ok());
+  ASSERT_EQ(results.size(), f.pois.size());
+
+  // Each mirror pair (2i-1, 2i) is an exact score tie; the merged
+  // ranking must place them adjacently in ascending poi_id order.
+  for (PoiId lo = 1; lo <= 8; lo += 2) {
+    std::size_t lo_at = results.size();
+    std::size_t hi_at = results.size();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].poi == lo) lo_at = i;
+      if (results[i].poi == lo + 1) hi_at = i;
+    }
+    ASSERT_LT(lo_at, results.size());
+    ASSERT_LT(hi_at, results.size());
+    EXPECT_EQ(std::memcmp(&results[lo_at].score, &results[hi_at].score,
+                          sizeof(double)),
+              0)
+        << "pair " << lo;
+    EXPECT_EQ(hi_at, lo_at + 1) << "tie not broken by poi_id, pair " << lo;
+  }
+}
+
+TEST(ShardedStoreTest, ServesQueriesWithEmptyAndMissingShards) {
+  // All POIs in one quadrant: three of the four shards stay empty.
+  std::unique_ptr<ShardedStore> store = OpenStore(4);
+  for (PoiId id = 1; id <= 5; ++id) {
+    Poi p{id, {5.0 + id, 5.0 + id}};
+    ASSERT_TRUE(store->InsertPoi(p, MakeHistory(id, 3)).ok());
+  }
+  KnntaQuery q;
+  q.point = {90.0, 90.0};  // lands in an empty shard
+  q.interval = {0, 3 * kEpochLen - 1};
+  q.k = 10;  // more than the store holds
+  q.alpha0 = 0.3;
+  std::vector<KnntaResult> results;
+  ASSERT_TRUE(store->Query(q, &results).ok());
+  EXPECT_EQ(results.size(), 5u);
+
+  // A fully empty store answers with an empty result, not an error.
+  std::unique_ptr<ShardedStore> empty = OpenStore(4);
+  ASSERT_TRUE(empty->Query(q, &results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(ShardedStoreTest, BadBatchesMutateNoShard) {
+  std::unique_ptr<ShardedStore> store = OpenStore(4);
+  for (PoiId id = 1; id <= 8; ++id) {
+    Poi p{id, {static_cast<double>(id * 12 % 100),
+               static_cast<double>(id * 23 % 100)}};
+    ASSERT_TRUE(store->InsertPoi(p, MakeHistory(id, 2)).ok());
+  }
+  std::vector<std::uint64_t> versions;
+  for (std::size_t i = 0; i < store->num_shards(); ++i) {
+    versions.push_back(store->shard(i)->version());
+  }
+
+  // Unknown POI in a batch that also touches valid POIs on other shards:
+  // the whole batch must be rejected before any shard applies its part.
+  std::unordered_map<PoiId, std::int64_t> bad;
+  for (PoiId id = 1; id <= 8; ++id) bad[id] = 3;
+  bad[99] = 1;
+  EXPECT_TRUE(store->AppendEpoch(2, bad).IsInvalidArgument());
+  EXPECT_TRUE(store->AppendEpoch(-1, {{1, 2}}).IsInvalidArgument());
+  for (std::size_t i = 0; i < store->num_shards(); ++i) {
+    EXPECT_EQ(store->shard(i)->version(), versions[i]) << "shard " << i;
+  }
+
+  // Duplicate insert is caught by the routing map even when the new
+  // position would route to a different shard.
+  Poi moved{1, {99.0, 99.0}};
+  EXPECT_TRUE(store->InsertPoi(moved).IsAlreadyExists());
+
+  // The valid remainder of the batch still applies afterwards.
+  bad.erase(99);
+  EXPECT_TRUE(store->AppendEpoch(2, bad).ok());
+}
+
+TEST(ShardedStoreTest, OpenValidatesOptions) {
+  ShardedStoreOptions opt = StoreOptions(0);
+  EXPECT_TRUE(ShardedStore::Open(opt).status().IsInvalidArgument());
+  opt = StoreOptions(4);
+  opt.tree.space = Box2();  // empty: no partition domain, no shared dmax
+  EXPECT_TRUE(ShardedStore::Open(opt).status().IsInvalidArgument());
+}
+
+TEST(ShardedStoreTest, ShardOfClampsBoundaryAndOutsidePositions) {
+  std::unique_ptr<ShardedStore> store = OpenStore(4);
+  for (const Vec2& pos : {Vec2{0, 0}, Vec2{100, 100}, Vec2{50, 50},
+                          Vec2{-10, 50}, Vec2{50, 1000}, Vec2{100, 0}}) {
+    EXPECT_LT(store->ShardOf(pos), store->num_shards());
+  }
+  EXPECT_NE(store->ShardOf({0, 0}), store->ShardOf({100, 100}));
+}
+
+// TSan schedule: concurrent readers fan out across all shards while the
+// writer appends batches touching every shard and periodically
+// checkpoints them. Readers must keep completing throughout.
+TEST(ShardedStoreTest, ConcurrentReadersDuringCrossShardAppends) {
+  const std::string prefix = ::testing::TempDir() + "/sharded_tsan";
+  ShardedStoreOptions opt = StoreOptions(4);
+  opt.store_prefix = prefix;
+  opt.wal.group_commit_records = 1;
+  auto opened = ShardedStore::Open(opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  const Fixture f = MakeFixture();
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      const std::vector<KnntaQuery> queries = ProbeQueries();
+      std::size_t i = t;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<KnntaResult> results;
+        ASSERT_TRUE(
+            store->Query(queries[i++ % queries.size()], &results).ok());
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (std::int64_t epoch = 6; epoch < 22; ++epoch) {
+    std::unordered_map<PoiId, std::int64_t> aggs;
+    for (const Poi& p : f.pois) {
+      if ((p.id + epoch) % 2 == 0) aggs[p.id] = (p.id + epoch) % 9 + 1;
+    }
+    ASSERT_TRUE(store->AppendEpoch(epoch, aggs).ok());
+    if (epoch % 6 == 0) ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(reads.load(), 0u);
+
+  // Cleanup the shard files.
+  for (std::size_t i = 0; i < store->num_shards(); ++i) {
+    std::remove((prefix + ".shard" + std::to_string(i) + ".snapshot").c_str());
+    std::remove((prefix + ".shard" + std::to_string(i) + ".wal").c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tar

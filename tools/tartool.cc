@@ -90,6 +90,23 @@
 //       shed/timeout/cancel/partial. Exit 0: clean sweep; 1: a
 //       violation; 2: setup error.
 //
+//   tartool serve [--shards N] [--threads T] [--duration-ms D]
+//           [--scale S] [--seed N] [--threshold N] [--deadline-ms D]
+//           [--max-inflight M] [--checkpoint-every K] [--store PREFIX]
+//           [--write-interval-ms W] [--json] [--out FILE]
+//       Long-running sharded server under a mixed read/write load:
+//       synthesizes a Gowalla-style dataset, preloads the first half of
+//       its history into N snapshot-isolated shards, then serves T
+//       reader threads while the second half streams through the
+//       asynchronous ingestion queue (checkpointing every K batches when
+//       --store makes the shards durable). Reports read/write
+//       throughput, latency percentiles and reads_during_write — the
+//       count of queries that completed while an epoch batch was being
+//       applied, the direct evidence that snapshot reads are never
+//       excluded by the writer. --json emits the BENCH_serve.json
+//       payload (to FILE with --out). Exit 0 on a healthy run: reads
+//       completed, none failed, ingestion alive to the end.
+//
 //   tartool audit [--seed N | --seeds N] [--queries M] [--pois P]
 //           [--epochs E]
 //       Query-soundness oracle sweep. Every seed deterministically
@@ -128,6 +145,7 @@
 #include "core/parallel_query.h"
 #include "core/recovery.h"
 #include "core/scan_baseline.h"
+#include "core/serve.h"
 #include "core/tar_tree.h"
 #include "data/generator.h"
 #include "data/loader.h"
@@ -1860,10 +1878,169 @@ int Audit(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// ----------------------------------------------------------------------
+// serve: sharded server under a mixed read/write load.
+// ----------------------------------------------------------------------
+
+int Serve(const std::map<std::string, std::string>& flags) {
+  const std::size_t shards = std::atoll(Flag(flags, "shards", "4").c_str());
+  const std::size_t threads = std::atoll(Flag(flags, "threads", "4").c_str());
+  const double duration_ms =
+      std::atof(Flag(flags, "duration-ms", "2000").c_str());
+  const double scale = std::atof(Flag(flags, "scale", "0.02").c_str());
+  const std::uint64_t seed = std::atoll(Flag(flags, "seed", "42").c_str());
+  const std::int64_t threshold =
+      std::atoll(Flag(flags, "threshold", "20").c_str());
+  const double deadline_ms =
+      std::atof(Flag(flags, "deadline-ms", "0").c_str());
+  const std::size_t max_inflight =
+      std::atoll(Flag(flags, "max-inflight", "0").c_str());
+  const std::size_t checkpoint_every =
+      std::atoll(Flag(flags, "checkpoint-every", "0").c_str());
+  const std::string store_prefix = Flag(flags, "store", "");
+  const double write_interval_ms =
+      std::atof(Flag(flags, "write-interval-ms", "5").c_str());
+  const bool json = flags.count("json") != 0;
+  const std::string out_path = Flag(flags, "out", "");
+  if (shards == 0 || threads == 0 || duration_ms <= 0.0 || scale <= 0.0) {
+    std::fprintf(stderr, "serve: bad flags\n");
+    return 2;
+  }
+
+  GeneratorConfig cfg = GwConfig(scale, seed);
+  cfg.tail_fraction = 0.08;
+  Dataset data = GenerateLbsn(cfg);
+  EpochGrid grid(0, 7 * kSecondsPerDay);
+  EpochCounts counts = BuildEpochCounts(data, grid);
+  std::vector<PoiId> effective = EffectivePois(counts, threshold);
+  if (effective.empty() || counts.num_epochs < 2) {
+    std::fprintf(stderr,
+                 "serve: generated dataset too small (%zu effective POIs, "
+                 "%lld epochs); raise --scale or lower --threshold\n",
+                 effective.size(),
+                 static_cast<long long>(counts.num_epochs));
+    return 2;
+  }
+
+  // Preload the first half of the history; the second half becomes the
+  // live write stream the ingestion thread applies during serving.
+  const std::int64_t preload =
+      std::max<std::int64_t>(1, counts.num_epochs / 2);
+  ShardedStoreOptions sopt;
+  sopt.num_shards = shards;
+  sopt.tree.grid = grid;
+  sopt.tree.space = data.bounds;
+  sopt.store_prefix = store_prefix;
+  auto opened = ShardedStore::Open(sopt);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "serve: cannot open store: %s\n",
+                 opened.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  for (PoiId id : effective) {
+    std::vector<std::int32_t> h = counts.counts[id];
+    if (h.size() > static_cast<std::size_t>(preload)) h.resize(preload);
+    Status st = store->InsertPoi(data.pois[id], h);
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve: preload of POI %u failed: %s\n", id,
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+
+  MixedLoadOptions mopt;
+  mopt.reader_threads = threads;
+  mopt.duration_ms = duration_ms;
+  mopt.write_interval_ms = write_interval_ms;
+  mopt.first_epoch = preload;
+  for (std::int64_t e = preload; e < counts.num_epochs; ++e) {
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (PoiId id : effective) {
+      const std::vector<std::int32_t>& h = counts.counts[id];
+      if (static_cast<std::size_t>(e) < h.size() && h[e] > 0) {
+        batch[id] = h[e];
+      }
+    }
+    if (!batch.empty()) mopt.epoch_batches.push_back(std::move(batch));
+  }
+  if (mopt.epoch_batches.empty()) {
+    // Degenerate split (all check-ins in the first half): keep the write
+    // stream alive with single-visit batches at a few preloaded venues.
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, effective.size());
+         ++i) {
+      batch[effective[i]] = 1;
+    }
+    mopt.epoch_batches.push_back(std::move(batch));
+  }
+
+  // Query mix over the preloaded history, uniform over the data space.
+  Rng rng(seed);
+  for (int i = 0; i < 64; ++i) {
+    KnntaQuery q;
+    q.point = {rng.Uniform(data.bounds.lo[0], data.bounds.hi[0]),
+               rng.Uniform(data.bounds.lo[1], data.bounds.hi[1])};
+    const std::int64_t first = rng.UniformInt(0, preload - 1);
+    q.interval = {grid.EpochStart(first), grid.EpochEnd(preload - 1)};
+    q.k = 10;
+    q.alpha0 = 0.3;
+    mopt.queries.push_back(q);
+  }
+
+  ServeOptions vopt;
+  vopt.max_inflight = max_inflight;
+  vopt.budget.deadline_ms = deadline_ms;
+  vopt.checkpoint_every = checkpoint_every;
+  ShardedServer server(store.get(), vopt);
+  server.Start();
+  MixedLoadReport report;
+  Status st = RunMixedLoad(&server, mopt, &report);
+  server.Stop();
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve: ingestion failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("serve: %zu shards, %zu readers, %.0f ms: %llu reads "
+              "(%.0f/s), %llu shed, %llu failed\n",
+              store->num_shards(), threads, report.wall_ms,
+              static_cast<unsigned long long>(report.reads_ok),
+              report.read_qps,
+              static_cast<unsigned long long>(report.reads_shed),
+              static_cast<unsigned long long>(report.reads_failed));
+  std::printf("       %llu epochs ingested (%.1f/s), %llu checkpoints, "
+              "%llu reads completed during writes\n",
+              static_cast<unsigned long long>(report.writes),
+              report.write_qps,
+              static_cast<unsigned long long>(report.checkpoints),
+              static_cast<unsigned long long>(report.reads_during_write));
+  std::printf("       read latency p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+              report.read_latency.P50(), report.read_latency.P95(),
+              report.read_latency.P99());
+  if (json) {
+    const std::string payload =
+        report.ToJson("tartool-serve", store->num_shards(), threads);
+    if (out_path.empty()) {
+      std::printf("%s\n", payload.c_str());
+    } else {
+      std::ofstream out(out_path);
+      if (!out.is_open()) {
+        std::fprintf(stderr, "serve: cannot open %s\n", out_path.c_str());
+        return 1;
+      }
+      out << payload << "\n";
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  return report.reads_ok > 0 && report.reads_failed == 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: tartool <generate|build|info|check|query|stress|"
-               "ingest|recover|crashtest|chaos|audit> [--flags]\n"
+               "ingest|recover|crashtest|chaos|audit|serve> [--flags]\n"
                "  generate --preset gw|gs|nyc|la --scale S --out FILE\n"
                "  build    --input FILE --out INDEX [--strategy tar|spa|agg]"
                " [--threshold N] [--epoch-days D] [--backend mvbt|bptree]\n"
@@ -1883,7 +2060,12 @@ int Usage() {
                "  chaos    [--seed N | --seeds N] [--threads T]"
                " [--deadline-ms D] [--delay-ms M] [--path P]\n"
                "  audit    [--seed N | --seeds N] [--queries M] [--pois P]"
-               " [--epochs E]\n");
+               " [--epochs E]\n"
+               "  serve    [--shards N] [--threads T] [--duration-ms D]"
+               " [--scale S] [--seed N]\n"
+               "           [--deadline-ms D] [--max-inflight M]"
+               " [--checkpoint-every K] [--store PREFIX]\n"
+               "           [--write-interval-ms W] [--json] [--out FILE]\n");
   return 2;
 }
 
@@ -1908,5 +2090,6 @@ int main(int argc, char** argv) {
   if (cmd == "crashtest") return CrashTest(flags);
   if (cmd == "chaos") return Chaos(flags);
   if (cmd == "audit") return Audit(flags);
+  if (cmd == "serve") return Serve(flags);
   return Usage();
 }
