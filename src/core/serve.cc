@@ -32,12 +32,22 @@ ShardedServer::~ShardedServer() { Stop(); }
 
 void ShardedServer::Start() {
   if (started_.exchange(true)) return;
+  {
+    MutexLock lock(&queue_mu_);
+    stopping_ = false;  // re-open submission after a previous Stop
+  }
   stop_.store(false, std::memory_order_release);
   ingest_thread_ = std::thread([this] { IngestLoop(); });
 }
 
 void ShardedServer::Stop() {
   if (!started_.load(std::memory_order_acquire)) return;
+  // Close the door before draining: without this, a thread that keeps
+  // calling SubmitEpoch would extend the drain forever.
+  {
+    MutexLock lock(&queue_mu_);
+    stopping_ = true;
+  }
   WaitForIngest();
   stop_.store(true, std::memory_order_release);
   if (ingest_thread_.joinable()) ingest_thread_.join();
@@ -94,18 +104,29 @@ Status ShardedServer::SubmitEpoch(
     std::int64_t epoch, std::unordered_map<PoiId, std::int64_t> aggs) {
   MutexLock lock(&queue_mu_);
   TAR_RETURN_NOT_OK(ingest_status_);
+  if (stopping_) {
+    return Status::Unavailable("server stopping; epoch batch rejected");
+  }
   queue_.push_back(EpochBatch{epoch, std::move(aggs)});
   ++queued_or_applying_;
   return Status::OK();
 }
 
 void ShardedServer::WaitForIngest() {
+  int spins = 0;
   for (;;) {
     {
       MutexLock lock(&queue_mu_);
       if (queued_or_applying_ == 0 || !ingest_status_.ok()) return;
     }
-    std::this_thread::yield();
+    // Applying a batch takes WAL syncs and reader drains; after a brief
+    // optimistic phase, poll at the ingest loop's idle cadence instead
+    // of burning a core for the whole drain.
+    if (++spins <= 64) {
+      std::this_thread::yield();
+    } else {
+      SleepMs(0.2);
+    }
   }
 }
 

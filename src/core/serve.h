@@ -78,14 +78,19 @@ class ShardedServer {
   /// Launches the ingestion thread. Idempotent.
   void Start();
 
-  /// Drains the ingestion queue, then stops the thread. Idempotent.
+  /// Stops accepting new batches, drains the ingestion queue, then stops
+  /// the thread (new SubmitEpoch calls are rejected with kUnavailable as
+  /// soon as Stop begins, so the drain terminates even with concurrent
+  /// submitters; Start re-opens submission). Idempotent.
   void Stop();
 
   /// Client-facing query: admission check, deadline arm, sharded
   /// fan-out. Shed queries return kUnavailable with a retry hint.
   Status Query(const KnntaQuery& query, std::vector<KnntaResult>* results);
 
-  /// Enqueues an epoch batch for asynchronous ingestion.
+  /// Enqueues an epoch batch for asynchronous ingestion. Rejected with
+  /// kUnavailable once Stop has begun (until the next Start), and with
+  /// the root-cause failure after an ingest error.
   Status SubmitEpoch(std::int64_t epoch,
                      std::unordered_map<PoiId, std::int64_t> aggs);
 
@@ -126,6 +131,10 @@ class ShardedServer {
   std::deque<EpochBatch> queue_ TAR_GUARDED_BY(queue_mu_);
   std::size_t queued_or_applying_ TAR_GUARDED_BY(queue_mu_) = 0;
   Status ingest_status_ TAR_GUARDED_BY(queue_mu_) = Status::OK();
+  /// Set at the start of Stop (cleared by Start): rejects new
+  /// submissions so the drain is bounded by the queue depth at Stop
+  /// time, not racing submitters.
+  bool stopping_ TAR_GUARDED_BY(queue_mu_) = false;
 
   mutable Mutex stats_mu_{LockRank::kServeStats, "serve.stats"};
   ServerStats stats_ TAR_GUARDED_BY(stats_mu_);

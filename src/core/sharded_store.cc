@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <thread>
 #include <utility>
 
+#include "common/check.h"
 #include "core/ranking.h"
 #include "temporal/tia.h"
 
@@ -20,6 +22,11 @@ std::size_t GridColumns(std::size_t n) {
   while (n % gx != 0) --gx;
   return gx;
 }
+
+/// Optimistic coherent-cut pin sweeps before falling back to pinning
+/// under the writer latch (reader-starvation bound, not a correctness
+/// knob).
+constexpr int kCoherentPinAttempts = 64;
 
 }  // namespace
 
@@ -102,13 +109,41 @@ std::size_t ShardedStore::ShardOf(const Vec2& pos) const {
   return cy * gx_ + cx;
 }
 
+std::vector<TreeSnapshot> ShardedStore::PinCoherentCut() const {
+  std::vector<TreeSnapshot> snaps;
+  snaps.reserve(shards_.size());
+  for (int attempt = 0; attempt < kCoherentPinAttempts; ++attempt) {
+    const std::uint64_t seq = apply_seq_.load(std::memory_order_acquire);
+    if (seq % 2 == 0) {
+      snaps.clear();
+      for (const auto& shard : shards_) snaps.push_back(shard->Acquire());
+      // Seqlock validate: if no cross-shard mutation started or finished
+      // while we pinned, every snapshot belongs to the same store state.
+      if (apply_seq_.load(std::memory_order_acquire) == seq) return snaps;
+    }
+    std::this_thread::yield();
+  }
+  // Writers are committing faster than a pin sweep completes; hold them
+  // off for one sweep. The latch covers only the N Acquire calls (a few
+  // atomics each), never the query work, and readers reach this path
+  // only under sustained write pressure.
+  snaps.clear();
+  MutexLock lock(&writer_mu_);
+  for (const auto& shard : shards_) snaps.push_back(shard->Acquire());
+  return snaps;
+}
+
 Status ShardedStore::InsertPoi(const Poi& poi,
                                const std::vector<std::int32_t>& history) {
   const std::size_t shard = ShardOf(poi.pos);
   MutexLock lock(&writer_mu_);
+  TAR_RETURN_NOT_OK(dead_);
   if (poi_shard_.count(poi.id) != 0) {
     return Status::AlreadyExists("POI already indexed");
   }
+  // No apply_seq_ bracket: a single-shard publish is atomic from the
+  // cut's perspective — any pin sweep sees the store before or after
+  // this insert, both real store states.
   TAR_RETURN_NOT_OK(shards_[shard]->InsertPoi(poi, history));
   poi_shard_[poi.id] = static_cast<std::uint32_t>(shard);
   return Status::OK();
@@ -117,6 +152,7 @@ Status ShardedStore::InsertPoi(const Poi& poi,
 Status ShardedStore::AppendEpoch(
     std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
   MutexLock lock(&writer_mu_);
+  TAR_RETURN_NOT_OK(dead_);
   // Validate the whole batch before any shard mutates, so a bad batch is
   // all-or-nothing across shards (mirrors TarTree::PrevalidateEpoch).
   if (epoch < 0) return Status::InvalidArgument("negative epoch index");
@@ -131,15 +167,62 @@ Status ShardedStore::AppendEpoch(
     TAR_RETURN_NOT_OK(Tia::CheckPackable(extent, agg));
     split[it->second][poi] = agg;
   }
+  // Phase 1 — stage on every touched shard: prevalidate, log, apply to
+  // the invisible standby. Slow (WAL sync, reader drain), but readers
+  // keep reading the published versions and the cut stays stable.
+  Status st = Status::OK();
+  std::vector<std::size_t> staged;
+  std::size_t failed = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (split[i].empty()) continue;  // nothing for this shard this epoch
-    TAR_RETURN_NOT_OK(shards_[i]->AppendEpoch(epoch, split[i]));
+    st = shards_[i]->StageEpoch(epoch, split[i]);
+    if (!st.ok()) {
+      failed = i;
+      break;
+    }
+    staged.push_back(i);
   }
-  return Status::OK();
+  if (!st.ok()) {
+    // Past the up-front validation only I/O and apply failures remain. A
+    // failure after another shard durably logged the epoch leaves the
+    // batch half-staged with no reconciliation path (the staged shards'
+    // WALs replay it on recovery; a retry would double-apply), so the
+    // whole store dies — the cross-shard analogue of SnapshotStore's
+    // replica-divergence rule. A failure on the first touched shard
+    // mutated nothing anywhere and stays retryable, unless that shard
+    // itself died logging it.
+    if (!staged.empty() || !shards_[failed]->dead_status().ok()) {
+      dead_ = st.WithContext("sharded store: epoch batch half-applied");
+      return dead_;
+    }
+    return st;
+  }
+  // Phase 2 — publish every staged shard inside one brief odd window of
+  // the cut seqlock. Each publish is a few atomic stores, so readers
+  // retry for microseconds, not for the duration of the applies.
+  apply_seq_.fetch_add(1, std::memory_order_acq_rel);  // cut unstable
+  for (std::size_t i : staged) {
+    const Status pub = shards_[i]->PublishStaged();
+    TAR_DCHECK(pub.ok());  // only fails without a staged record
+  }
+  apply_seq_.fetch_add(1, std::memory_order_release);  // cut stable again
+  // Phase 3 — catch the retired replicas up. Readers are already on the
+  // new cut; the epoch is fully published, so a failure here only kills
+  // the diverged shard and, with it, future mutations.
+  for (std::size_t i : staged) {
+    const Status cst = shards_[i]->CatchUpStaged();
+    if (!cst.ok() && st.ok()) st = cst;
+  }
+  if (!st.ok()) {
+    dead_ = st.WithContext("sharded store: shard diverged after publish");
+    return dead_;
+  }
+  return st;
 }
 
 Status ShardedStore::Checkpoint() {
   MutexLock lock(&writer_mu_);
+  TAR_RETURN_NOT_OK(dead_);
   for (auto& shard : shards_) {
     TAR_RETURN_NOT_OK(shard->Checkpoint());
   }
@@ -148,17 +231,22 @@ Status ShardedStore::Checkpoint() {
 
 Status ShardedStore::Flush() {
   MutexLock lock(&writer_mu_);
+  TAR_RETURN_NOT_OK(dead_);
   for (auto& shard : shards_) {
     TAR_RETURN_NOT_OK(shard->Flush());
   }
   return Status::OK();
 }
 
+Status ShardedStore::dead_status() const {
+  MutexLock lock(&writer_mu_);
+  return dead_;
+}
+
 std::size_t ShardedStore::num_pois() const {
+  const std::vector<TreeSnapshot> snaps = PinCoherentCut();
   std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->Acquire().tree().num_pois();
-  }
+  for (const TreeSnapshot& snap : snaps) total += snap.tree().num_pois();
   return total;
 }
 
@@ -176,11 +264,11 @@ Status ShardedStore::Query(const KnntaQuery& query,
     return Status::InvalidArgument("invalid query interval");
   }
 
-  // Pin one snapshot per shard up front: the fan-out reads a coherent
-  // cut while writers keep publishing new versions underneath.
-  std::vector<TreeSnapshot> snaps;
-  snaps.reserve(shards_.size());
-  for (const auto& shard : shards_) snaps.push_back(shard->Acquire());
+  // Pin a coherent cut up front: one snapshot per shard, validated by
+  // the apply_seq_ seqlock to span no cross-shard mutation, so the
+  // fan-out never merges epoch N from shard i with epoch N-1 from shard
+  // j while writers keep publishing new versions underneath.
+  const std::vector<TreeSnapshot> snaps = PinCoherentCut();
 
   // One shared context for every shard (see the file comment): dmax from
   // the common configured space, gmax from the global maximum aggregate.

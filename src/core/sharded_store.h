@@ -22,6 +22,7 @@
 // bug this design exists to prevent).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -82,6 +83,11 @@ class ShardedStore {
 
   /// Splits the epoch batch by shard and applies each sub-batch. The
   /// whole batch is validated up front so a bad batch mutates nothing.
+  /// An I/O or apply failure after the first shard has durably taken its
+  /// sub-batch leaves the epoch half-applied with no reconciliation path
+  /// (shard sub-batches are not idempotent by epoch), so it poisons the
+  /// whole store: later mutations are refused with the original failure
+  /// while reads keep serving the last published versions.
   Status AppendEpoch(std::int64_t epoch,
                      const std::unordered_map<PoiId, std::int64_t>& aggs);
 
@@ -91,7 +97,8 @@ class ShardedStore {
   /// Syncs every shard's WAL.
   Status Flush();
 
-  /// kNNTA over all shards: pins one snapshot per shard, builds the
+  /// kNNTA over all shards: pins a coherent cut (one snapshot per shard,
+  /// spanning no cross-shard mutation — see PinCoherentCut), builds the
   /// shared context, fans out, merges with the (score, poi_id)
   /// tie-break. `deadline` is shared across the fan-out, so its budgets
   /// bound the whole query, not each shard.
@@ -102,6 +109,11 @@ class ShardedStore {
   /// Total POIs across one coherent set of shard snapshots.
   std::size_t num_pois() const;
 
+  /// First cross-shard mutation failure, if any. Once an epoch batch is
+  /// half-applied the store refuses further mutations (reads continue);
+  /// recover the shards from snapshot + WAL instead.
+  Status dead_status() const;
+
   /// Direct access to a shard (tests, checkpoint tooling).
   SnapshotStore* shard(std::size_t i) { return shards_[i].get(); }
   const SnapshotStore* shard(std::size_t i) const { return shards_[i].get(); }
@@ -111,6 +123,13 @@ class ShardedStore {
 
   /// Re-derives the POI->shard routing map from recovered shard trees.
   Status RebuildRouting() TAR_REQUIRES(writer_mu_);
+
+  /// Pins one snapshot per shard such that the set corresponds to a
+  /// single store-wide state: retries the pin sweep until it spans a
+  /// stable even apply_seq_ (no cross-shard mutation overlapped), and
+  /// under sustained write pressure falls back to pinning under the
+  /// writer latch so readers cannot starve.
+  std::vector<TreeSnapshot> PinCoherentCut() const;
 
   const ShardedStoreOptions options_;
   /// Grid shape is fixed in Open before the store is published.
@@ -123,10 +142,22 @@ class ShardedStore {
   // tar-lint: allow(guarded-by) set once before publication, then const
   std::vector<std::unique_ptr<SnapshotStore>> shards_;
 
+  /// Seqlock over cross-shard publishes: odd while the staged shards of
+  /// an epoch batch are being flipped live (a few atomic stores each —
+  /// the slow stage/catch-up phases run outside the window), even when
+  /// quiescent. PinCoherentCut accepts a pin sweep only if it spans one
+  /// stable even value, so the merged fan-out never observes an epoch
+  /// batch published in shard i but not shard j (per-shard snapshots
+  /// alone are coherent only per shard).
+  // tar-lint: allow(guarded-by) written under writer_mu_, read lock-free
+  std::atomic<std::uint64_t> apply_seq_{0};
+
   mutable Mutex writer_mu_{LockRank::kShardedWriter, "sharded_store.writer"};
   /// Routing map for AppendEpoch (ids only; positions live in the trees).
   std::unordered_map<PoiId, std::uint32_t> poi_shard_
       TAR_GUARDED_BY(writer_mu_);
+  /// Sticky cross-shard failure; see AppendEpoch.
+  Status dead_ TAR_GUARDED_BY(writer_mu_) = Status::OK();
 };
 
 }  // namespace tar

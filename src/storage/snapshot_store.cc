@@ -1,5 +1,6 @@
 #include "storage/snapshot_store.h"
 
+#include <chrono>
 #include <fstream>
 #include <thread>
 #include <utility>
@@ -8,6 +9,14 @@
 #include "core/recovery.h"
 
 namespace tar {
+
+namespace {
+
+/// Drain iterations spent yielding before backing off to a sleeping
+/// poll (a long-held snapshot must not burn a writer core).
+constexpr int kDrainSpinLimit = 64;
+
+}  // namespace
 
 void TreeSnapshot::Release() {
   if (store_ == nullptr) return;
@@ -73,8 +82,17 @@ Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
 TreeSnapshot SnapshotStore::Acquire() const {
   for (;;) {
     const std::uint32_t s = live_.load(std::memory_order_acquire);
-    slots_[s].readers.fetch_add(1, std::memory_order_acq_rel);
-    if (live_.load(std::memory_order_acquire) == s) {
+    // The pin/recheck pair and the writer's publish/drain pair form a
+    // Dekker-style handshake (reader: store readers, load live_; writer:
+    // store live_, load readers). With only release/acquire both loads
+    // may read stale values — the store-buffering outcome, reachable via
+    // StoreLoad reordering on x86 and ARM: the writer observes
+    // readers == 0 and starts mutating the old replica while this
+    // recheck still sees it as live and returns a pin on it. seq_cst on
+    // all four operations puts them in one total order, so at least one
+    // side observes the other's store.
+    slots_[s].readers.fetch_add(1, std::memory_order_seq_cst);
+    if (live_.load(std::memory_order_seq_cst) == s) {
       TreeSnapshot snap;
       snap.store_ = this;
       snap.tree_ = slots_[s].tree.get();
@@ -95,16 +113,27 @@ void SnapshotStore::WaitForDrain(std::uint32_t slot) const {
   // Terminates: `live_` no longer names `slot` at every call site (either
   // it points at the other replica, or — for the pre-publish standby
   // drain — it never did), so only pre-flip stragglers hold pins and
-  // each unpin is permanent.
-  while (slots_[slot].readers.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
+  // each unpin is permanent. seq_cst pairs with the pin/recheck in
+  // Acquire (see the handshake comment there).
+  int spins = 0;
+  while (slots_[slot].readers.load(std::memory_order_seq_cst) != 0) {
+    if (++spins <= kDrainSpinLimit) {
+      std::this_thread::yield();
+    } else {
+      // A long-held snapshot stalls this publish for its whole lifetime;
+      // poll at a coarse cadence instead of burning the core.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
   }
 }
 
-Status SnapshotStore::ApplyBoth(WalRecord record) {
+Status SnapshotStore::StageRecord(WalRecord record) {
   TAR_RETURN_NOT_OK(dead_);
-  const std::uint32_t old_live = live_.load(std::memory_order_acquire);
-  const std::uint32_t standby = 1u - old_live;
+  if (stage_phase_ != StagePhase::kIdle) {
+    return Status::FailedPrecondition(
+        "snapshot store: a staged mutation is pending");
+  }
+  const std::uint32_t standby = 1u - live_.load(std::memory_order_acquire);
   // Prevalidate before logging: every logged record must replay cleanly
   // on both replicas, or a semantic rejection would poison them.
   TAR_RETURN_NOT_OK(slots_[standby].tree->PrevalidateRecord(record));
@@ -121,20 +150,45 @@ Status SnapshotStore::ApplyBoth(WalRecord record) {
     dead_ = st.WithContext("snapshot store: standby apply failed");
     return dead_;
   }
+  stage_phase_ = StagePhase::kStaged;
+  staged_record_ = std::move(record);
+  return Status::OK();
+}
+
+void SnapshotStore::PublishStagedLocked() {
+  TAR_DCHECK(stage_phase_ == StagePhase::kStaged);
   // Publish: readers switch to the freshly mutated replica; stragglers
-  // drain off the old one, after which it is caught up with the same
-  // record so the next mutation finds an identical standby.
+  // drain off the old one in CatchUpStagedLocked, after which it is
+  // caught up with the same record so the next mutation finds an
+  // identical standby.
+  const std::uint32_t standby = 1u - live_.load(std::memory_order_acquire);
   ++next_version_;
   slots_[standby].version.store(next_version_, std::memory_order_release);
-  live_.store(standby, std::memory_order_release);
+  // seq_cst: one half of the publish/drain vs pin/recheck handshake —
+  // see Acquire for why release/acquire alone is not enough.
+  live_.store(standby, std::memory_order_seq_cst);
   version_.store(next_version_, std::memory_order_release);
-  WaitForDrain(old_live);
-  st = slots_[old_live].tree->ApplyWalRecord(record);
+  stage_phase_ = StagePhase::kPublished;
+}
+
+Status SnapshotStore::CatchUpStagedLocked() {
+  TAR_DCHECK(stage_phase_ == StagePhase::kPublished);
+  stage_phase_ = StagePhase::kIdle;
+  const std::uint32_t retired = 1u - live_.load(std::memory_order_acquire);
+  WaitForDrain(retired);
+  Status st = slots_[retired].tree->ApplyWalRecord(staged_record_);
+  staged_record_ = WalRecord{};
   if (!st.ok()) {
     dead_ = st.WithContext("snapshot store: catch-up apply failed");
     return dead_;
   }
   return Status::OK();
+}
+
+Status SnapshotStore::ApplyBoth(WalRecord record) {
+  TAR_RETURN_NOT_OK(StageRecord(std::move(record)));
+  PublishStagedLocked();
+  return CatchUpStagedLocked();
 }
 
 Status SnapshotStore::InsertPoi(const Poi& poi,
@@ -144,20 +198,60 @@ Status SnapshotStore::InsertPoi(const Poi& poi,
       WalRecord::MakeInsertPoi(poi.id, poi.pos.x, poi.pos.y, history));
 }
 
-Status SnapshotStore::AppendEpoch(
-    std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
+namespace {
+
+WalRecord MakeEpochRecord(std::int64_t epoch,
+                          const std::unordered_map<PoiId, std::int64_t>& aggs) {
   std::vector<std::pair<std::uint32_t, std::int64_t>> pairs;
   pairs.reserve(aggs.size());
   for (const auto& [poi, agg] : aggs) {
     if (agg > 0) pairs.emplace_back(poi, agg);
   }
+  return WalRecord::MakeAppendEpoch(epoch, std::move(pairs));
+}
+
+}  // namespace
+
+Status SnapshotStore::AppendEpoch(
+    std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
+  WalRecord record = MakeEpochRecord(epoch, aggs);
   MutexLock lock(&writer_mu_);
-  return ApplyBoth(WalRecord::MakeAppendEpoch(epoch, std::move(pairs)));
+  return ApplyBoth(std::move(record));
+}
+
+Status SnapshotStore::StageEpoch(
+    std::int64_t epoch, const std::unordered_map<PoiId, std::int64_t>& aggs) {
+  WalRecord record = MakeEpochRecord(epoch, aggs);
+  MutexLock lock(&writer_mu_);
+  return StageRecord(std::move(record));
+}
+
+Status SnapshotStore::PublishStaged() {
+  MutexLock lock(&writer_mu_);
+  if (stage_phase_ != StagePhase::kStaged) {
+    return Status::FailedPrecondition("no staged mutation to publish");
+  }
+  PublishStagedLocked();
+  return Status::OK();
+}
+
+Status SnapshotStore::CatchUpStaged() {
+  MutexLock lock(&writer_mu_);
+  if (stage_phase_ != StagePhase::kPublished) {
+    return Status::FailedPrecondition("no published mutation to catch up");
+  }
+  return CatchUpStagedLocked();
 }
 
 Status SnapshotStore::Checkpoint() {
   MutexLock lock(&writer_mu_);
   TAR_RETURN_NOT_OK(dead_);
+  if (stage_phase_ != StagePhase::kIdle) {
+    // The standby holds a staged record the live replica does not; a
+    // checkpoint of it would persist an unpublished mutation.
+    return Status::FailedPrecondition(
+        "snapshot store: a staged mutation is pending");
+  }
   if (wal_ == nullptr) {
     return Status::InvalidArgument("in-memory store cannot checkpoint");
   }

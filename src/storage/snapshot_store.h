@@ -46,7 +46,8 @@ class SnapshotStore;
 /// publishes on the other replica and waits for this one to drain), so
 /// every const TarTree query through tree() sees one consistent version.
 /// Move-only RAII; release promptly — a long-held snapshot stalls writers
-/// at their next publish, never other readers.
+/// at their next publish (they back off to a sleeping poll), never other
+/// readers.
 class TreeSnapshot {
  public:
   TreeSnapshot() = default;
@@ -144,6 +145,34 @@ class SnapshotStore {
   Status AppendEpoch(std::int64_t epoch,
                      const std::unordered_map<PoiId, std::int64_t>& aggs);
 
+  // --- Staged mutation (cross-store publish coordination) ---
+  //
+  // A coordinator that must flip several stores atomically with respect
+  // to readers (ShardedStore's coherent cut) splits a mutation into
+  // three phases: StageEpoch runs the slow half (prevalidate, WAL
+  // append, standby drain + apply) without changing what readers see;
+  // PublishStaged flips readers to the staged replica — a few atomic
+  // stores, so the coordinator can publish every store inside one brief
+  // window; CatchUpStaged drains the retired replica and applies the
+  // same record there. The phases must run in that order, one staged
+  // mutation at a time; while one is pending every other mutation and
+  // Checkpoint are refused. A staged-but-never-published record is
+  // already durably logged, so abandoning it diverges the store from
+  // its log — the coordinator must treat that store as failed.
+
+  /// Phase 1: prevalidate, log, and apply `aggs` to the invisible
+  /// standby replica. Readers are unaffected until PublishStaged.
+  Status StageEpoch(std::int64_t epoch,
+                    const std::unordered_map<PoiId, std::int64_t>& aggs);
+
+  /// Phase 2: flip readers to the staged replica. Fails only when no
+  /// mutation is staged.
+  Status PublishStaged();
+
+  /// Phase 3: drain the retired replica and catch it up with the staged
+  /// record, leaving both replicas identical again.
+  Status CatchUpStaged();
+
   /// Durably checkpoints the store (snapshot file + log truncation) using
   /// the standby replica, which is fully caught up and reader-free after
   /// the drain. Requires snapshot/wal paths.
@@ -175,12 +204,23 @@ class SnapshotStore {
 
   explicit SnapshotStore(const SnapshotStoreOptions& options);
 
+  /// Where the store is in the stage -> publish -> catch-up cycle.
+  enum class StagePhase : unsigned char { kIdle, kStaged, kPublished };
+
   /// Prevalidates, logs, and applies `record` to both replicas with the
-  /// publish-then-drain protocol. Writer latch must be held.
+  /// publish-then-drain protocol (= the three staged phases back to
+  /// back). Writer latch must be held.
   Status ApplyBoth(WalRecord record) TAR_REQUIRES(writer_mu_);
 
-  /// Spins until no snapshot pins `slot` (terminates: the live slot index
-  /// already points elsewhere, so no new reader can pin it).
+  /// The three phases; see the public staged API for the contract.
+  Status StageRecord(WalRecord record) TAR_REQUIRES(writer_mu_);
+  void PublishStagedLocked() TAR_REQUIRES(writer_mu_);
+  Status CatchUpStagedLocked() TAR_REQUIRES(writer_mu_);
+
+  /// Waits until no snapshot pins `slot` (terminates: the live slot index
+  /// already points elsewhere, so no new reader can pin it). Yields for a
+  /// bounded number of iterations, then polls with a short sleep so a
+  /// long-held snapshot stalls the writer without burning a core.
   void WaitForDrain(std::uint32_t slot) const;
 
   const SnapshotStoreOptions options_;
@@ -202,6 +242,9 @@ class SnapshotStore {
   Lsn next_lsn_ TAR_GUARDED_BY(writer_mu_) = 1;  ///< in-memory stores only
   std::uint64_t next_version_ TAR_GUARDED_BY(writer_mu_) = 1;
   Status dead_ TAR_GUARDED_BY(writer_mu_) = Status::OK();
+  StagePhase stage_phase_ TAR_GUARDED_BY(writer_mu_) = StagePhase::kIdle;
+  /// The logged record between Stage and CatchUp.
+  WalRecord staged_record_ TAR_GUARDED_BY(writer_mu_);
 };
 
 }  // namespace tar

@@ -213,6 +213,28 @@ TEST(ServeTest, StopDrainsTheIngestQueue) {
   EXPECT_FALSE(results.empty());
 }
 
+TEST(ServeTest, SubmitEpochRejectedOnceStopBegins) {
+  std::unique_ptr<ShardedStore> store = MakeStore();
+  ShardedServer server(store.get(), ServeOptions{});
+  server.Start();
+  ASSERT_TRUE(server.SubmitEpoch(4, EpochBatch(4)).ok());
+  server.Stop();
+
+  // The door closes when Stop begins, so a looping submitter can no
+  // longer extend the drain indefinitely (Stop used to wait first and
+  // accept submissions throughout).
+  const Status rejected = server.SubmitEpoch(5, EpochBatch(5));
+  EXPECT_TRUE(rejected.IsUnavailable()) << rejected.ToString();
+  EXPECT_EQ(server.stats().epochs_ingested, 1u);
+
+  // Start re-opens submission.
+  server.Start();
+  ASSERT_TRUE(server.SubmitEpoch(5, EpochBatch(5)).ok());
+  server.Stop();
+  EXPECT_EQ(server.stats().epochs_ingested, 2u);
+  EXPECT_TRUE(server.ingest_status().ok());
+}
+
 TEST(ServeTest, MixedLoadValidatesItsOptions) {
   std::unique_ptr<ShardedStore> store = MakeStore(4);
   ShardedServer server(store.get(), ServeOptions{});

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/tar_tree.h"
 
 namespace tar {
@@ -259,6 +260,114 @@ TEST(ShardedStoreTest, ShardOfClampsBoundaryAndOutsidePositions) {
   EXPECT_NE(store->ShardOf({0, 0}), store->ShardOf({100, 100}));
 }
 
+// Failure atomicity across shards: a log-append failure before any shard
+// durably took its sub-batch keeps the whole batch retryable, but a
+// failure after the first shard applied leaves the epoch half-applied
+// with no reconciliation path (retries would double-apply), so it must
+// poison the store — mutations refused, reads still served.
+TEST(ShardedStoreTest, MidBatchFailurePoisonsTheStoreOnceAShardApplied) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/sharded_poison";
+  ShardedStoreOptions opt = StoreOptions(4);
+  opt.store_prefix = prefix;
+  opt.wal.group_commit_records = 1;
+  auto opened = ShardedStore::Open(opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  const Fixture f = MakeFixture();
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+  std::unordered_map<PoiId, std::int64_t> batch;
+  for (const Poi& p : f.pois) batch[p.id] = p.id % 7 + 1;
+
+  // Failing the FIRST touched shard's append mutates nothing anywhere:
+  // the store stays alive and the identical batch retries cleanly.
+  ASSERT_TRUE(injector.Configure("wal.append=err").ok());
+  EXPECT_TRUE(store->AppendEpoch(6, batch).IsIoError());
+  injector.Clear();
+  EXPECT_TRUE(store->dead_status().ok());
+  ASSERT_TRUE(store->AppendEpoch(6, batch).ok());
+
+  // Failing the SECOND touched shard leaves epoch 7 half-applied.
+  ASSERT_TRUE(injector.Configure("wal.append=err@2").ok());
+  const Status half = store->AppendEpoch(7, batch);
+  injector.Clear();
+  EXPECT_TRUE(half.IsIoError()) << half.ToString();
+  EXPECT_NE(half.ToString().find("half-applied"), std::string::npos)
+      << half.ToString();
+  EXPECT_FALSE(store->dead_status().ok());
+
+  // Mutations and checkpoints are refused with the parked failure...
+  EXPECT_FALSE(store->AppendEpoch(8, batch).ok());
+  EXPECT_FALSE(store->InsertPoi(Poi{999, {1.0, 1.0}}).ok());
+  EXPECT_FALSE(store->Checkpoint().ok());
+  // ...while reads keep serving the last published versions.
+  KnntaQuery q;
+  q.point = {50.0, 50.0};
+  q.interval = {0, 8 * kEpochLen - 1};
+  q.k = 5;
+  q.alpha0 = 0.4;
+  std::vector<KnntaResult> results;
+  EXPECT_TRUE(store->Query(q, &results).ok());
+  EXPECT_FALSE(results.empty());
+
+  for (std::size_t i = 0; i < store->num_shards(); ++i) {
+    std::remove((prefix + ".shard" + std::to_string(i) + ".snapshot").c_str());
+    std::remove((prefix + ".shard" + std::to_string(i) + ".wal").c_str());
+  }
+}
+
+// Epoch batches split across shards must become visible all-or-nothing.
+// Mirror-pair POIs live in different shards and always receive identical
+// aggregates, so every query must score a pair bit-identically; a torn
+// cut (epoch applied in shard i, not yet shard j) breaks the tie.
+TEST(ShardedStoreTest, ConcurrentQueriesSeeCrossShardBatchesAllOrNothing) {
+  std::unique_ptr<ShardedStore> store = OpenStore(4);
+  const Fixture f = MakeFixture();
+  for (std::size_t i = 0; i < 8; ++i) {  // the four mirror pairs
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+  ASSERT_NE(store->ShardOf({30, 30}), store->ShardOf({70, 70}));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      KnntaQuery q;
+      q.point = {50.0, 50.0};
+      q.interval = {0, 200 * kEpochLen - 1};
+      q.k = 8;
+      q.alpha0 = 0.5;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<KnntaResult> results;
+        ASSERT_TRUE(store->Query(q, &results).ok());
+        ASSERT_EQ(results.size(), 8u);
+        for (PoiId lo = 1; lo <= 8; lo += 2) {
+          double lo_score = -1.0;
+          double hi_score = -2.0;
+          for (const KnntaResult& r : results) {
+            if (r.poi == lo) lo_score = r.score;
+            if (r.poi == lo + 1) hi_score = r.score;
+          }
+          ASSERT_EQ(std::memcmp(&lo_score, &hi_score, sizeof(double)), 0)
+              << "pair " << lo << " saw a torn cross-shard cut";
+        }
+      }
+    });
+  }
+  for (std::int64_t epoch = 6; epoch < 160; ++epoch) {
+    std::unordered_map<PoiId, std::int64_t> aggs;
+    for (PoiId id = 1; id <= 8; ++id) {
+      aggs[id] = ((id + 1) / 2 + epoch) % 9 + 1;  // equal within a pair
+    }
+    ASSERT_TRUE(store->AppendEpoch(epoch, aggs).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+}
+
 // TSan schedule: concurrent readers fan out across all shards while the
 // writer appends batches touching every shard and periodically
 // checkpoints them. Readers must keep completing throughout.
@@ -297,7 +406,9 @@ TEST(ShardedStoreTest, ConcurrentReadersDuringCrossShardAppends) {
       if ((p.id + epoch) % 2 == 0) aggs[p.id] = (p.id + epoch) % 9 + 1;
     }
     ASSERT_TRUE(store->AppendEpoch(epoch, aggs).ok());
-    if (epoch % 6 == 0) ASSERT_TRUE(store->Checkpoint().ok());
+    if (epoch % 6 == 0) {
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
   }
   stop.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();

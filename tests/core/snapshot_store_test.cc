@@ -318,7 +318,9 @@ TEST_F(DurableSnapshotStoreTest, ConcurrentReadersDuringAppendsAndCheckpoints) {
       if ((id + epoch) % 3 != 0) aggs[id] = (id + epoch) % 11 + 1;
     }
     ASSERT_TRUE(store->AppendEpoch(epoch, aggs).ok());
-    if (epoch % 5 == 0) ASSERT_TRUE(store->Checkpoint().ok());
+    if (epoch % 5 == 0) {
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
   }
   stop.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
