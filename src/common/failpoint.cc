@@ -50,6 +50,9 @@ double ToUnit(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+/// The calling thread's shard scope (ScopedShard); -1 = no scope.
+thread_local int tls_current_shard = -1;
+
 Status ParseAction(const std::string& word, Action* action) {
   if (word == "err") {
     *action = Action::kError;
@@ -71,6 +74,14 @@ Status ParseAction(const std::string& word, Action* action) {
 }
 
 }  // namespace
+
+int CurrentShard() { return tls_current_shard; }
+
+ScopedShard::ScopedShard(int shard) : prev_(tls_current_shard) {
+  tls_current_shard = shard;
+}
+
+ScopedShard::~ScopedShard() { tls_current_shard = prev_; }
 
 const char* ToString(Action action) {
   switch (action) {
@@ -178,6 +189,30 @@ Status FaultInjector::Configure(const std::string& spec) {
       }
     }
     TAR_RETURN_NOT_OK(ParseAction(action_word, &armed.action));
+    // The shard scope selector may appear anywhere in the parameter list;
+    // pull it out first so the positional delay/selector rules below see
+    // only their own parameters.
+    for (std::size_t p = 0; p < params.size();) {
+      if (params[p].rfind("shard:", 0) != 0) {
+        ++p;
+        continue;
+      }
+      if (armed.shard >= 0) {
+        return Status::InvalidArgument(
+            "failpoint spec: duplicate shard selector for site '" + site +
+            "'");
+      }
+      const std::string index = params[p].substr(6);
+      char* parse_end = nullptr;
+      const long long value = std::strtoll(index.c_str(), &parse_end, 10);
+      if (parse_end == index.c_str() || *parse_end != '\0' || value < 0) {
+        return Status::InvalidArgument(
+            "failpoint spec: bad shard selector '" + params[p] +
+            "' for site '" + site + "' (expected shard:i with i >= 0)");
+      }
+      armed.shard = static_cast<int>(value);
+      params.erase(params.begin() + static_cast<std::ptrdiff_t>(p));
+    }
     auto parse_positive = [&site](const std::string& param,
                                   double* value) -> Status {
       char* parse_end = nullptr;
@@ -239,6 +274,10 @@ FireResult FaultInjector::Hit(const char* site) {
     MutexLock lock(&mu_);
     for (auto& [name, armed] : sites_) {
       if (name != site) continue;
+      // A shard-scoped site ignores (and does not tally) hits from other
+      // shards or from unscoped code; scan on for another entry of the
+      // same site armed for this shard.
+      if (armed.shard >= 0 && armed.shard != tls_current_shard) continue;
       ++armed.hits;
       bool fires;
       if (armed.nth > 0) {

@@ -28,6 +28,14 @@
 //            p in (0,1) fire with probability p — deterministic in the
 //                       seed and the per-site hit counter
 //            n >= 1     fire on exactly the n-th hit of the site (1-based)
+//            shard:i    only hits from shard i count (i >= 0); hits from
+//                       other shards — or from outside any shard scope —
+//                       pass through untouched and untallied. The shard
+//                       scope is declared by the hitting code with
+//                       ScopedShard (ShardedStore brackets every
+//                       per-shard call); it composes with the selector
+//                       and delay parameters in any order, and the same
+//                       site may be armed once per shard.
 //
 // A `seed=N` entry (or TAR_FAILPOINTS_SEED) fixes the decision seed, so a
 // probabilistic spec replays the identical fire pattern run after run.
@@ -80,6 +88,29 @@ struct SiteReport {
   std::uint64_t fires = 0;
 };
 
+/// The shard index the current thread is operating on behalf of, or -1
+/// outside any shard scope. Consulted by Hit() for `shard:i`-scoped
+/// sites.
+int CurrentShard();
+
+/// \brief RAII shard scope for the calling thread.
+///
+/// ShardedStore brackets every per-shard call (stage, publish, query
+/// fan-out, repair) with one of these so `site=...@shard:i` specs can
+/// target a single shard deterministically. Nests: the previous scope is
+/// restored on destruction.
+class ScopedShard {
+ public:
+  explicit ScopedShard(int shard);
+  ~ScopedShard();
+
+  ScopedShard(const ScopedShard&) = delete;
+  ScopedShard& operator=(const ScopedShard&) = delete;
+
+ private:
+  int prev_;
+};
+
 /// \brief Process-wide registry of armed failpoints.
 ///
 /// Thread safety: fully thread-safe. `enabled()` is one relaxed atomic
@@ -130,6 +161,7 @@ class FaultInjector {
     double probability = -1.0;  ///< fire chance; < 0 means "not probabilistic"
     std::uint64_t nth = 0;      ///< fire on exactly this hit; 0 = every hit
     double delay_ms = 0.0;      ///< sleep per kDelay fire
+    int shard = -1;             ///< only this shard's hits count; -1 = any
     std::uint64_t hits = 0;
     std::uint64_t fires = 0;
   };

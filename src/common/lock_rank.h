@@ -52,6 +52,13 @@ enum class LockRank : std::uint16_t {
   /// below every per-shard snapshot.writer latch it acquires.
   kShardedWriter = 140,
 
+  /// ShardedStore per-shard health bookkeeping (sharded_store.health):
+  /// quarantine causes, suspect strikes, circuit-breaker state. Taken
+  /// briefly from the read path alone and from the write/repair paths
+  /// while sharded_store.writer is held (hence above kShardedWriter);
+  /// never held across a shard call, so it stays below kTarTreeWriter.
+  kShardHealth = 145,
+
   /// SnapshotStore per-shard writer latch (snapshot.writer): serializes
   /// log-append, replica apply and publish. Held across WAL and storage
   /// calls, hence below kWalWriter and the storage latches.

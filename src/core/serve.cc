@@ -23,6 +23,11 @@ void SleepMs(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+/// Requeue budget for a batch bounced off a full redo buffer: repair
+/// should drain the backlog well within this many poll cycles; past it
+/// the fault is treated as permanent and ingestion parks.
+constexpr int kMaxBatchRequeues = 256;
+
 }  // namespace
 
 ShardedServer::ShardedServer(ShardedStore* store, const ServeOptions& options)
@@ -38,6 +43,9 @@ void ShardedServer::Start() {
   }
   stop_.store(false, std::memory_order_release);
   ingest_thread_ = std::thread([this] { IngestLoop(); });
+  if (options_.auto_repair) {
+    repair_thread_ = std::thread([this] { RepairLoop(); });
+  }
 }
 
 void ShardedServer::Stop() {
@@ -51,6 +59,10 @@ void ShardedServer::Stop() {
   WaitForIngest();
   stop_.store(true, std::memory_order_release);
   if (ingest_thread_.joinable()) ingest_thread_.join();
+  // Join the repair worker after the ingest drain: a repair in flight
+  // finishes (or fails) before Stop returns, so no re-admission can land
+  // on a server the caller believes is down.
+  if (repair_thread_.joinable()) repair_thread_.join();
   started_.store(false, std::memory_order_release);
 }
 
@@ -84,7 +96,12 @@ Status ShardedServer::Query(const KnntaQuery& query,
   const auto start = Clock::now();
   QueryDeadline deadline(options_.budget, /*cancel=*/nullptr);
   QueryDeadline* dptr = deadline.armed() ? &deadline : nullptr;
-  Status st = store_->Query(query, results, /*stats=*/nullptr, dptr);
+  // Strict mode passes no coverage (a quarantined shard fails the query
+  // fast); partial mode degrades and annotates instead.
+  ShardCoverage coverage;
+  ShardCoverage* cptr = options_.partial_coverage ? &coverage : nullptr;
+  const bool shard_down = store_->num_unhealthy() > 0;
+  Status st = store_->Query(query, results, /*stats=*/nullptr, dptr, cptr);
   const bool overlapped = write_in_flight_.load(std::memory_order_acquire);
   const double micros = MillisSince(start) * 1000.0;
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -94,8 +111,11 @@ Status ShardedServer::Query(const KnntaQuery& query,
     ++stats_.queries_ok;
     stats_.latency.Record(micros);
     if (overlapped) ++stats_.reads_during_write;
+    if (shard_down) ++stats_.reads_during_quarantine;
+    if (cptr != nullptr && !coverage.complete) ++stats_.reads_partial;
   } else {
     ++stats_.queries_failed;
+    if (st.IsUnavailable()) ++stats_.reads_unavailable;
   }
   return st;
 }
@@ -170,15 +190,47 @@ void ShardedServer::IngestLoop() {
       MutexLock lock(&stats_mu_);
       ++stats_.epochs_ingested;
     }
+    // kUnavailable means the batch was refused without mutating anything
+    // (a quarantined shard's redo buffer is full): requeue it at the
+    // front and let the repair worker drain the backlog, instead of
+    // killing ingestion over a fault the server can heal. The budget
+    // bounds the wait so an unrepairable shard still parks the writer
+    // with the root cause.
+    if (st.IsUnavailable() && batch.requeues < kMaxBatchRequeues) {
+      ++batch.requeues;
+      {
+        MutexLock lock(&queue_mu_);
+        queue_.push_front(std::move(batch));
+      }
+      SleepMs(options_.repair_poll_ms);
+      continue;
+    }
     MutexLock lock(&queue_mu_);
     --queued_or_applying_;
     if (!st.ok() && ingest_status_.ok()) ingest_status_ = st;
   }
 }
 
+void ShardedServer::RepairLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (store_->num_unhealthy() > 0) {
+      // RepairTick honors each shard's circuit breaker, so polling fast
+      // here never hot-spins a failing repair.
+      (void)store_->RepairTick();
+    }
+    SleepMs(options_.repair_poll_ms);
+  }
+}
+
 ServerStats ShardedServer::stats() const {
-  MutexLock lock(&stats_mu_);
-  return stats_;
+  ServerStats out;
+  {
+    MutexLock lock(&stats_mu_);
+    out = stats_;
+  }
+  // Merged outside stats_mu_: fault_stats takes the store's health latch.
+  out.fault = store_->fault_stats();
+  return out;
 }
 
 Status ShardedServer::ingest_status() const {
@@ -200,9 +252,15 @@ std::string MixedLoadReport::ToJson(const std::string& label,
       << ",\"writes\":" << writes
       << ",\"reads_during_write\":" << reads_during_write
       << ",\"checkpoints\":" << checkpoints
+      << ",\"reads_partial\":" << reads_partial
+      << ",\"reads_unavailable\":" << reads_unavailable
+      << ",\"reads_during_quarantine\":" << reads_during_quarantine
+      << ",\"quarantines\":" << quarantines
+      << ",\"repairs\":" << repairs
       << ",\"read_qps\":" << read_qps
       << ",\"write_qps\":" << write_qps
-      << ",\"read_latency\":" << read_latency.ToJson() << "}";
+      << ",\"read_latency\":" << read_latency.ToJson()
+      << ",\"repair_latency\":" << repair_latency.ToJson() << "}";
   return out.str();
 }
 
@@ -261,7 +319,15 @@ Status RunMixedLoad(ShardedServer* server, const MixedLoadOptions& options,
   report->reads_during_write =
       after.reads_during_write - before.reads_during_write;
   report->checkpoints = after.checkpoints - before.checkpoints;
+  report->reads_partial = after.reads_partial - before.reads_partial;
+  report->reads_unavailable =
+      after.reads_unavailable - before.reads_unavailable;
+  report->reads_during_quarantine =
+      after.reads_during_quarantine - before.reads_during_quarantine;
+  report->quarantines = after.fault.quarantines - before.fault.quarantines;
+  report->repairs = after.fault.repairs - before.fault.repairs;
   report->read_latency = after.latency;
+  report->repair_latency = after.fault.repair_latency;
   if (report->wall_ms > 0.0) {
     report->read_qps =
         1e3 * static_cast<double>(report->reads_ok) / report->wall_ms;

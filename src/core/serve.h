@@ -46,6 +46,22 @@ struct ServeOptions {
   /// Checkpoint every N ingested epoch batches (durable stores only).
   /// 0 = never checkpoint during serving.
   std::size_t checkpoint_every = 0;
+
+  /// Coverage mode while shards are quarantined (docs/internals.md,
+  /// "Shard fault containment"). Strict (false): queries overlapping a
+  /// quarantined shard fail fast with kUnavailable naming the shard and
+  /// its root cause. Partial (true): queries degrade to the merged top-k
+  /// over the available shards, annotated with the missing shards and a
+  /// sound score bound (the PR-8 degradation contract).
+  bool partial_coverage = false;
+
+  /// Run the background repair worker: a thread that polls the store and
+  /// calls RepairTick so quarantined shards self-heal under live traffic
+  /// (each attempt paced by the per-shard circuit breaker).
+  bool auto_repair = true;
+
+  /// Poll cadence of the repair worker while any shard is unhealthy.
+  double repair_poll_ms = 10.0;
 };
 
 /// \brief A point-in-time copy of the server's service counters.
@@ -58,7 +74,17 @@ struct ServerStats {
   std::uint64_t reads_during_write = 0;
   std::uint64_t epochs_ingested = 0;
   std::uint64_t checkpoints = 0;
+  /// Queries answered with partial coverage (some shard quarantined) and
+  /// queries refused because of a quarantined shard (strict mode).
+  std::uint64_t reads_partial = 0;
+  std::uint64_t reads_unavailable = 0;
+  /// Queries that completed while at least one shard was quarantined or
+  /// recovering — nonzero proves healthy shards keep serving through a
+  /// shard fault.
+  std::uint64_t reads_during_quarantine = 0;
   LatencySnapshot latency;  ///< completed queries, micros
+  /// Per-shard health and quarantine/repair counters (from the store).
+  ShardFaultStats fault;
 };
 
 /// \brief The server; see the file comment.
@@ -109,9 +135,13 @@ class ShardedServer {
   struct EpochBatch {
     std::int64_t epoch = 0;
     std::unordered_map<PoiId, std::int64_t> aggs;
+    /// Times this batch bounced off a full redo buffer (kUnavailable)
+    /// and was requeued to wait for repair to drain the backlog.
+    int requeues = 0;
   };
 
   void IngestLoop();
+  void RepairLoop();
 
   // tar-lint: allow(guarded-by) const pointer, bound for the server's life
   ShardedStore* const store_;
@@ -125,6 +155,11 @@ class ShardedServer {
   /// comment), queue handoff goes through queue_mu_.
   // tar-lint: allow(guarded-by) owned by Start/Stop per the API contract
   std::thread ingest_thread_;
+  /// The background repair worker (options_.auto_repair); same ownership
+  /// contract as ingest_thread_. Stop() joins it before returning, so no
+  /// repair — and no shard re-admission — can land after Stop.
+  // tar-lint: allow(guarded-by) owned by Start/Stop per the API contract
+  std::thread repair_thread_;
   std::atomic<bool> started_{false};
 
   mutable Mutex queue_mu_{LockRank::kServeIngestQueue, "serve.ingest_queue"};
@@ -166,9 +201,15 @@ struct MixedLoadReport {
   std::uint64_t writes = 0;
   std::uint64_t reads_during_write = 0;
   std::uint64_t checkpoints = 0;
+  std::uint64_t reads_partial = 0;
+  std::uint64_t reads_unavailable = 0;
+  std::uint64_t reads_during_quarantine = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t repairs = 0;
   double read_qps = 0.0;
   double write_qps = 0.0;
   LatencySnapshot read_latency;
+  LatencySnapshot repair_latency;
 
   /// One JSON object (the BENCH_serve.json payload), labeled with the
   /// run's shape: {"name": <label>, "shards": N, ...}.

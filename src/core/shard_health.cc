@@ -1,0 +1,58 @@
+#include "core/shard_health.h"
+
+#include <algorithm>
+
+namespace tar {
+
+namespace {
+
+/// splitmix64, the same stateless mixer the failpoint registry uses, so
+/// the jitter sequence is deterministic in (seed, failure count).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* ToString(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kSuspect:
+      return "suspect";
+    case ShardHealth::kQuarantined:
+      return "quarantined";
+    case ShardHealth::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
+bool IsTransientFault(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kIoError:
+    case Status::Code::kResourceExhausted:
+    case Status::Code::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CircuitBreaker::RecordFailure(double now_ms) {
+  ++failures_;
+  double backoff = base_ms_;
+  // Saturating doubling: past ~53 doublings the cap has long since won.
+  for (int i = 1; i < failures_ && backoff < max_ms_; ++i) backoff *= 2.0;
+  backoff = std::min(backoff, max_ms_);
+  const double unit =
+      static_cast<double>(
+          Mix(seed_ ^ static_cast<std::uint64_t>(failures_)) >> 11) *
+      0x1.0p-53;
+  next_allowed_ms_ = now_ms + backoff * (1.0 + jitter_ * unit);
+}
+
+}  // namespace tar

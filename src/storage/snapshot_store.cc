@@ -34,6 +34,32 @@ SnapshotStore::~SnapshotStore() {
   TAR_DCHECK(slots_[1].readers.load(std::memory_order_acquire) == 0);
 }
 
+Result<std::unique_ptr<TarTree>> SnapshotStore::RecoverReplica(
+    const SnapshotStoreOptions& options) {
+  const bool durable = !options.wal_path.empty();
+  if (durable &&
+      std::ifstream(options.snapshot_path, std::ios::binary).is_open()) {
+    // Replicas replay the same snapshot + log: replay is deterministic
+    // and idempotent by LSN, so they converge on the same state (the
+    // PR-5 double-replay guarantee).
+    return Recover(options.snapshot_path, options.wal_path, options.load);
+  }
+  auto tree = std::make_unique<TarTree>(options.tree);
+  if (durable &&
+      std::ifstream(options.wal_path, std::ios::binary).is_open()) {
+    // Crash before the first checkpoint: no snapshot file yet, but the
+    // log may hold mutations. Replay its valid prefix.
+    auto opened = WalReader::Open(options.wal_path);
+    TAR_RETURN_NOT_OK(opened.status());
+    std::unique_ptr<WalReader> reader = std::move(opened).ValueOrDie();
+    WalRecord record;
+    while (reader->Next(&record)) {
+      TAR_RETURN_NOT_OK(tree->ApplyWalRecord(record));
+    }
+  }
+  return tree;
+}
+
 Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
     const SnapshotStoreOptions& options) {
   if (options.snapshot_path.empty() != options.wal_path.empty()) {
@@ -44,31 +70,9 @@ Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
   MutexLock lock(&store->writer_mu_);
   const bool durable = !options.wal_path.empty();
   for (std::uint32_t s = 0; s < 2; ++s) {
-    if (durable &&
-        std::ifstream(options.snapshot_path, std::ios::binary).is_open()) {
-      // Both replicas replay the same snapshot + log: replay is
-      // deterministic and idempotent by LSN, so they converge on the
-      // same state (the PR-5 double-replay guarantee).
-      auto recovered =
-          Recover(options.snapshot_path, options.wal_path, options.load);
-      TAR_RETURN_NOT_OK(recovered.status());
-      store->slots_[s].tree = std::move(recovered).ValueOrDie();
-    } else {
-      auto tree = std::make_unique<TarTree>(options.tree);
-      if (durable &&
-          std::ifstream(options.wal_path, std::ios::binary).is_open()) {
-        // Crash before the first checkpoint: no snapshot file yet, but
-        // the log may hold mutations. Replay its valid prefix.
-        auto opened = WalReader::Open(options.wal_path);
-        TAR_RETURN_NOT_OK(opened.status());
-        std::unique_ptr<WalReader> reader = std::move(opened).ValueOrDie();
-        WalRecord record;
-        while (reader->Next(&record)) {
-          TAR_RETURN_NOT_OK(tree->ApplyWalRecord(record));
-        }
-      }
-      store->slots_[s].tree = std::move(tree);
-    }
+    auto recovered = RecoverReplica(options);
+    TAR_RETURN_NOT_OK(recovered.status());
+    store->slots_[s].tree = std::move(recovered).ValueOrDie();
   }
   if (durable) {
     auto wal = WalWriter::Open(options.wal_path, options.wal,
@@ -275,6 +279,76 @@ Status SnapshotStore::Flush() {
 Status SnapshotStore::dead_status() const {
   MutexLock lock(&writer_mu_);
   return dead_;
+}
+
+Status SnapshotStore::health_status() const {
+  MutexLock lock(&writer_mu_);
+  if (!dead_.ok()) return dead_;
+  if (stage_phase_ != StagePhase::kIdle) {
+    // A staged record is durably logged but was never published; the
+    // coordinator abandoned it, so the in-memory state has diverged from
+    // the log (see the staged-API contract).
+    return Status::FailedPrecondition(
+        "snapshot store: abandoned staged mutation");
+  }
+  if (wal_ != nullptr) {
+    const Status wal_st = wal_->status();
+    if (!wal_st.ok()) {
+      return Status::FailedPrecondition("snapshot store: WAL writer dead: " +
+                                        wal_st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status SnapshotStore::Reopen(ReopenReport* report) {
+  MutexLock lock(&writer_mu_);
+  if (report != nullptr) {
+    *report = ReopenReport{};
+    report->prior_death = dead_;
+  }
+  if (options_.wal_path.empty()) {
+    if (dead_.ok() && stage_phase_ == StagePhase::kIdle) return Status::OK();
+    return Status::FailedPrecondition(
+        "in-memory snapshot store cannot be reopened in process (no log to "
+        "rebuild from): " +
+        dead_.ToString());
+  }
+  // Recover both replacement replicas before touching anything, so a
+  // recovery failure (the fault may still be live) leaves the store
+  // unchanged and the reopen retryable.
+  std::unique_ptr<TarTree> fresh[2];
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    auto recovered = RecoverReplica(options_);
+    TAR_RETURN_NOT_OK(recovered.status());
+    fresh[s] = std::move(recovered).ValueOrDie();
+  }
+  const Lsn resume_after = fresh[0]->applied_lsn();
+  WalReopenReport wal_report;
+  TAR_RETURN_NOT_OK(wal_->Reopen(resume_after, &wal_report));
+  if (report != nullptr) report->wal = wal_report;
+
+  // Swap the recovered replicas in with the same publish-then-drain
+  // discipline as a mutation: replace the invisible standby, flip
+  // readers onto it, then drain and replace the retired replica. A
+  // snapshot pinned across the whole reopen keeps its (stale but
+  // consistent) tree alive until it releases.
+  const std::uint32_t retired = live_.load(std::memory_order_acquire);
+  const std::uint32_t standby = 1u - retired;
+  WaitForDrain(standby);
+  slots_[standby].tree = std::move(fresh[0]);
+  ++next_version_;
+  slots_[standby].version.store(next_version_, std::memory_order_release);
+  live_.store(standby, std::memory_order_seq_cst);
+  version_.store(next_version_, std::memory_order_release);
+  WaitForDrain(retired);
+  slots_[retired].tree = std::move(fresh[1]);
+  slots_[retired].version.store(next_version_, std::memory_order_release);
+
+  dead_ = Status::OK();
+  stage_phase_ = StagePhase::kIdle;
+  staged_record_ = WalRecord{};
+  return Status::OK();
 }
 
 Lsn SnapshotStore::applied_lsn() const {

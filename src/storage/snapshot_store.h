@@ -186,6 +186,32 @@ class SnapshotStore {
   /// the healthy live replica); recover from snapshot + WAL instead.
   Status dead_status() const;
 
+  /// OK when the store can take mutations right now; otherwise the reason
+  /// it cannot: a dead replica (dead_status), an abandoned staged
+  /// mutation, or a dead WAL writer. The repair path uses this to decide
+  /// between a full Reopen and a plain redo replay.
+  Status health_status() const;
+
+  /// \brief What Reopen recovered (the shard-repair evidence).
+  struct ReopenReport {
+    /// The store's sticky failure before the reopen (OK if none).
+    Status prior_death;
+    WalReopenReport wal;
+  };
+
+  /// In-process recovery of a dead durable store: re-recovers both
+  /// replicas from snapshot + the WAL's valid prefix (the same path Open
+  /// takes after a crash), reopens the WAL writer (trimming any torn
+  /// tail), swaps the recovered replicas in with the publish-then-drain
+  /// discipline — readers are never excluded and snapshots pinned across
+  /// the call stay valid — and clears the sticky death and any abandoned
+  /// staged mutation. A staged-but-unpublished record that reached the
+  /// log durably is replayed (it becomes visible); one that did not is
+  /// trimmed with the tail. In-memory stores have no log to rebuild from,
+  /// so a dead one returns kFailedPrecondition (and a healthy one is a
+  /// no-op). On failure the store is unchanged and still dead.
+  Status Reopen(ReopenReport* report = nullptr);
+
   /// LSN of the last mutation applied to the live replica.
   Lsn applied_lsn() const;
 
@@ -203,6 +229,11 @@ class SnapshotStore {
   friend class TreeSnapshot;
 
   explicit SnapshotStore(const SnapshotStoreOptions& options);
+
+  /// Recovers one replica's tree from snapshot + WAL (or WAL alone before
+  /// the first checkpoint) per `options`; shared by Open and Reopen.
+  static Result<std::unique_ptr<TarTree>> RecoverReplica(
+      const SnapshotStoreOptions& options);
 
   /// Where the store is in the stage -> publish -> catch-up cycle.
   enum class StagePhase : unsigned char { kIdle, kStaged, kPublished };

@@ -433,6 +433,63 @@ Status WalWriter::Truncate() {
   return Status::OK();
 }
 
+Status WalWriter::Reopen(Lsn resume_after, WalReopenReport* report) {
+  MutexLock lock(&mu_);
+  if (report != nullptr) {
+    *report = WalReopenReport{};
+    report->prior_death = dead_;
+    report->discarded_records = pending_records_;
+  }
+  out_.close();
+
+  std::string existing;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in.is_open()) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (in.bad()) {
+        dead_ = Status::IoError("cannot read " + path_);
+        return dead_;
+      }
+      existing = buf.str();
+    }
+  }
+  const WalScan scan = ScanWal(existing);
+  if (scan.valid_bytes < existing.size()) {
+    // The failed sync may have left a torn frame; trim back to the valid
+    // prefix so fresh frames never land behind garbage (same rule as
+    // Open).
+    std::ofstream trim(path_, std::ios::binary | std::ios::trunc);
+    if (!trim.is_open()) {
+      dead_ = Status::IoError("cannot open " + path_);
+      return dead_;
+    }
+    trim.write(existing.data(),
+               static_cast<std::streamsize>(scan.valid_bytes));
+    trim.flush();
+    if (!trim.good()) {
+      dead_ = Status::IoError("cannot trim " + path_);
+      return dead_;
+    }
+    if (report != nullptr) {
+      report->trimmed_bytes = existing.size() - scan.valid_bytes;
+    }
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_.is_open()) {
+    dead_ = Status::IoError("cannot open " + path_);
+    return dead_;
+  }
+  pending_.clear();
+  pending_records_ = 0;
+  last_lsn_ = std::max(scan.last_lsn, resume_after);
+  last_synced_lsn_ = last_lsn_;
+  dead_ = Status::OK();
+  if (report != nullptr) report->resumed_lsn = last_lsn_;
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // WalReader.
 

@@ -112,6 +112,20 @@ struct WalScan {
 /// records before it are returned.
 WalScan ScanWal(const std::string& bytes);
 
+/// \brief What WalWriter::Reopen found and did (the repair evidence).
+struct WalReopenReport {
+  /// The failure that killed the writer, verbatim (OK if it was alive).
+  /// Reopen clears the sticky death but must not erase its root cause —
+  /// this is where it survives for the repair report.
+  Status prior_death;
+  /// Bytes trimmed off the file's torn/corrupt tail.
+  std::uint64_t trimmed_bytes = 0;
+  /// Buffered-but-unsynced frames discarded (they never reached disk).
+  std::size_t discarded_records = 0;
+  /// LSN counter after the reopen; new appends continue from here.
+  Lsn resumed_lsn = 0;
+};
+
 /// \brief Group-commit batching knobs for WalWriter.
 struct WalWriterOptions {
   /// Auto-sync once this many records are buffered. 1 = sync every append.
@@ -164,6 +178,25 @@ class WalWriter {
   /// truncating. The LSN counter is NOT reset; it keeps increasing so
   /// records appended after a checkpoint still sort after it.
   Status Truncate() TAR_EXCLUDES(mu_);
+
+  /// Resurrects a dead writer in process (the shard-repair path; a
+  /// process restart reaches the same state through Open). Rescans the
+  /// file, trims the torn/corrupt tail the failed sync may have left,
+  /// discards the unsynced buffer, reopens the append stream, and resumes
+  /// LSNs after max(last valid on-disk record, `resume_after`) — pass the
+  /// recovered tree's applied LSN so fresh records sort after everything
+  /// replay applied. The original death cause is preserved in `report`
+  /// (never silently swallowed), along with what the trim discarded. On
+  /// failure the writer stays dead with the new error. Safe on a live
+  /// writer too (a no-op rescan of a clean tail).
+  Status Reopen(Lsn resume_after = 0, WalReopenReport* report = nullptr)
+      TAR_EXCLUDES(mu_);
+
+  /// OK while the writer is alive; the original sticky failure once dead.
+  Status status() const TAR_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return dead_;
+  }
 
   Lsn last_lsn() const TAR_EXCLUDES(mu_) {
     MutexLock lock(&mu_);

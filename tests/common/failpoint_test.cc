@@ -194,6 +194,75 @@ TEST_F(FailpointTest, KnownSitesCatalogIsClosed) {
   EXPECT_FALSE(FaultInjector::IsKnownSite("not.a.site"));
 }
 
+// ---------------------------------------------------------------------------
+// Shard-scoped selectors: site=action@shard:i fires only on hits made
+// with that shard's scope installed (fail::ScopedShard).
+
+TEST_F(FailpointTest, ShardSelectorScopesFiresToOneShard) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(inj.Configure("page_file.read=err@shard:2").ok());
+  // No shard scope installed: the armed spec never matches.
+  EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);
+  {
+    ScopedShard scope(1);
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);
+  }
+  {
+    ScopedShard scope(2);
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kError);
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kError);
+  }
+  // Mismatched hits are not tallied as hits against the spec's nth
+  // counter, and fires count only the matching ones.
+  EXPECT_EQ(inj.fires("page_file.read"), 2u);
+}
+
+TEST_F(FailpointTest, ShardSelectorComposesWithNthAndRestoresScope) {
+  auto& inj = FaultInjector::Global();
+  // @2@shard:1 = the second hit *made by shard 1*.
+  ASSERT_TRUE(inj.Configure("page_file.read=err@2@shard:1").ok());
+  {
+    ScopedShard outer(1);
+    EXPECT_EQ(CurrentShard(), 1);
+    {
+      ScopedShard inner(3);  // nesting overrides, destructor restores
+      EXPECT_EQ(CurrentShard(), 3);
+      EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);
+    }
+    EXPECT_EQ(CurrentShard(), 1);
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);  // hit 1
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kError);  // hit 2
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kOff);
+  }
+  EXPECT_EQ(CurrentShard(), -1);
+}
+
+TEST_F(FailpointTest, ShardSelectorRejectsMalformedAndDuplicateSpecs) {
+  auto& inj = FaultInjector::Global();
+  EXPECT_TRUE(inj.Configure("page_file.read=err@shard:").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("page_file.read=err@shard:x").IsInvalidArgument());
+  EXPECT_TRUE(
+      inj.Configure("page_file.read=err@shard:-1").IsInvalidArgument());
+  EXPECT_TRUE(inj.Configure("page_file.read=err@shard:1@shard:2")
+                  .IsInvalidArgument());
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST_F(FailpointTest, SameSiteArmsIndependentlyPerShard) {
+  auto& inj = FaultInjector::Global();
+  ASSERT_TRUE(
+      inj.Configure("page_file.read=err@shard:0;page_file.read=delay@5@shard:1")
+          .ok());
+  {
+    ScopedShard scope(0);
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kError);
+  }
+  {
+    ScopedShard scope(1);
+    EXPECT_EQ(inj.Hit("page_file.read").action, Action::kDelay);
+  }
+}
+
 TEST_F(FailpointTest, ClearResetsEverything) {
   auto& inj = FaultInjector::Global();
   ASSERT_TRUE(inj.Configure("page_file.read=err").ok());

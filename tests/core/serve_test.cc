@@ -5,11 +5,14 @@
 #include "core/serve.h"
 
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/failpoint.h"
 
 namespace tar {
 namespace {
@@ -233,6 +236,157 @@ TEST(ServeTest, SubmitEpochRejectedOnceStopBegins) {
   server.Stop();
   EXPECT_EQ(server.stats().epochs_ingested, 2u);
   EXPECT_TRUE(server.ingest_status().ok());
+}
+
+std::unique_ptr<ShardedStore> MakeDurableStore(const std::string& prefix,
+                                               std::size_t pois = 48) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string base = prefix + ".shard" + std::to_string(i);
+    std::remove((base + ".snapshot").c_str());
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".redo").c_str());
+  }
+  ShardedStoreOptions opt = StoreOptions();
+  opt.store_prefix = prefix;
+  opt.wal.group_commit_records = 1;
+  opt.fault.retry_backoff_ms = 0.1;
+  opt.fault.repair_backoff_ms = 2.0;
+  opt.fault.repair_backoff_max_ms = 20.0;
+  auto opened = ShardedStore::Open(opt);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  if (!opened.ok()) return nullptr;
+  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  for (PoiId id = 1; id <= pois; ++id) {
+    Poi p{id, {static_cast<double>((id * 37) % 100),
+               static_cast<double>((id * 61) % 100)}};
+    std::vector<std::int32_t> h(4);
+    for (int e = 0; e < 4; ++e) {
+      h[e] = static_cast<std::int32_t>((id + e) % 15 + 1);
+    }
+    EXPECT_TRUE(store->InsertPoi(p, h).ok());
+  }
+  return store;
+}
+
+// The availability headline: a shard's WAL dies under live traffic, the
+// server keeps answering from the healthy shards in partial-coverage
+// mode, and the background repair worker heals the shard without a
+// restart — reads_during_quarantine and reads_partial are the direct
+// evidence that a single-shard fault never took the service down.
+TEST(ServeTest, HealthyShardsServeThroughQuarantineAndAutoRepairHeals) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/serve_heal";
+  std::unique_ptr<ShardedStore> store = MakeDurableStore(prefix);
+  ASSERT_NE(store, nullptr);
+  ServeOptions opt;
+  opt.partial_coverage = true;
+  opt.auto_repair = true;
+  opt.repair_poll_ms = 1.0;
+  ShardedServer server(store.get(), opt);
+  server.Start();
+
+  // Kill shard 1's WAL mid-batch: the batch still lands (deferral), the
+  // shard is quarantined.
+  ASSERT_TRUE(injector.Configure("wal.torn=torn@shard:1").ok());
+  ASSERT_TRUE(server.SubmitEpoch(4, EpochBatch(4)).ok());
+  server.WaitForIngest();
+  // The repair worker (1ms poll) may already have claimed the shard
+  // into a doomed repair attempt; either way it is down, not healthy.
+  {
+    const ShardHealth h = store->shard_health(1);
+    ASSERT_TRUE(h == ShardHealth::kQuarantined ||
+                h == ShardHealth::kRecovering)
+        << ToString(h);
+  }
+
+  // While the fault persists (repair attempts keep failing and the
+  // breaker backs off), the healthy shards answer every query.
+  std::vector<KnntaResult> results;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.Query(ProbeQuery(i), &results).ok());
+    EXPECT_FALSE(results.empty());
+  }
+  {
+    const ServerStats stats = server.stats();
+    EXPECT_GE(stats.reads_partial, 5u);
+    EXPECT_GE(stats.reads_during_quarantine, 5u);
+    EXPECT_EQ(stats.reads_unavailable, 0u);
+  }
+
+  // Clear the fault: the repair worker heals the shard in the
+  // background; later batches flow normally.
+  injector.Clear();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !store->AllHealthy()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(store->AllHealthy()) << "auto repair never healed shard 1";
+  ASSERT_TRUE(server.SubmitEpoch(5, EpochBatch(5)).ok());
+  server.WaitForIngest();
+  EXPECT_TRUE(server.ingest_status().ok());
+  server.Stop();
+
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.fault.quarantines, 1u);
+  EXPECT_GE(stats.fault.repairs, 1u);
+  EXPECT_GT(stats.fault.repair_latency.count, 0u);
+  ASSERT_EQ(stats.fault.shards.size(), 4u);
+  for (const ShardHealthSnapshot& shard : stats.fault.shards) {
+    EXPECT_EQ(shard.health, ShardHealth::kHealthy);
+    EXPECT_EQ(shard.redo_backlog, 0u);
+  }
+  // Full coverage again: a fresh query is complete, not partial.
+  const std::uint64_t partial_before = stats.reads_partial;
+  ASSERT_TRUE(server.Query(ProbeQuery(), &results).ok());
+  EXPECT_EQ(server.stats().reads_partial, partial_before);
+}
+
+// Shutdown during repair: Stop() joins the repair worker even while a
+// shard is quarantined with a still-failing fault, and no repair — and
+// no re-admission — can land after Stop returns.
+TEST(ServeTest, StopJoinsRepairWorkerWithoutLateReadmission) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/serve_stop_repair";
+  std::unique_ptr<ShardedStore> store = MakeDurableStore(prefix);
+  ASSERT_NE(store, nullptr);
+  ServeOptions opt;
+  opt.partial_coverage = true;
+  opt.auto_repair = true;
+  opt.repair_poll_ms = 1.0;
+  ShardedServer server(store.get(), opt);
+  server.Start();
+
+  ASSERT_TRUE(injector.Configure("wal.torn=torn@shard:1").ok());
+  ASSERT_TRUE(server.SubmitEpoch(4, EpochBatch(4)).ok());
+  server.WaitForIngest();
+  // kRecovering is fine here: the worker may already be mid-attempt.
+  {
+    const ShardHealth h = store->shard_health(1);
+    ASSERT_TRUE(h == ShardHealth::kQuarantined ||
+                h == ShardHealth::kRecovering)
+        << ToString(h);
+  }
+
+  // Stop with the fault still armed: the repair worker may be mid-
+  // attempt; Stop must join it cleanly.
+  server.Stop();
+  injector.Clear();
+
+  // After Stop, nothing flips the shard back: the health and the repair
+  // counter hold still (a late re-admission would move them).
+  EXPECT_EQ(store->shard_health(1), ShardHealth::kQuarantined);
+  const std::uint64_t repairs_at_stop = store->fault_stats().repairs;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(store->shard_health(1), ShardHealth::kQuarantined);
+  EXPECT_EQ(store->fault_stats().repairs, repairs_at_stop);
+
+  // An explicit operator repair still works after shutdown.
+  ASSERT_TRUE(store->RepairShard(1).ok());
+  EXPECT_TRUE(store->AllHealthy());
 }
 
 TEST(ServeTest, MixedLoadValidatesItsOptions) {

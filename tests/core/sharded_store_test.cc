@@ -6,8 +6,10 @@
 #include "core/sharded_store.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -260,21 +262,35 @@ TEST(ShardedStoreTest, ShardOfClampsBoundaryAndOutsidePositions) {
   EXPECT_NE(store->ShardOf({0, 0}), store->ShardOf({100, 100}));
 }
 
-// Failure atomicity across shards: a log-append failure before any shard
-// durably took its sub-batch keeps the whole batch retryable, but a
-// failure after the first shard applied leaves the epoch half-applied
-// with no reconciliation path (retries would double-apply), so it must
-// poison the store — mutations refused, reads still served.
-TEST(ShardedStoreTest, MidBatchFailurePoisonsTheStoreOnceAShardApplied) {
-  fail::FaultInjector& injector = fail::FaultInjector::Global();
-  injector.Clear();
-  const std::string prefix = ::testing::TempDir() + "/sharded_poison";
-  ShardedStoreOptions opt = StoreOptions(4);
+void RemoveShardFiles(const std::string& prefix, std::size_t shards) {
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::string base = prefix + ".shard" + std::to_string(i);
+    std::remove((base + ".snapshot").c_str());
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".redo").c_str());
+  }
+}
+
+std::unique_ptr<ShardedStore> OpenDurableStore(const std::string& prefix,
+                                               std::size_t shards) {
+  ShardedStoreOptions opt = StoreOptions(shards);
   opt.store_prefix = prefix;
   opt.wal.group_commit_records = 1;
+  opt.fault.retry_backoff_ms = 0.1;  // keep test retries fast
   auto opened = ShardedStore::Open(opt);
-  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return opened.ok() ? std::move(opened).ValueOrDie() : nullptr;
+}
+
+// A transient stage failure (here: one injected append error, gone on the
+// next hit) is absorbed by the in-place retry: no quarantine, the batch
+// lands everywhere, the store stays fully healthy.
+TEST(ShardedStoreTest, TransientStageFailureIsAbsorbedByRetry) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/sharded_retry";
+  std::unique_ptr<ShardedStore> store = OpenDurableStore(prefix, 4);
+  ASSERT_NE(store, nullptr);
   const Fixture f = MakeFixture();
   for (std::size_t i = 0; i < f.pois.size(); ++i) {
     ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
@@ -282,41 +298,403 @@ TEST(ShardedStoreTest, MidBatchFailurePoisonsTheStoreOnceAShardApplied) {
   std::unordered_map<PoiId, std::int64_t> batch;
   for (const Poi& p : f.pois) batch[p.id] = p.id % 7 + 1;
 
-  // Failing the FIRST touched shard's append mutates nothing anywhere:
-  // the store stays alive and the identical batch retries cleanly.
-  ASSERT_TRUE(injector.Configure("wal.append=err").ok());
-  EXPECT_TRUE(store->AppendEpoch(6, batch).IsIoError());
-  injector.Clear();
-  EXPECT_TRUE(store->dead_status().ok());
-  ASSERT_TRUE(store->AppendEpoch(6, batch).ok());
-
-  // Failing the SECOND touched shard leaves epoch 7 half-applied.
+  // Fires on exactly the second wal.append hit: the second touched
+  // shard's first stage attempt fails, its retry succeeds.
   ASSERT_TRUE(injector.Configure("wal.append=err@2").ok());
-  const Status half = store->AppendEpoch(7, batch);
+  EXPECT_TRUE(store->AppendEpoch(6, batch).ok());
   injector.Clear();
-  EXPECT_TRUE(half.IsIoError()) << half.ToString();
-  EXPECT_NE(half.ToString().find("half-applied"), std::string::npos)
-      << half.ToString();
-  EXPECT_FALSE(store->dead_status().ok());
+  EXPECT_TRUE(store->AllHealthy());
+  EXPECT_EQ(store->fault_stats().quarantines, 0u);
+  RemoveShardFiles(prefix, store->num_shards());
+}
 
-  // Mutations and checkpoints are refused with the parked failure...
-  EXPECT_FALSE(store->AppendEpoch(8, batch).ok());
-  EXPECT_FALSE(store->InsertPoi(Poi{999, {1.0, 1.0}}).ok());
-  EXPECT_FALSE(store->Checkpoint().ok());
-  // ...while reads keep serving the last published versions.
+// The tentpole scenario: one shard's WAL dies mid-batch. The shard is
+// quarantined with the root cause while the other shards publish the
+// batch; later batches defer its sub-batches into the redo journal;
+// strict reads fail fast naming the shard, partial reads degrade with a
+// sound bound; background repair re-opens the shard from snapshot + WAL,
+// replays the backlog, and the healed store answers bit-identically to a
+// store that never saw the fault.
+TEST(ShardedStoreTest, WalDeathQuarantinesShardAndRepairHealsIt) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/sharded_quarantine";
+  std::unique_ptr<ShardedStore> store = OpenDurableStore(prefix, 4);
+  ASSERT_NE(store, nullptr);
+  std::unique_ptr<ShardedStore> reference = OpenStore(4);  // fault-free twin
+  const Fixture f = MakeFixture();
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+    ASSERT_TRUE(reference->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+  auto epoch_batch = [&](std::int64_t epoch) {
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (const Poi& p : f.pois) {
+      if ((p.id + epoch) % 3 != 0) batch[p.id] = (p.id + epoch) % 9 + 1;
+    }
+    return batch;
+  };
+
+  // Tear shard 1's WAL sync: the writer dies, the bounded retry hits the
+  // sticky dead gate (permanent), and the shard is quarantined while the
+  // rest of the batch publishes.
+  constexpr std::size_t kVictim = 1;
+  ASSERT_TRUE(injector.Configure("wal.torn=torn@shard:1").ok());
+  ASSERT_TRUE(store->AppendEpoch(6, epoch_batch(6)).ok());
+  injector.Clear();
+  ASSERT_TRUE(reference->AppendEpoch(6, epoch_batch(6)).ok());
+  EXPECT_EQ(store->shard_health(kVictim), ShardHealth::kQuarantined);
+  EXPECT_EQ(store->num_unhealthy(), 1u);
+  {
+    const ShardFaultStats stats = store->fault_stats();
+    EXPECT_EQ(stats.quarantines, 1u);
+    EXPECT_FALSE(stats.shards[kVictim].cause.ok());
+    EXPECT_GE(stats.shards[kVictim].redo_backlog, 1u);
+  }
+
+  // Later batches keep landing: the victim's sub-batches defer.
+  for (std::int64_t epoch = 7; epoch < 10; ++epoch) {
+    ASSERT_TRUE(store->AppendEpoch(epoch, epoch_batch(epoch)).ok());
+    ASSERT_TRUE(reference->AppendEpoch(epoch, epoch_batch(epoch)).ok());
+  }
+  EXPECT_GE(store->fault_stats().epochs_deferred, 4u);
+
+  // Inserts routed to the quarantined shard are refused with the cause;
+  // other shards keep accepting.
+  Poi into_victim{500, {30.0, 70.0}};
+  const std::size_t victim_of = store->ShardOf(into_victim.pos);
+  if (victim_of == kVictim) {
+    EXPECT_TRUE(store->InsertPoi(into_victim).IsUnavailable());
+  }
+
   KnntaQuery q;
   q.point = {50.0, 50.0};
-  q.interval = {0, 8 * kEpochLen - 1};
-  q.k = 5;
+  q.interval = {0, 10 * kEpochLen - 1};
+  q.k = 10;
+  q.alpha0 = 0.4;
+  // Strict reads fail fast, naming the shard.
+  std::vector<KnntaResult> results;
+  const Status strict = store->Query(q, &results);
+  EXPECT_TRUE(strict.IsUnavailable()) << strict.ToString();
+  EXPECT_NE(strict.ToString().find("shard 1"), std::string::npos)
+      << strict.ToString();
+  // Partial reads degrade: merged top-k over the healthy shards, the
+  // missing shard annotated with a sound bound — every returned result
+  // scoring below the bound holds its rank against the missing data.
+  ShardCoverage coverage;
+  ASSERT_TRUE(store->Query(q, &results, nullptr, nullptr, &coverage).ok());
+  EXPECT_FALSE(coverage.complete);
+  ASSERT_EQ(coverage.missing.size(), 1u);
+  EXPECT_EQ(coverage.missing[0], kVictim);
+  EXPECT_FALSE(coverage.cause.ok());
+  EXPECT_LT(coverage.score_bound,
+            std::numeric_limits<double>::infinity());
+  std::vector<KnntaResult> full;
+  ASSERT_TRUE(reference->Query(q, &full).ok());
+  for (const KnntaResult& r : results) {
+    if (r.score < coverage.score_bound) {
+      // The bound certifies this rank even against the missing shard.
+      bool found = false;
+      for (const KnntaResult& want : full) {
+        if (want.poi == r.poi) found = true;
+      }
+      EXPECT_TRUE(found) << "poi " << r.poi;
+    }
+  }
+
+  // Repair: re-open from snapshot + WAL, replay the redo backlog, flip
+  // back to HEALTHY. No restart, readers never excluded.
+  ASSERT_TRUE(store->RepairShard(kVictim).ok());
+  EXPECT_TRUE(store->AllHealthy());
+  {
+    const ShardFaultStats stats = store->fault_stats();
+    EXPECT_EQ(stats.repairs, 1u);
+    EXPECT_EQ(stats.shards[kVictim].redo_backlog, 0u);
+    EXPECT_GT(stats.repair_latency.count, 0u);
+  }
+
+  // The healed store is bit-identical to the fault-free twin.
+  for (const KnntaQuery& probe : ProbeQueries()) {
+    std::vector<KnntaResult> got;
+    std::vector<KnntaResult> want;
+    ASSERT_TRUE(store->Query(probe, &got).ok());
+    ASSERT_TRUE(reference->Query(probe, &want).ok());
+    ExpectBitIdentical(got, want);
+  }
+  RemoveShardFiles(prefix, store->num_shards());
+}
+
+// Persistent read failures walk a shard HEALTHY -> SUSPECT -> QUARANTINED
+// through the strike counter; an in-memory shard whose store never died
+// repairs without a durable reopen; a success clears SUSPECT.
+TEST(ShardedStoreTest, ReadFaultsSuspectThenQuarantineAndRepairClears) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  ShardedStoreOptions opt = StoreOptions(4);
+  opt.fault.retry_backoff_ms = 0.1;
+  opt.fault.suspect_threshold = 2;
+  auto opened = ShardedStore::Open(opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  const Fixture f = MakeFixture();
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+
+  KnntaQuery q;
+  q.point = {50.0, 50.0};
+  q.interval = {0, 6 * kEpochLen - 1};
+  q.k = 10;
   q.alpha0 = 0.4;
   std::vector<KnntaResult> results;
-  EXPECT_TRUE(store->Query(q, &results).ok());
-  EXPECT_FALSE(results.empty());
 
-  for (std::size_t i = 0; i < store->num_shards(); ++i) {
-    std::remove((prefix + ".shard" + std::to_string(i) + ".snapshot").c_str());
-    std::remove((prefix + ".shard" + std::to_string(i) + ".wal").c_str());
+  // Every page fetch from shard 1 fails: retries exhaust, each strict
+  // query records one suspect strike, the threshold quarantines.
+  ASSERT_TRUE(injector.Configure("buffer_pool.fetch=err@shard:1").ok());
+  EXPECT_FALSE(store->Query(q, &results).ok());
+  EXPECT_EQ(store->shard_health(1), ShardHealth::kSuspect);
+  EXPECT_FALSE(store->Query(q, &results).ok());
+  injector.Clear();
+  EXPECT_EQ(store->shard_health(1), ShardHealth::kQuarantined);
+  EXPECT_GT(store->fault_stats().read_retries, 0u);
+
+  // The in-memory store itself never died, so repair is a plain redo
+  // drain (empty here) + re-admission.
+  ASSERT_TRUE(store->RepairShard(1).ok());
+  EXPECT_TRUE(store->AllHealthy());
+  ASSERT_TRUE(store->Query(q, &results).ok());
+
+  // One transient failure leaves the shard SUSPECT; the next clean read
+  // clears it back to HEALTHY.
+  ASSERT_TRUE(injector.Configure("buffer_pool.fetch=err@shard:2").ok());
+  (void)store->Query(q, &results);
+  injector.Clear();
+  if (store->shard_health(2) == ShardHealth::kSuspect) {
+    ASSERT_TRUE(store->Query(q, &results).ok());
+    EXPECT_EQ(store->shard_health(2), ShardHealth::kHealthy);
   }
+}
+
+// Regression: a reader-thread quarantine landing between AppendEpoch's
+// defer phase (shard still covered: no redo entry) and its stage phase
+// (shard no longer covered) must not drop the sub-batch. Coverage is
+// decided once per batch, so the victim is staged anyway and the stage
+// failure routes the epoch into the redo journal. A 100ms WAL delay on
+// shard 0 holds the batch in its stage phase while the main thread
+// quarantines shard 3 through the read path.
+TEST(ShardedStoreTest, ReaderQuarantineMidBatchDoesNotDropTheSubBatch) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/sharded_midbatch";
+  RemoveShardFiles(prefix, 4);
+  ShardedStoreOptions opt = StoreOptions(4);
+  opt.store_prefix = prefix;
+  opt.wal.group_commit_records = 1;
+  opt.fault.retry_backoff_ms = 0.1;
+  opt.fault.suspect_threshold = 1;  // one read strike quarantines
+  auto opened = ShardedStore::Open(opt);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  auto twin_opened = ShardedStore::Open(StoreOptions(4));
+  ASSERT_TRUE(twin_opened.ok());
+  std::unique_ptr<ShardedStore> twin = std::move(twin_opened).ValueOrDie();
+
+  const Fixture f = MakeFixture();
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+    ASSERT_TRUE(twin->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+  std::unordered_map<PoiId, std::int64_t> batch;
+  for (const Poi& p : f.pois) batch[p.id] = p.id % 7 + 1;
+  ASSERT_EQ(store->ShardOf({70, 70}), 3u);  // the batch touches the victim
+
+  ASSERT_TRUE(injector
+                  .Configure(
+                      "wal.append=delay@100@shard:0;"
+                      "buffer_pool.fetch=err@shard:3")
+                  .ok());
+  std::thread appender([&] {
+    EXPECT_TRUE(store->AppendEpoch(6, batch).ok());
+  });
+  // While the batch sits in shard 0's delayed WAL append, strict reads
+  // strike shard 3 into quarantine from this thread (no writer latch).
+  KnntaQuery probe;
+  probe.point = {70.0, 70.0};
+  probe.interval = {0, 6 * kEpochLen - 1};
+  probe.k = 5;
+  probe.alpha0 = 0.4;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(80);
+  std::vector<KnntaResult> results;
+  while (store->shard_health(3) != ShardHealth::kQuarantined &&
+         std::chrono::steady_clock::now() < give_up) {
+    (void)store->Query(probe, &results);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  appender.join();
+  injector.Clear();
+
+  // However the race resolved, the epoch must be accounted on shard 3 —
+  // staged directly, or deferred and replayed by repair. Lost = the
+  // healed store diverges from the fault-free twin below.
+  if (!store->AllHealthy()) {
+    ASSERT_TRUE(store->RepairShard(3).ok());
+  }
+  EXPECT_TRUE(store->AllHealthy());
+  ASSERT_TRUE(twin->AppendEpoch(6, batch).ok());
+  for (double alpha0 : {0.3, 0.5, 0.7}) {
+    for (double x : {25.0, 50.0, 70.0}) {
+      KnntaQuery q;
+      q.point = {x, x};
+      q.interval = {0, 7 * kEpochLen - 1};  // spans the contested epoch
+      q.k = 20;
+      q.alpha0 = alpha0;
+      std::vector<KnntaResult> got;
+      std::vector<KnntaResult> want;
+      ASSERT_TRUE(store->Query(q, &got).ok());
+      ASSERT_TRUE(twin->Query(q, &want).ok());
+      ExpectBitIdentical(got, want);
+    }
+  }
+  RemoveShardFiles(prefix, store->num_shards());
+}
+
+// Crash-while-quarantined: deferred epochs survive in the redo journal.
+// A fresh Open finds the journal, starts the shard QUARANTINED with the
+// backlog, and RepairTick drains it — the final store matches the
+// fault-free twin bit for bit.
+TEST(ShardedStoreTest, RedoJournalSurvivesRestartAndRepairTickDrainsIt) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/sharded_redo_restart";
+  RemoveShardFiles(prefix, 4);
+  std::unique_ptr<ShardedStore> reference = OpenStore(4);
+  const Fixture f = MakeFixture();
+  auto epoch_batch = [&](std::int64_t epoch) {
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (const Poi& p : f.pois) {
+      if ((p.id + epoch) % 2 != 0) batch[p.id] = (p.id + epoch) % 5 + 1;
+    }
+    return batch;
+  };
+  {
+    std::unique_ptr<ShardedStore> store = OpenDurableStore(prefix, 4);
+    ASSERT_NE(store, nullptr);
+    for (std::size_t i = 0; i < f.pois.size(); ++i) {
+      ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+    }
+    ASSERT_TRUE(injector.Configure("wal.torn=torn@shard:2").ok());
+    ASSERT_TRUE(store->AppendEpoch(6, epoch_batch(6)).ok());
+    injector.Clear();
+    ASSERT_EQ(store->shard_health(2), ShardHealth::kQuarantined);
+    for (std::int64_t epoch = 7; epoch < 9; ++epoch) {
+      ASSERT_TRUE(store->AppendEpoch(epoch, epoch_batch(epoch)).ok());
+    }
+    // "Crash": drop the store with the backlog un-replayed.
+  }
+  for (std::size_t i = 0; i < f.pois.size(); ++i) {
+    ASSERT_TRUE(reference->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+  for (std::int64_t epoch = 6; epoch < 9; ++epoch) {
+    ASSERT_TRUE(reference->AppendEpoch(epoch, epoch_batch(epoch)).ok());
+  }
+
+  std::unique_ptr<ShardedStore> store = OpenDurableStore(prefix, 4);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->shard_health(2), ShardHealth::kQuarantined);
+  EXPECT_GE(store->fault_stats().shards[2].redo_backlog, 1u);
+  // The open-time quarantine carries no breaker penalty: the first tick
+  // may repair immediately.
+  EXPECT_EQ(store->RepairTick(), 1u);
+  EXPECT_TRUE(store->AllHealthy());
+  for (const KnntaQuery& probe : ProbeQueries()) {
+    std::vector<KnntaResult> got;
+    std::vector<KnntaResult> want;
+    ASSERT_TRUE(store->Query(probe, &got).ok());
+    ASSERT_TRUE(reference->Query(probe, &want).ok());
+    ExpectBitIdentical(got, want);
+  }
+  RemoveShardFiles(prefix, store->num_shards());
+}
+
+// TSan schedule (satellite 4): readers stay pinned on partial-coverage
+// queries across repeated QUARANTINED -> RECOVERING -> HEALTHY
+// transitions of one shard while the writer keeps appending. Readers
+// must never fail and never observe a torn mirror-pair tie.
+TEST(ShardedStoreTest, ReadersSpanQuarantineAndReadmissionTransitions) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const std::string prefix = ::testing::TempDir() + "/sharded_transitions";
+  RemoveShardFiles(prefix, 4);
+  std::unique_ptr<ShardedStore> store = OpenDurableStore(prefix, 4);
+  ASSERT_NE(store, nullptr);
+  const Fixture f = MakeFixture();
+  for (std::size_t i = 0; i < 8; ++i) {  // the four mirror pairs
+    ASSERT_TRUE(store->InsertPoi(f.pois[i], f.histories[i]).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads_ok{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      KnntaQuery q;
+      q.point = {50.0, 50.0};
+      q.interval = {0, 200 * kEpochLen - 1};
+      q.k = 8;
+      q.alpha0 = 0.5;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<KnntaResult> results;
+        ShardCoverage coverage;
+        ASSERT_TRUE(
+            store->Query(q, &results, nullptr, nullptr, &coverage).ok());
+        reads_ok.fetch_add(1, std::memory_order_relaxed);
+        if (!coverage.complete) continue;  // mirror ties need full coverage
+        for (PoiId lo = 1; lo <= 8; lo += 2) {
+          double lo_score = -1.0;
+          double hi_score = -2.0;
+          for (const KnntaResult& r : results) {
+            if (r.poi == lo) lo_score = r.score;
+            if (r.poi == lo + 1) hi_score = r.score;
+          }
+          ASSERT_EQ(std::memcmp(&lo_score, &hi_score, sizeof(double)), 0)
+              << "pair " << lo << " saw a torn cross-shard cut";
+        }
+      }
+    });
+  }
+
+  std::int64_t epoch = 6;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto batch = [&](std::int64_t e) {
+      std::unordered_map<PoiId, std::int64_t> aggs;
+      for (PoiId id = 1; id <= 8; ++id) {
+        aggs[id] = ((id + 1) / 2 + e) % 9 + 1;  // equal within a pair
+      }
+      return aggs;
+    };
+    // Kill shard 1's WAL mid-batch, append a few more (deferring), then
+    // repair it — all while the readers hammer the fan-out.
+    ASSERT_TRUE(injector.Configure("wal.torn=torn@shard:1").ok());
+    ASSERT_TRUE(store->AppendEpoch(epoch, batch(epoch)).ok());
+    ++epoch;
+    injector.Clear();
+    ASSERT_EQ(store->shard_health(1), ShardHealth::kQuarantined);
+    for (int extra = 0; extra < 3; ++extra, ++epoch) {
+      ASSERT_TRUE(store->AppendEpoch(epoch, batch(epoch)).ok());
+    }
+    ASSERT_TRUE(store->RepairShard(1).ok());
+    ASSERT_TRUE(store->AllHealthy());
+    for (int extra = 0; extra < 3; ++extra, ++epoch) {
+      ASSERT_TRUE(store->AppendEpoch(epoch, batch(epoch)).ok());
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(reads_ok.load(), 0u);
+  EXPECT_EQ(store->fault_stats().quarantines, 4u);
+  EXPECT_EQ(store->fault_stats().repairs, 4u);
+  RemoveShardFiles(prefix, store->num_shards());
 }
 
 // Epoch batches split across shards must become visible all-or-nothing.

@@ -31,7 +31,11 @@ class WalTest : public ::testing::Test {
  protected:
   void SetUp() override {
     fail::FaultInjector::Global().Clear();
-    path_ = ::testing::TempDir() + "/wal_test.wal";
+    // Per-test-name path: ctest -j runs sibling cases as parallel
+    // processes, and a shared fixed path gets clobbered mid-test.
+    path_ = ::testing::TempDir() + "/wal_test." +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".wal";
     std::remove(path_.c_str());
   }
   void TearDown() override {
@@ -313,6 +317,88 @@ TEST_F(WalTest, TornSyncLeavesARecoverablePrefix) {
   const WalScan scan = ScanWal(ReadFileBytes(path_));
   EXPECT_EQ(scan.records.size(), 3u);
   EXPECT_NE(scan.tail, WalTail::kCorrupt) << scan.tail_detail;
+}
+
+// ---------------------------------------------------------------------------
+// Reopen: the in-process recovery path the shard repair worker uses.
+
+TEST_F(WalTest, ReopenRevivesADeadWriterAndPreservesTheCause) {
+  auto wal = std::move(WalWriter::Open(path_)).ValueOrDie();
+  ASSERT_TRUE(AppendAllTypes(wal.get()).ok());
+
+  // A torn sync kills the writer and may leave a partial fourth frame.
+  ASSERT_TRUE(wal->Append(WalRecord::MakeCheckpoint(3)).ok());
+  ASSERT_TRUE(injector().Configure("wal.torn=torn;seed=11").ok());
+  ASSERT_TRUE(wal->Sync().IsIoError());
+  injector().Clear();
+  ASSERT_FALSE(wal->status().ok());
+
+  WalReopenReport report;
+  ASSERT_TRUE(wal->Reopen(0, &report).ok());
+  // The death cause survives in the report — repair cites it, Reopen
+  // never swallows it.
+  EXPECT_TRUE(report.prior_death.IsIoError())
+      << report.prior_death.ToString();
+  EXPECT_NE(report.prior_death.ToString().find("wal.torn"),
+            std::string::npos)
+      << report.prior_death.ToString();
+  EXPECT_GE(report.discarded_records, 1u);
+  EXPECT_TRUE(wal->status().ok());
+
+  // The writer resumes after the last valid on-disk record: appends work
+  // again and the file scans clean.
+  EXPECT_EQ(wal->last_lsn(), 3u);
+  auto lsn = wal->Append(WalRecord::MakeCheckpoint(3));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.ValueOrDie(), 4u);
+  ASSERT_TRUE(wal->Sync().ok());
+  const WalScan scan = ScanWal(ReadFileBytes(path_));
+  EXPECT_EQ(scan.tail, WalTail::kClean) << scan.tail_detail;
+  ASSERT_EQ(scan.records.size(), 4u);
+  EXPECT_EQ(scan.records[3].lsn, 4u);
+}
+
+TEST_F(WalTest, ReopenTrimsTheTornTailBytes) {
+  auto wal = std::move(WalWriter::Open(path_)).ValueOrDie();
+  ASSERT_TRUE(AppendAllTypes(wal.get()).ok());
+  const std::size_t clean_size = ReadFileBytes(path_).size();
+
+  // Fake a torn append: garbage directly in the file, then a sync fault
+  // to kill the writer.
+  WriteFileBytes(path_, ReadFileBytes(path_) + "torn frame bytes");
+  ASSERT_TRUE(wal->Append(WalRecord::MakeCheckpoint(3)).ok());
+  ASSERT_TRUE(injector().Configure("wal.sync=err").ok());
+  ASSERT_TRUE(wal->Sync().IsIoError());
+  injector().Clear();
+
+  WalReopenReport report;
+  ASSERT_TRUE(wal->Reopen(0, &report).ok());
+  EXPECT_GE(report.trimmed_bytes, 16u);  // the garbage, at least
+  EXPECT_EQ(ReadFileBytes(path_).size(), clean_size);
+}
+
+TEST_F(WalTest, ReopenHonorsResumeAfterAndIsANoOpWhenAlive) {
+  auto wal = std::move(WalWriter::Open(path_)).ValueOrDie();
+  ASSERT_TRUE(AppendAllTypes(wal.get()).ok());
+
+  // Alive writer: Reopen is a clean-tail rescan, nothing changes.
+  WalReopenReport report;
+  ASSERT_TRUE(wal->Reopen(0, &report).ok());
+  EXPECT_TRUE(report.prior_death.ok());
+  EXPECT_EQ(report.trimmed_bytes, 0u);
+  EXPECT_EQ(wal->last_lsn(), 3u);
+
+  // resume_after above the on-disk maximum wins (the recovered tree's
+  // applied LSN outranks a checkpoint-truncated log).
+  ASSERT_TRUE(injector().Configure("wal.sync=err").ok());
+  ASSERT_TRUE(wal->Append(WalRecord::MakeCheckpoint(3)).ok());
+  ASSERT_TRUE(wal->Sync().IsIoError());
+  injector().Clear();
+  ASSERT_TRUE(wal->Reopen(10, &report).ok());
+  EXPECT_EQ(wal->last_lsn(), 10u);
+  auto lsn = wal->Append(WalRecord::MakeCheckpoint(10));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.ValueOrDie(), 11u);
 }
 
 TEST_F(WalTest, FlippedSyncIsCaughtByTheReader) {

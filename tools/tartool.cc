@@ -90,10 +90,26 @@
 //       shed/timeout/cancel/partial. Exit 0: clean sweep; 1: a
 //       violation; 2: setup error.
 //
+//   tartool chaos --shard-kill [--seed N | --seeds N] [--shards S]
+//           [--threads T] [--window-ms W] [--path P]
+//       Shard fault-containment storm. Every seed runs a durable sharded
+//       store behind a partial-coverage server with the background
+//       repair worker on, plus an in-memory fault-free twin. A fault
+//       scoped to shard seed%S — a torn WAL sync on even seeds, failing
+//       page fetches on odd — is armed for a window while readers hammer
+//       and epoch batches keep streaming. Checks: reads never drop to
+//       zero during the window (healthy shards keep serving), the victim
+//       quarantines and returns to HEALTHY via background repair (redo
+//       replay + StructureVerifier gate, no restart), and the healed
+//       store answers every probe bit-identically to the twin. Exit 0:
+//       clean sweep; 1: a contained violation; 2: undetected divergence
+//       or setup error.
+//
 //   tartool serve [--shards N] [--threads T] [--duration-ms D]
 //           [--scale S] [--seed N] [--threshold N] [--deadline-ms D]
 //           [--max-inflight M] [--checkpoint-every K] [--store PREFIX]
-//           [--write-interval-ms W] [--json] [--out FILE]
+//           [--write-interval-ms W] [--partial] [--metrics] [--json]
+//           [--out FILE]
 //       Long-running sharded server under a mixed read/write load:
 //       synthesizes a Gowalla-style dataset, preloads the first half of
 //       its history into N snapshot-isolated shards, then serves T
@@ -103,9 +119,13 @@
 //       throughput, latency percentiles and reads_during_write — the
 //       count of queries that completed while an epoch batch was being
 //       applied, the direct evidence that snapshot reads are never
-//       excluded by the writer. --json emits the BENCH_serve.json
-//       payload (to FILE with --out). Exit 0 on a healthy run: reads
-//       completed, none failed, ingestion alive to the end.
+//       excluded by the writer. --partial serves degraded (annotated)
+//       results instead of failing fast while a shard is quarantined;
+//       --metrics additionally prints the per-shard health/fault JSON
+//       (serve.fault) and the global metrics registry. --json emits the
+//       BENCH_serve.json payload (to FILE with --out). Exit 0 on a
+//       healthy run: reads completed, none failed, ingestion alive to
+//       the end.
 //
 //   tartool audit [--seed N | --seeds N] [--queries M] [--pois P]
 //           [--epochs E]
@@ -119,6 +139,7 @@
 //       builds every pruning certificate is additionally proven. --seed
 //       runs one seed, --seeds N (default 50) sweeps 1..N; each failure
 //       prints a one-line repro command. Exit 0 when all seeds pass.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -1742,7 +1763,364 @@ int ChaosRound(std::uint64_t rseed, std::size_t threads, double deadline_ms,
   return 0;
 }
 
+// ----------------------------------------------------------------------
+// chaos --shard-kill: single-shard fault storms with online self-healing.
+// ----------------------------------------------------------------------
+
+void RemoveShardKillFiles(const std::string& prefix, std::size_t shards) {
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::string base = prefix + ".shard" + std::to_string(i);
+    std::remove((base + ".snapshot").c_str());
+    std::remove((base + ".wal").c_str());
+    std::remove((base + ".redo").c_str());
+  }
+}
+
+/// One shard-kill round. Deterministic in `seed`: a durable victim store
+/// behind a partial-coverage server with the repair worker on, an
+/// in-memory fault-free twin, reader threads hammering both the kill
+/// window and the heal, and a WAL fault (even seeds) or a page-fetch
+/// fault (odd seeds) scoped to shard seed%shards. Checks: (a) reads keep
+/// completing while the fault is armed — healthy shards never drop to
+/// zero; (b) the shard quarantines and returns to HEALTHY via background
+/// repair, no restart; (c) the healed store answers every probe
+/// bit-identically to the twin. Returns 0 clean, 1 on a contained
+/// violation, 2 on undetected divergence or a setup error.
+int ShardKillRound(std::uint64_t seed, std::size_t shards,
+                   std::size_t threads, double window_ms,
+                   const std::string& base, int* violations) {
+  fail::FaultInjector& injector = fail::FaultInjector::Global();
+  injector.Clear();
+  const unsigned long long rs = static_cast<unsigned long long>(seed);
+  const std::string prefix = base + ".kill" + std::to_string(seed);
+  RemoveShardKillFiles(prefix, shards);
+
+  const EpochGrid grid(0, 7 * kSecondsPerDay);
+  ShardedStoreOptions sopt;
+  sopt.num_shards = shards;
+  sopt.tree.node_size_bytes = 512;
+  sopt.tree.grid = grid;
+  sopt.tree.space =
+      Box2::Union(Box2::FromPoint({0, 0}), Box2::FromPoint({100, 100}));
+  sopt.fault.retry_backoff_ms = 0.1;
+  sopt.fault.repair_backoff_ms = 2.0;
+  sopt.fault.repair_backoff_max_ms = 50.0;
+  sopt.fault.breaker_seed = seed;
+  // Re-admission is gated on the full structural check: MBR containment,
+  // aggregate dominance, TIA consistency, the works.
+  sopt.fault.repair_verifier = [](const TarTree& tree) {
+    return analysis::StructureVerifier().VerifyTarTree(tree);
+  };
+
+  ShardedStoreOptions ropt = sopt;  // the fault-free twin, in memory
+  auto ref_opened = ShardedStore::Open(ropt);
+  sopt.store_prefix = prefix;
+  sopt.wal.group_commit_records = 1;
+  auto opened = ShardedStore::Open(sopt);
+  if (!opened.ok() || !ref_opened.ok()) {
+    std::fprintf(stderr, "shard-kill seed %llu: cannot open stores\n", rs);
+    return 2;
+  }
+  std::unique_ptr<ShardedStore> store = std::move(opened).ValueOrDie();
+  std::unique_ptr<ShardedStore> twin = std::move(ref_opened).ValueOrDie();
+
+  Rng rng(seed * 977 + 13);
+  constexpr std::int64_t kPreloadEpochs = 6;
+  constexpr std::int64_t kLiveEpochs = 8;
+  for (PoiId id = 1; id <= 48; ++id) {
+    Poi p{id, {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)}};
+    std::vector<std::int32_t> h(kPreloadEpochs);
+    for (std::int64_t e = 0; e < kPreloadEpochs; ++e) {
+      h[e] = static_cast<std::int32_t>(rng.UniformInt(1, 20));
+    }
+    if (!store->InsertPoi(p, h).ok() || !twin->InsertPoi(p, h).ok()) {
+      std::fprintf(stderr, "shard-kill seed %llu: preload failed\n", rs);
+      return 2;
+    }
+  }
+  auto epoch_batch = [&](std::int64_t epoch) {
+    std::unordered_map<PoiId, std::int64_t> batch;
+    for (PoiId id = 1; id <= 48; ++id) {
+      if ((id + epoch + seed) % 3 != 0) {
+        batch[id] = (id * 7 + epoch + seed) % 11 + 1;
+      }
+    }
+    return batch;
+  };
+
+  ServeOptions vopt;
+  vopt.partial_coverage = true;
+  vopt.auto_repair = true;
+  vopt.repair_poll_ms = 1.0;
+  ShardedServer server(store.get(), vopt);
+  server.Start();
+
+  const std::int64_t total_epochs = kPreloadEpochs + kLiveEpochs;
+  std::vector<KnntaQuery> probes;
+  for (int i = 0; i < 16; ++i) {
+    KnntaQuery q;
+    q.point = {rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    q.interval = {grid.EpochStart(rng.UniformInt(0, kPreloadEpochs - 1)),
+                  grid.EpochEnd(total_epochs - 1)};
+    q.k = 10;
+    q.alpha0 = 0.25 + 0.05 * (i % 5);
+    probes.push_back(q);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reader_failures{0};
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<KnntaResult> results;
+      std::size_t i = t;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!server.Query(probes[i++ % probes.size()], &results).ok()) {
+          reader_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  int rc = 0;
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "shard-kill seed %llu: %s\n", rs, what);
+    ++*violations;
+    if (rc < 1) rc = 1;
+  };
+
+  // A few healthy live epochs, then the kill window.
+  std::int64_t epoch = kPreloadEpochs;
+  for (int i = 0; i < 2; ++i, ++epoch) {
+    if (!server.SubmitEpoch(epoch, epoch_batch(epoch)).ok()) {
+      fail("healthy submit rejected");
+    }
+  }
+  server.WaitForIngest();
+
+  const std::size_t victim = seed % shards;
+  // Even seeds tear the shard's WAL sync (a write-path fault that kills
+  // the writer); odd seeds fail its page fetches (a read-path fault that
+  // walks SUSPECT -> QUARANTINED via the strike counter).
+  const std::string spec =
+      (seed % 2 == 0 ? std::string("wal.torn=torn")
+                     : std::string("buffer_pool.fetch=err")) +
+      "@shard:" + std::to_string(victim);
+  const std::uint64_t reads_before = server.stats().queries_ok;
+  if (!injector.Configure(spec + ";seed=" + std::to_string(seed)).ok()) {
+    std::fprintf(stderr, "shard-kill seed %llu: cannot arm %s\n", rs,
+                 spec.c_str());
+    server.Stop();
+    return 2;
+  }
+  // Mutations keep flowing during the window: the victim's sub-batches
+  // defer into its redo journal once it quarantines.
+  const auto window_end =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double, std::milli>(window_ms);
+  while (std::chrono::steady_clock::now() < window_end) {
+    if (epoch < kPreloadEpochs + kLiveEpochs - 2) {
+      if (!server.SubmitEpoch(epoch, epoch_batch(epoch)).ok()) {
+        fail("submit rejected during the kill window");
+      }
+      ++epoch;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::uint64_t reads_during =
+      server.stats().queries_ok - reads_before;
+  injector.Clear();
+
+  // (a) Healthy-shard availability: reads completed during the window.
+  if (reads_during == 0) fail("reads dropped to zero during the fault");
+  // The fault must actually have contained something.
+  if (store->fault_stats().quarantines == 0) {
+    fail("fault window produced no quarantine");
+  }
+
+  // (b) Online self-healing: the repair worker brings every shard back
+  // without a restart, and the queued epochs finish draining.
+  const auto heal_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < heal_deadline &&
+         !store->AllHealthy()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!store->AllHealthy()) fail("shard never returned to HEALTHY");
+  for (; epoch < kPreloadEpochs + kLiveEpochs; ++epoch) {
+    if (!server.SubmitEpoch(epoch, epoch_batch(epoch)).ok()) {
+      fail("submit rejected after heal");
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  server.Stop();
+  if (!server.ingest_status().ok()) fail("ingestion died");
+  if (reader_failures.load() > 0) {
+    fail("partial-coverage reads failed during the storm");
+  }
+
+  // The twin replays the same epoch stream fault-free.
+  for (std::int64_t e = kPreloadEpochs; e < total_epochs; ++e) {
+    if (!twin->AppendEpoch(e, epoch_batch(e)).ok()) {
+      std::fprintf(stderr, "shard-kill seed %llu: twin append failed\n", rs);
+      return 2;
+    }
+  }
+
+  // (c) Bit-identity: every probe, strict mode, against the twin. A
+  // mismatch here is undetected divergence — the hard exit.
+  for (const KnntaQuery& q : probes) {
+    std::vector<KnntaResult> got;
+    std::vector<KnntaResult> want;
+    const Status gs = store->Query(q, &got);
+    const Status ws = twin->Query(q, &want);
+    if (!gs.ok() || !ws.ok()) {
+      std::fprintf(stderr, "shard-kill seed %llu: final query failed: %s\n",
+                   rs, (!gs.ok() ? gs : ws).ToString().c_str());
+      return 2;
+    }
+    bool same = got.size() == want.size();
+    for (std::size_t i = 0; same && i < got.size(); ++i) {
+      same = got[i].poi == want[i].poi &&
+             std::memcmp(&got[i].score, &want[i].score, sizeof(double)) ==
+                 0 &&
+             std::memcmp(&got[i].dist, &want[i].dist, sizeof(double)) == 0 &&
+             got[i].aggregate == want[i].aggregate;
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "shard-kill seed %llu: healed store diverged from the "
+                   "fault-free reference (probe at %.2f,%.2f: %zu vs %zu "
+                   "results)\n",
+                   rs, q.point.x, q.point.y, got.size(), want.size());
+      for (std::size_t i = 0; i < got.size() || i < want.size(); ++i) {
+        const char* mark =
+            (i < got.size() && i < want.size() && got[i].poi == want[i].poi &&
+             got[i].aggregate == want[i].aggregate &&
+             std::memcmp(&got[i].score, &want[i].score, sizeof(double)) == 0)
+                ? " "
+                : "*";
+        if (i < got.size()) {
+          std::fprintf(stderr,
+                       "  %s got  [%zu] poi=%lld score=%.17g agg=%lld\n",
+                       mark, i, static_cast<long long>(got[i].poi),
+                       got[i].score,
+                       static_cast<long long>(got[i].aggregate));
+        }
+        if (i < want.size()) {
+          std::fprintf(stderr,
+                       "  %s want [%zu] poi=%lld score=%.17g agg=%lld\n",
+                       mark, i, static_cast<long long>(want[i].poi),
+                       want[i].score,
+                       static_cast<long long>(want[i].aggregate));
+        }
+      }
+      // Post-mortem: name the exact (poi, epoch) cells that differ so the
+      // lost or duplicated update is identifiable from the log alone.
+      for (std::int64_t e = 0; e < total_epochs; ++e) {
+        KnntaQuery all = q;
+        all.k = 48;
+        all.interval = {grid.EpochStart(e), grid.EpochEnd(e)};
+        std::vector<KnntaResult> ga;
+        std::vector<KnntaResult> wa;
+        if (!store->Query(all, &ga).ok() || !twin->Query(all, &wa).ok()) {
+          continue;
+        }
+        std::map<PoiId, std::int64_t> gm;
+        std::map<PoiId, std::int64_t> wm;
+        for (const KnntaResult& r : ga) gm[r.poi] = r.aggregate;
+        for (const KnntaResult& r : wa) wm[r.poi] = r.aggregate;
+        for (const auto& [poi, agg] : wm) {
+          if (gm[poi] != agg) {
+            std::fprintf(stderr,
+                         "  epoch %lld poi %lld: got agg %lld, want %lld\n",
+                         static_cast<long long>(e),
+                         static_cast<long long>(poi),
+                         static_cast<long long>(gm[poi]),
+                         static_cast<long long>(agg));
+          }
+        }
+      }
+      std::fprintf(stderr, "  fault stats: %s\n",
+                   store->fault_stats().ToJson().c_str());
+      return 2;
+    }
+  }
+
+  RemoveShardKillFiles(prefix, shards);
+  return rc;
+}
+
+int ShardKillChaos(const std::map<std::string, std::string>& flags) {
+  std::uint64_t first = 1;
+  std::uint64_t last =
+      std::strtoull(Flag(flags, "seeds", "6").c_str(), nullptr, 10);
+  if (flags.count("seed") != 0) {
+    first = last =
+        std::strtoull(Flag(flags, "seed", "1").c_str(), nullptr, 10);
+  }
+  const std::size_t shards =
+      std::atoll(Flag(flags, "shards", "4").c_str());
+  const std::size_t threads =
+      std::atoll(Flag(flags, "threads", "3").c_str());
+  const double window_ms =
+      std::atof(Flag(flags, "window-ms", "150").c_str());
+  const std::string base = Flag(flags, "path", "chaos.store");
+  if (last < first || shards == 0 || threads == 0 || window_ms <= 0.0) {
+    std::fprintf(stderr, "chaos --shard-kill: bad flags\n");
+    return 2;
+  }
+
+  SetMetricsEnabled(true);
+  MetricsRegistry::Global().ResetAll();
+  int violations = 0;
+  for (std::uint64_t seed = first; seed <= last; ++seed) {
+    const int before = violations;
+    const int rc =
+        ShardKillRound(seed, shards, threads, window_ms, base, &violations);
+    if (rc == 2) return 2;
+    if (violations > before) {
+      std::fprintf(stderr,
+                   "chaos --shard-kill: FAILED\n  reproduce with: tartool "
+                   "chaos --shard-kill --seed %llu --shards %zu --threads "
+                   "%zu --window-ms %.0f\n",
+                   static_cast<unsigned long long>(seed), shards, threads,
+                   window_ms);
+    }
+  }
+  // Containment must be visible in monitoring: every round quarantined
+  // at least one shard and repaired it.
+  const std::uint64_t rounds = last - first + 1;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (reg.GetCounter("sharded_store.quarantines")->value() < rounds) {
+    std::fprintf(stderr, "chaos --shard-kill: quarantine counter under "
+                         "one per round\n");
+    ++violations;
+  }
+  if (reg.GetCounter("sharded_store.repairs")->value() < rounds) {
+    std::fprintf(stderr,
+                 "chaos --shard-kill: repair counter under one per round\n");
+    ++violations;
+  }
+  std::printf("chaos --shard-kill: %llu seed(s), %llu quarantine(s), %llu "
+              "repair(s), %llu repair failure(s)\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(
+                  reg.GetCounter("sharded_store.quarantines")->value()),
+              static_cast<unsigned long long>(
+                  reg.GetCounter("sharded_store.repairs")->value()),
+              static_cast<unsigned long long>(
+                  reg.GetCounter("sharded_store.repair_failures")->value()));
+  if (violations > 0) {
+    std::fprintf(stderr, "chaos --shard-kill: %d violation(s)\n",
+                 violations);
+    return 1;
+  }
+  return 0;
+}
+
 int Chaos(const std::map<std::string, std::string>& flags) {
+  if (flags.count("shard-kill") != 0) return ShardKillChaos(flags);
   std::uint64_t first = 1;
   std::uint64_t last =
       std::strtoull(Flag(flags, "seeds", "8").c_str(), nullptr, 10);
@@ -1901,11 +2279,14 @@ int Serve(const std::map<std::string, std::string>& flags) {
   const double write_interval_ms =
       std::atof(Flag(flags, "write-interval-ms", "5").c_str());
   const bool json = flags.count("json") != 0;
+  const bool metrics = flags.count("metrics") != 0;
+  const bool partial = flags.count("partial") != 0;
   const std::string out_path = Flag(flags, "out", "");
   if (shards == 0 || threads == 0 || duration_ms <= 0.0 || scale <= 0.0) {
     std::fprintf(stderr, "serve: bad flags\n");
     return 2;
   }
+  if (metrics) SetMetricsEnabled(true);
 
   GeneratorConfig cfg = GwConfig(scale, seed);
   cfg.tail_fraction = 0.08;
@@ -1992,6 +2373,7 @@ int Serve(const std::map<std::string, std::string>& flags) {
   vopt.max_inflight = max_inflight;
   vopt.budget.deadline_ms = deadline_ms;
   vopt.checkpoint_every = checkpoint_every;
+  vopt.partial_coverage = partial;
   ShardedServer server(store.get(), vopt);
   server.Start();
   MixedLoadReport report;
@@ -2019,6 +2401,23 @@ int Serve(const std::map<std::string, std::string>& flags) {
   std::printf("       read latency p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
               report.read_latency.P50(), report.read_latency.P95(),
               report.read_latency.P99());
+  const ServerStats sstats = server.stats();
+  if (sstats.fault.quarantines > 0 || sstats.reads_partial > 0) {
+    std::printf("       %llu quarantine(s), %llu repair(s), %llu partial "
+                "read(s), %llu reads during quarantine\n",
+                static_cast<unsigned long long>(sstats.fault.quarantines),
+                static_cast<unsigned long long>(sstats.fault.repairs),
+                static_cast<unsigned long long>(sstats.reads_partial),
+                static_cast<unsigned long long>(
+                    sstats.reads_during_quarantine));
+  }
+  if (metrics) {
+    // Per-shard health plus the quarantine/repair counters and the
+    // repair-latency histogram, as one JSON object.
+    std::printf("serve.fault: %s\n", sstats.fault.ToJson().c_str());
+    std::printf("metrics registry:\n%s",
+                MetricsRegistry::Global().ToText().c_str());
+  }
   if (json) {
     const std::string payload =
         report.ToJson("tartool-serve", store->num_shards(), threads);
@@ -2059,13 +2458,15 @@ int Usage() {
                "  crashtest [--rounds N] [--seed S] [--scale F] [--path P]\n"
                "  chaos    [--seed N | --seeds N] [--threads T]"
                " [--deadline-ms D] [--delay-ms M] [--path P]\n"
+               "           [--shard-kill [--shards S] [--window-ms W]]\n"
                "  audit    [--seed N | --seeds N] [--queries M] [--pois P]"
                " [--epochs E]\n"
                "  serve    [--shards N] [--threads T] [--duration-ms D]"
                " [--scale S] [--seed N]\n"
                "           [--deadline-ms D] [--max-inflight M]"
                " [--checkpoint-every K] [--store PREFIX]\n"
-               "           [--write-interval-ms W] [--json] [--out FILE]\n");
+               "           [--write-interval-ms W] [--partial] [--metrics]"
+               " [--json] [--out FILE]\n");
   return 2;
 }
 
